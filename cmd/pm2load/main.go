@@ -1,0 +1,99 @@
+// pm2load runs a registered program on a simulated PM2 cluster and prints
+// its execution trace, like the paper's pm2load launcher ("info% pm2load
+// example1" in Figure 8).
+//
+// Usage:
+//
+//	pm2load [flags] <program> [arg]
+//
+// Programs: p1 p2 p2r p3 p4 p4m worker pingpong heapjunk allocone
+// (or a custom program assembled from -src file).
+//
+// Examples:
+//
+//	pm2load p4 1000                    # Figure 7/8
+//	pm2load -policy relocate p2        # Figure 2
+//	pm2load -warm-heap 65536 p4m 300   # Figure 9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/pm2"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 2, "cluster size")
+	policy := flag.String("policy", "iso", `migration policy: "iso" or "relocate"`)
+	dist := flag.String("dist", "round-robin", `slot distribution: round-robin | block-cyclic:K | partition`)
+	node := flag.Int("node", 0, "node to start the program on")
+	srcFile := flag.String("src", "", "assemble and register an extra program from this file")
+	warmHeap := flag.Int("warm-heap", 0, "fill every other node's heap with N bytes of junk first (Figure 9)")
+	stats := flag.Bool("stats", true, "print run statistics after the trace")
+	flag.Parse()
+
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: pm2load [flags] <program> [arg]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	prog := flag.Arg(0)
+	arg := uint32(0)
+	if flag.NArg() > 1 {
+		v, err := strconv.ParseUint(flag.Arg(1), 0, 32)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pm2load: bad argument %q: %v\n", flag.Arg(1), err)
+			os.Exit(2)
+		}
+		arg = uint32(v)
+	}
+
+	sys := pm2.NewSystem()
+	sys.RegisterExamples()
+	if *srcFile != "" {
+		src, err := os.ReadFile(*srcFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pm2load: %v\n", err)
+			os.Exit(1)
+		}
+		if err := sys.Register(string(src)); err != nil {
+			fmt.Fprintf(os.Stderr, "pm2load: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	cl := sys.Boot(pm2.Config{
+		Nodes:            *nodes,
+		Distribution:     *dist,
+		RelocationPolicy: *policy == "relocate",
+	})
+
+	if *warmHeap > 0 {
+		for i := 0; i < *nodes; i++ {
+			if i != *node {
+				cl.Spawn(i, "heapjunk", uint32(*warmHeap))
+			}
+		}
+		cl.Run()
+	}
+
+	cl.Spawn(*node, prog, arg)
+	cl.Run()
+
+	for _, l := range cl.Output() {
+		fmt.Println(l)
+	}
+	if *stats {
+		st := cl.Stats()
+		fmt.Fprintf(os.Stderr, "\n-- %d node(s), policy %s, dist %s\n", *nodes, *policy, *dist)
+		fmt.Fprintf(os.Stderr, "-- virtual time %.1fµs, %d migration(s) (avg %.1fµs), %d negotiation(s)\n",
+			st.VirtualMicros, st.Migrations, st.AvgMigrationMicros, st.Negotiations)
+	}
+	if err := cl.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "pm2load: invariant violation: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,116 @@
+// pm2trace runs a program on a simulated cluster and dumps detailed
+// runtime information: the execution trace with virtual timestamps, the
+// per-node slot-layer statistics, and the cluster-wide measurements. It is
+// the debugging companion to pm2load.
+//
+// Usage:
+//
+//	pm2trace [flags] <program> [arg]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	ipm2 "repro/internal/pm2"
+	"repro/internal/progs"
+	"repro/pm2"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 2, "cluster size")
+	node := flag.Int("node", 0, "starting node")
+	dist := flag.String("dist", "round-robin", "slot distribution")
+	live := flag.Bool("live", false, "print trace lines as they are produced")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: pm2trace [flags] <program> [arg]")
+		os.Exit(2)
+	}
+	prog := flag.Arg(0)
+	arg := uint32(0)
+	if flag.NArg() > 1 {
+		v, err := strconv.ParseUint(flag.Arg(1), 0, 32)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pm2trace: bad arg: %v\n", err)
+			os.Exit(2)
+		}
+		arg = uint32(v)
+	}
+
+	d, err := pm2.ParseDistribution(*dist)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pm2trace: %v\n", err)
+		os.Exit(2)
+	}
+	c := ipm2.New(ipm2.Config{Nodes: *nodes, Dist: d, RecordAllocs: true}, progs.NewImage())
+	if *live {
+		c.Trace().SetWriter(os.Stdout)
+	}
+	c.Spawn(*node, prog, arg)
+	c.Run(0)
+
+	if !*live {
+		for _, l := range c.Trace().Lines() {
+			fmt.Println(l)
+		}
+	}
+
+	fmt.Printf("\n== run summary (virtual time %.1f µs, %d engine events)\n",
+		c.Now().Micros(), c.Engine().Steps())
+	st := c.Stats()
+	fmt.Printf("migrations:   %d\n", st.Migrations)
+	for i, l := range st.MigrationLatencies {
+		fmt.Printf("  #%d: %v\n", i+1, l)
+	}
+	fmt.Printf("negotiations: %d\n", st.Negotiations)
+	for i, l := range st.NegotiationLatencies {
+		fmt.Printf("  #%d: %v\n", i+1, l)
+	}
+	fmt.Printf("network:      %d messages, %d bytes\n", st.Net.Messages, st.Net.Bytes)
+
+	fmt.Printf("\n== per-node state\n")
+	for i := 0; i < c.Nodes(); i++ {
+		n := c.Node(i)
+		ss := n.Slots().Stats()
+		created, finished, faulted, dispatches, instrs := n.Scheduler().Stats()
+		fmt.Printf("node %d: slots owned %5d (cached %d)  acquires %3d  releases %3d  mmaps %3d  cache-hits %3d\n",
+			i, n.Slots().OwnedFree(), n.Slots().CachedSlots(),
+			ss.Acquired, ss.Released, ss.Mmaps, ss.CacheHits)
+		fmt.Printf("         threads: created %d finished %d faulted %d; %d dispatches, %d instructions\n",
+			created, finished, faulted, dispatches, instrs)
+		fmt.Printf("         memory: %d bytes mapped; heap brk +%d KB; malloc/free %s\n",
+			n.Space().MappedBytes(), (n.Heap().Brk()-0x0200_0000)/1024, heapCounts(n))
+	}
+
+	if samples := c.AllocSamples(); len(samples) > 0 {
+		fmt.Printf("\n== allocations (%d)\n", len(samples))
+		show := samples
+		if len(show) > 12 {
+			show = samples[:12]
+		}
+		for _, s := range show {
+			kind := "malloc   "
+			if s.Iso {
+				kind = "isomalloc"
+			}
+			fmt.Printf("  node%d %s %8d B  %10v  ok=%v\n", s.Node, kind, s.Size, s.Latency, s.OK)
+		}
+		if len(samples) > len(show) {
+			fmt.Printf("  ... %d more\n", len(samples)-len(show))
+		}
+	}
+
+	if err := c.CheckInvariants(); err != nil {
+		fmt.Printf("\nINVARIANT VIOLATION: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\ninvariants: ok\n")
+}
+
+func heapCounts(n *ipm2.Node) string {
+	a, f := n.Heap().Counts()
+	return fmt.Sprintf("%d/%d", a, f)
+}

@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	Gabriel Antoniu, Luc Bougé, Raymond Namyst.
+//	"An Efficient and Transparent Thread Migration Scheme in the PM2
+//	Runtime System". IPPS/SPDP RTSPP Workshops, 1999, pp. 496–510.
+//
+// The public entry point is repro/pm2; the implementation lives under
+// internal/ (see DESIGN.md for the system inventory and EXPERIMENTS.md for
+// the paper-vs-measured results). The root package carries the repository's
+// benchmark suite (bench_test.go), one benchmark per figure, table, and
+// in-text measurement of the paper's evaluation.
+package repro
+
+// Version identifies this reproduction.
+const Version = "1.0.0"

@@ -1,0 +1,530 @@
+// Package asm implements a small two-pass assembler for the thread ISA.
+//
+// The paper's example procedures (p1..p4) are written in this assembly and
+// registered into the replicated SPMD image before the cluster starts. The
+// syntax is line-oriented:
+//
+//	; comment                      # comment
+//	.program p4                    ; program name (required, first)
+//	.entry main                    ; optional; defaults to label "main"
+//	.string fmt "value = %d\n"     ; interned in the data segment
+//
+//	main:
+//	    loadi r1, 100              ; immediates: decimal, 0x hex, labels
+//	    enter 16                   ; 16 bytes of locals
+//	    load  r2, [fp-4]           ; word load, signed offset
+//	    store [r1+8], r2
+//	    beq   r1, r2, done
+//	    call  helper               ; or otherprog.helper
+//	    callb isomalloc            ; runtime builtin by name
+//	done:
+//	    halt
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Assemble parses src, resolves labels and strings, and loads the program
+// into the image. Cross-program references use the "prog.label" form and
+// must already be loaded.
+func Assemble(im *isa.Image, src string) (*isa.LoadedProgram, error) {
+	p := &parser{im: im, labels: make(map[string]int), strings: make(map[string]isa.Addr)}
+	if err := p.firstPass(src); err != nil {
+		return nil, err
+	}
+	if err := p.resolve(); err != nil {
+		return nil, err
+	}
+	entry, err := p.entryIndex()
+	if err != nil {
+		return nil, err
+	}
+	return im.AddProgram(p.name, p.code, entry, p.labels)
+}
+
+// MustAssemble is Assemble that panics on error; intended for registering
+// the built-in example programs.
+func MustAssemble(im *isa.Image, src string) *isa.LoadedProgram {
+	lp, err := Assemble(im, src)
+	if err != nil {
+		panic(err)
+	}
+	return lp
+}
+
+type fixup struct {
+	instr int    // instruction index whose Imm needs the address
+	ref   string // label name
+	line  int
+}
+
+type parser struct {
+	im      *isa.Image
+	name    string
+	entry   string
+	code    []isa.Instr
+	labels  map[string]int      // local label → instruction index
+	strings map[string]isa.Addr // string label → data address
+	fixups  []fixup
+	base    isa.Addr
+}
+
+func (p *parser) errf(line int, format string, args ...any) error {
+	return fmt.Errorf("asm:%d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) firstPass(src string) error {
+	p.base = p.im.Top()
+	for ln, raw := range strings.Split(src, "\n") {
+		line := ln + 1
+		text := stripComment(raw)
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(text, ".program"):
+			if p.name != "" {
+				return p.errf(line, "duplicate .program")
+			}
+			f := strings.Fields(text)
+			if len(f) != 2 {
+				return p.errf(line, ".program needs exactly one name")
+			}
+			p.name = f[1]
+			continue
+		case strings.HasPrefix(text, ".entry"):
+			f := strings.Fields(text)
+			if len(f) != 2 {
+				return p.errf(line, ".entry needs exactly one label")
+			}
+			p.entry = f[1]
+			continue
+		case strings.HasPrefix(text, ".string"):
+			if err := p.parseString(line, text); err != nil {
+				return err
+			}
+			continue
+		}
+		if p.name == "" {
+			return p.errf(line, "code before .program directive")
+		}
+		// Leading labels (possibly several on one line).
+		for {
+			i := strings.Index(text, ":")
+			if i < 0 || strings.ContainsAny(text[:i], " \t,[") {
+				break
+			}
+			label := text[:i]
+			if _, dup := p.labels[label]; dup {
+				return p.errf(line, "duplicate label %q", label)
+			}
+			p.labels[label] = len(p.code)
+			text = strings.TrimSpace(text[i+1:])
+		}
+		if text == "" {
+			continue
+		}
+		if err := p.parseInstr(line, text); err != nil {
+			return err
+		}
+	}
+	if p.name == "" {
+		return fmt.Errorf("asm: missing .program directive")
+	}
+	if len(p.code) == 0 {
+		return fmt.Errorf("asm: program %q has no instructions", p.name)
+	}
+	return nil
+}
+
+func stripComment(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ';' || s[i] == '#' {
+			// Don't cut inside a string literal.
+			if strings.Count(s[:i], `"`)%2 == 1 {
+				continue
+			}
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func (p *parser) parseString(line int, text string) error {
+	rest := strings.TrimSpace(strings.TrimPrefix(text, ".string"))
+	sp := strings.IndexAny(rest, " \t")
+	if sp < 0 {
+		return p.errf(line, `.string needs: .string label "text"`)
+	}
+	label := rest[:sp]
+	lit := strings.TrimSpace(rest[sp:])
+	if len(lit) < 2 || lit[0] != '"' || lit[len(lit)-1] != '"' {
+		return p.errf(line, ".string literal must be double-quoted")
+	}
+	val, err := unescape(lit[1 : len(lit)-1])
+	if err != nil {
+		return p.errf(line, "bad string literal: %v", err)
+	}
+	if _, dup := p.strings[label]; dup {
+		return p.errf(line, "duplicate string label %q", label)
+	}
+	p.strings[label] = p.im.InternString(val)
+	return nil
+}
+
+func unescape(s string) (string, error) {
+	var out strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '\\' {
+			out.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return "", fmt.Errorf("trailing backslash")
+		}
+		switch s[i] {
+		case 'n':
+			out.WriteByte('\n')
+		case 't':
+			out.WriteByte('\t')
+		case '\\':
+			out.WriteByte('\\')
+		case '"':
+			out.WriteByte('"')
+		case '0':
+			out.WriteByte(0)
+		default:
+			return "", fmt.Errorf("unknown escape \\%c", s[i])
+		}
+	}
+	return out.String(), nil
+}
+
+// operand splitting: mnemonic, then comma-separated operands.
+func splitOperands(s string) []string {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+var regNames = func() map[string]isa.Reg {
+	m := map[string]isa.Reg{"sp": isa.SP, "fp": isa.FP}
+	for i := 0; i < 16; i++ {
+		m[fmt.Sprintf("r%d", i)] = isa.Reg(i)
+	}
+	return m
+}()
+
+func (p *parser) reg(line int, tok string) (isa.Reg, error) {
+	r, ok := regNames[strings.ToLower(tok)]
+	if !ok {
+		return 0, p.errf(line, "bad register %q", tok)
+	}
+	return r, nil
+}
+
+// imm parses an integer immediate or records a label fixup for instruction
+// idx and returns 0.
+func (p *parser) imm(line, idx int, tok string) (uint32, error) {
+	if v, err := strconv.ParseInt(tok, 0, 64); err == nil {
+		if v < -(1<<31) || v > (1<<32)-1 {
+			return 0, p.errf(line, "immediate %q out of 32-bit range", tok)
+		}
+		return uint32(v), nil
+	}
+	if !isIdent(tok) {
+		return 0, p.errf(line, "bad immediate %q", tok)
+	}
+	p.fixups = append(p.fixups, fixup{instr: idx, ref: tok, line: line})
+	return 0, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c == '.' && i > 0:
+		case c >= '0' && c <= '9' && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// mem parses "[reg]", "[reg+imm]" or "[reg-imm]".
+func (p *parser) mem(line int, tok string) (isa.Reg, uint32, error) {
+	if len(tok) < 3 || tok[0] != '[' || tok[len(tok)-1] != ']' {
+		return 0, 0, p.errf(line, "bad memory operand %q", tok)
+	}
+	inner := tok[1 : len(tok)-1]
+	sep := strings.IndexAny(inner, "+-")
+	if sep < 0 {
+		r, err := p.reg(line, inner)
+		return r, 0, err
+	}
+	r, err := p.reg(line, strings.TrimSpace(inner[:sep]))
+	if err != nil {
+		return 0, 0, err
+	}
+	off, err := strconv.ParseInt(strings.TrimSpace(inner[sep:]), 0, 64)
+	if err != nil {
+		return 0, 0, p.errf(line, "bad memory offset in %q", tok)
+	}
+	return r, uint32(int32(off)), nil
+}
+
+var aluOps = map[string]isa.Op{
+	"add": isa.OpAdd, "sub": isa.OpSub, "mul": isa.OpMul, "div": isa.OpDiv,
+	"mod": isa.OpMod, "and": isa.OpAnd, "or": isa.OpOr, "xor": isa.OpXor,
+	"shl": isa.OpShl, "shr": isa.OpShr,
+}
+
+var branchOps = map[string]isa.Op{
+	"beq": isa.OpBeq, "bne": isa.OpBne, "blt": isa.OpBlt, "bge": isa.OpBge,
+	"bltu": isa.OpBltU, "bgeu": isa.OpBgeU,
+}
+
+func (p *parser) parseInstr(line int, text string) error {
+	sp := strings.IndexAny(text, " \t")
+	mn := text
+	rest := ""
+	if sp >= 0 {
+		mn, rest = text[:sp], strings.TrimSpace(text[sp:])
+	}
+	mn = strings.ToLower(mn)
+	ops := splitOperands(rest)
+	idx := len(p.code)
+
+	need := func(n int) error {
+		if len(ops) != n {
+			return p.errf(line, "%s needs %d operand(s), got %d", mn, n, len(ops))
+		}
+		return nil
+	}
+
+	var in isa.Instr
+	var err error
+	switch {
+	case mn == "nop" || mn == "ret" || mn == "leave" || mn == "halt":
+		if err = need(0); err != nil {
+			return err
+		}
+		in.Op = map[string]isa.Op{"nop": isa.OpNop, "ret": isa.OpRet, "leave": isa.OpLeave, "halt": isa.OpHalt}[mn]
+
+	case mn == "loadi":
+		if err = need(2); err != nil {
+			return err
+		}
+		in.Op = isa.OpLoadI
+		if in.Rd, err = p.reg(line, ops[0]); err != nil {
+			return err
+		}
+		if in.Imm, err = p.imm(line, idx, ops[1]); err != nil {
+			return err
+		}
+
+	case mn == "mov":
+		if err = need(2); err != nil {
+			return err
+		}
+		in.Op = isa.OpMov
+		if in.Rd, err = p.reg(line, ops[0]); err != nil {
+			return err
+		}
+		if in.Rs, err = p.reg(line, ops[1]); err != nil {
+			return err
+		}
+
+	case aluOps[mn] != 0:
+		if err = need(3); err != nil {
+			return err
+		}
+		in.Op = aluOps[mn]
+		if in.Rd, err = p.reg(line, ops[0]); err != nil {
+			return err
+		}
+		if in.Rs, err = p.reg(line, ops[1]); err != nil {
+			return err
+		}
+		if in.Rt, err = p.reg(line, ops[2]); err != nil {
+			return err
+		}
+
+	case mn == "addi":
+		if err = need(3); err != nil {
+			return err
+		}
+		in.Op = isa.OpAddI
+		if in.Rd, err = p.reg(line, ops[0]); err != nil {
+			return err
+		}
+		if in.Rs, err = p.reg(line, ops[1]); err != nil {
+			return err
+		}
+		if in.Imm, err = p.imm(line, idx, ops[2]); err != nil {
+			return err
+		}
+
+	case mn == "load" || mn == "loadb":
+		if err = need(2); err != nil {
+			return err
+		}
+		in.Op = isa.OpLoad
+		if mn == "loadb" {
+			in.Op = isa.OpLoadB
+		}
+		if in.Rd, err = p.reg(line, ops[0]); err != nil {
+			return err
+		}
+		if in.Rs, in.Imm, err = p.mem(line, ops[1]); err != nil {
+			return err
+		}
+
+	case mn == "store" || mn == "storeb":
+		if err = need(2); err != nil {
+			return err
+		}
+		in.Op = isa.OpStore
+		if mn == "storeb" {
+			in.Op = isa.OpStoreB
+		}
+		if in.Rd, in.Imm, err = p.mem(line, ops[0]); err != nil {
+			return err
+		}
+		if in.Rs, err = p.reg(line, ops[1]); err != nil {
+			return err
+		}
+
+	case mn == "br" || mn == "call":
+		if err = need(1); err != nil {
+			return err
+		}
+		in.Op = isa.OpBr
+		if mn == "call" {
+			in.Op = isa.OpCall
+		}
+		if in.Imm, err = p.imm(line, idx, ops[0]); err != nil {
+			return err
+		}
+
+	case branchOps[mn] != 0:
+		if err = need(3); err != nil {
+			return err
+		}
+		in.Op = branchOps[mn]
+		if in.Rs, err = p.reg(line, ops[0]); err != nil {
+			return err
+		}
+		if in.Rt, err = p.reg(line, ops[1]); err != nil {
+			return err
+		}
+		if in.Imm, err = p.imm(line, idx, ops[2]); err != nil {
+			return err
+		}
+
+	case mn == "push":
+		if err = need(1); err != nil {
+			return err
+		}
+		in.Op = isa.OpPush
+		if in.Rs, err = p.reg(line, ops[0]); err != nil {
+			return err
+		}
+
+	case mn == "pop":
+		if err = need(1); err != nil {
+			return err
+		}
+		in.Op = isa.OpPop
+		if in.Rd, err = p.reg(line, ops[0]); err != nil {
+			return err
+		}
+
+	case mn == "enter":
+		if err = need(1); err != nil {
+			return err
+		}
+		in.Op = isa.OpEnter
+		if in.Imm, err = p.imm(line, idx, ops[0]); err != nil {
+			return err
+		}
+
+	case mn == "callb":
+		if err = need(1); err != nil {
+			return err
+		}
+		in.Op = isa.OpCallB
+		if id, ok := isa.Builtins[strings.ToLower(ops[0])]; ok {
+			in.Imm = id
+		} else if in.Imm, err = p.imm(line, idx, ops[0]); err != nil {
+			return err
+		}
+
+	default:
+		return p.errf(line, "unknown mnemonic %q", mn)
+	}
+
+	p.code = append(p.code, in)
+	return nil
+}
+
+// resolve patches label fixups with absolute addresses: local code labels,
+// then local string labels, then image-global "prog.label" references.
+func (p *parser) resolve() error {
+	for _, f := range p.fixups {
+		var addr isa.Addr
+		switch {
+		case hasLocal(p.labels, f.ref):
+			addr = p.base + isa.Addr(p.labels[f.ref]*isa.InstrBytes)
+		case hasStr(p.strings, f.ref):
+			addr = p.strings[f.ref]
+		default:
+			if a, ok := p.im.Label(f.ref); ok {
+				addr = a
+			} else if lp, ok := p.im.Program(f.ref); ok {
+				addr = lp.Entry
+			} else {
+				return p.errf(f.line, "undefined label %q", f.ref)
+			}
+		}
+		p.code[f.instr].Imm = uint32(addr)
+	}
+	return nil
+}
+
+func hasLocal(m map[string]int, k string) bool    { _, ok := m[k]; return ok }
+func hasStr(m map[string]isa.Addr, k string) bool { _, ok := m[k]; return ok }
+
+func (p *parser) entryIndex() (int, error) {
+	name := p.entry
+	if name == "" {
+		if _, ok := p.labels["main"]; ok {
+			name = "main"
+		} else {
+			return 0, nil
+		}
+	}
+	idx, ok := p.labels[name]
+	if !ok {
+		return 0, fmt.Errorf("asm: entry label %q not defined in %q", name, p.name)
+	}
+	return idx, nil
+}

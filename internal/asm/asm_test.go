@@ -1,0 +1,331 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/layout"
+)
+
+func TestAssembleBasicProgram(t *testing.T) {
+	im := isa.NewImage()
+	lp, err := Assemble(im, `
+; a trivial program
+.program demo
+.entry main
+main:
+    loadi r1, 42
+    addi  r2, r1, -1
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.Name != "demo" || lp.N != 3 {
+		t.Fatalf("loaded = %+v", lp)
+	}
+	if lp.Base != layout.CodeBase || lp.Entry != lp.Base {
+		t.Fatalf("base/entry = %#x/%#x", lp.Base, lp.Entry)
+	}
+	in, ok := im.InstrAt(lp.Base)
+	if !ok || in.Op != isa.OpLoadI || in.Rd != isa.R1 || in.Imm != 42 {
+		t.Fatalf("instr 0 = %v", in)
+	}
+	in, _ = im.InstrAt(lp.Base + 4)
+	if in.Op != isa.OpAddI || in.Rd != isa.R2 || in.Rs != isa.R1 || int32(in.Imm) != -1 {
+		t.Fatalf("instr 1 = %v", in)
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	im := isa.NewImage()
+	lp, err := Assemble(im, `
+.program loop
+main:
+    loadi r1, 0
+    loadi r2, 10
+top:
+    addi r1, r1, 1
+    blt  r1, r2, top
+    br   done
+    nop
+done:
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blt, _ := im.InstrAt(lp.Base + 3*4)
+	if blt.Op != isa.OpBlt || blt.Imm != uint32(lp.Base+2*4) {
+		t.Fatalf("blt = %v, want target %#x", blt, lp.Base+2*4)
+	}
+	br, _ := im.InstrAt(lp.Base + 4*4)
+	if br.Op != isa.OpBr || br.Imm != uint32(lp.Base+6*4) {
+		t.Fatalf("br = %v", br)
+	}
+}
+
+func TestForwardAndMultipleLabels(t *testing.T) {
+	im := isa.NewImage()
+	lp, err := Assemble(im, `
+.program fwd
+main:
+    br end
+a: b:
+    nop
+end:
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, _ := im.InstrAt(lp.Base)
+	if br.Imm != uint32(lp.Base+2*4) {
+		t.Fatalf("forward br = %v", br)
+	}
+	if a, ok := im.Label("fwd.a"); !ok || a != lp.Base+4 {
+		t.Fatalf("label a = %#x, %v", a, ok)
+	}
+	if b, ok := im.Label("fwd.b"); !ok || b != lp.Base+4 {
+		t.Fatalf("label b = %#x, %v", b, ok)
+	}
+}
+
+func TestStringsInterned(t *testing.T) {
+	im := isa.NewImage()
+	lp, err := Assemble(im, `
+.program strs
+.string fmt "value = %d\n"
+.string fmt2 "value = %d\n"
+main:
+    loadi r1, fmt
+    loadi r2, fmt2
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i0, _ := im.InstrAt(lp.Base)
+	i1, _ := im.InstrAt(lp.Base + 4)
+	if i0.Imm != i1.Imm {
+		t.Fatal("identical strings should be deduped")
+	}
+	if isa.Addr(i0.Imm) < layout.DataBase || isa.Addr(i0.Imm) >= layout.DataEnd {
+		t.Fatalf("string addr %#x outside data region", i0.Imm)
+	}
+	data := im.DataImage()
+	s := string(data[i0.Imm-uint32(layout.DataBase):])
+	if !strings.HasPrefix(s, "value = %d\n\x00") {
+		t.Fatalf("data image = %q", s)
+	}
+}
+
+func TestMemoryOperands(t *testing.T) {
+	im := isa.NewImage()
+	lp, err := Assemble(im, `
+.program mem
+main:
+    load  r1, [r2]
+    load  r3, [fp-8]
+    store [sp+12], r4
+    loadb r5, [r6+1]
+    storeb [r7-1], r8
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		idx int
+		op  isa.Op
+		rd  isa.Reg
+		rs  isa.Reg
+		imm int32
+	}{
+		{0, isa.OpLoad, isa.R1, isa.R2, 0},
+		{1, isa.OpLoad, isa.R3, isa.FP, -8},
+		{2, isa.OpStore, isa.SP, isa.R4, 12},
+		{3, isa.OpLoadB, isa.R5, isa.R6, 1},
+		{4, isa.OpStoreB, isa.R7, isa.R8, -1},
+	}
+	for _, c := range cases {
+		in, _ := im.InstrAt(lp.Base + isa.Addr(c.idx*4))
+		if in.Op != c.op || in.Rd != c.rd || in.Rs != c.rs || int32(in.Imm) != c.imm {
+			t.Errorf("instr %d = %v (imm %d), want op=%v rd=%v rs=%v imm=%d",
+				c.idx, in, int32(in.Imm), c.op, c.rd, c.rs, c.imm)
+		}
+	}
+}
+
+func TestCallBuiltinByName(t *testing.T) {
+	im := isa.NewImage()
+	lp, err := Assemble(im, `
+.program b
+main:
+    callb isomalloc
+    callb printf
+    callb 17
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i0, _ := im.InstrAt(lp.Base)
+	if i0.Op != isa.OpCallB || i0.Imm != isa.BIsomalloc {
+		t.Fatalf("callb = %v", i0)
+	}
+	i1, _ := im.InstrAt(lp.Base + 4)
+	if i1.Imm != isa.BPrintf {
+		t.Fatalf("callb printf = %v", i1)
+	}
+	i2, _ := im.InstrAt(lp.Base + 8)
+	if i2.Imm != 17 {
+		t.Fatalf("callb 17 = %v", i2)
+	}
+}
+
+func TestCrossProgramCall(t *testing.T) {
+	im := isa.NewImage()
+	_, err := Assemble(im, `
+.program lib
+main:
+helper:
+    loadi r0, 7
+    ret
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp2, err := Assemble(im, `
+.program app
+main:
+    call lib.helper
+    call lib
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	helperAddr, _ := im.Label("lib.helper")
+	c0, _ := im.InstrAt(lp2.Base)
+	if c0.Imm != uint32(helperAddr) {
+		t.Fatalf("cross call = %v, want %#x", c0, helperAddr)
+	}
+	libEntry, _ := im.EntryOf("lib")
+	c1, _ := im.InstrAt(lp2.Base + 4)
+	if c1.Imm != uint32(libEntry) {
+		t.Fatalf("call by program name = %v, want %#x", c1, libEntry)
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	im := isa.NewImage()
+	lp, err := Assemble(im, `
+.program c
+; full line comment
+# hash comment
+.string s "semi ; colon"   ; comment after string
+main:
+    nop       ; trailing
+    halt      # trailing
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.N != 2 {
+		t.Fatalf("N = %d, want 2", lp.N)
+	}
+	// The interned string must keep its semicolon.
+	i := strings.Index(string(im.DataImage()), "semi ; colon")
+	if i < 0 {
+		t.Fatal("string with semicolon mangled")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"no program", "main:\n nop", "code before .program"},
+		{"missing directive", "   \n", "missing .program"},
+		{"unknown mnemonic", ".program x\nmain:\n frob r1", "unknown mnemonic"},
+		{"bad register", ".program x\nmain:\n mov r99, r1", "bad register"},
+		{"undefined label", ".program x\nmain:\n br nowhere", "undefined label"},
+		{"duplicate label", ".program x\na:\na:\n nop", "duplicate label"},
+		{"operand count", ".program x\nmain:\n add r1, r2", "needs 3 operand"},
+		{"bad entry", ".program x\n.entry nope\nmain:\n nop", `entry label "nope"`},
+		{"bad mem", ".program x\nmain:\n load r1, r2", "bad memory operand"},
+		{"empty", ".program x\n", "no instructions"},
+		{"bad string", ".program x\n.string s nope\n main: nop", "double-quoted"},
+		{"bad escape", ".program x\n.string s \"a\\q\"\nmain:\n nop", "unknown escape"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Assemble(isa.NewImage(), c.src)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want contains %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestDuplicateProgramRejected(t *testing.T) {
+	im := isa.NewImage()
+	MustAssemble(im, ".program a\nmain:\n halt")
+	if _, err := Assemble(im, ".program a\nmain:\n halt"); err == nil {
+		t.Fatal("duplicate program must fail")
+	}
+}
+
+func TestEntryDefaultsToFirstInstruction(t *testing.T) {
+	im := isa.NewImage()
+	lp, err := Assemble(im, ".program nolabels\n nop\n halt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.Entry != lp.Base {
+		t.Fatalf("entry = %#x, want base %#x", lp.Entry, lp.Base)
+	}
+}
+
+func TestSealedImageRejectsLoads(t *testing.T) {
+	im := isa.NewImage()
+	MustAssemble(im, ".program a\nmain:\n halt")
+	im.Seal()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on post-seal load")
+		}
+	}()
+	MustAssemble(im, ".program b\nmain:\n halt")
+}
+
+func TestNegativeAndHexImmediates(t *testing.T) {
+	im := isa.NewImage()
+	lp, err := Assemble(im, `
+.program imm
+main:
+    loadi r1, -5
+    loadi r2, 0xdeadbeef
+    addi  sp, sp, -16
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i0, _ := im.InstrAt(lp.Base)
+	if int32(i0.Imm) != -5 {
+		t.Fatalf("loadi -5 = %d", int32(i0.Imm))
+	}
+	i1, _ := im.InstrAt(lp.Base + 4)
+	if i1.Imm != 0xdeadbeef {
+		t.Fatalf("hex imm = %#x", i1.Imm)
+	}
+	i2, _ := im.InstrAt(lp.Base + 8)
+	if i2.Op != isa.OpAddI || i2.Rd != isa.SP || int32(i2.Imm) != -16 {
+		t.Fatalf("addi sp = %v", i2)
+	}
+}

@@ -1,0 +1,409 @@
+// Package bench is the shared experiment harness: one function per figure,
+// table or in-text measurement of the paper's evaluation (§5), plus the
+// ablations from DESIGN.md. Both cmd/pm2bench and the root benchmark suite
+// call into it, so the printed tables and the testing.B metrics come from
+// the same code paths.
+//
+// All measurements are in virtual microseconds from the calibrated cost
+// model; runs are deterministic.
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/pm2"
+	"repro/internal/progs"
+	"repro/internal/simtime"
+)
+
+// spawnWithRegs creates a thread on node 0 running prog with r1..r3 preset,
+// before any instruction executes.
+func spawnWithRegs(c *pm2.Cluster, prog string, r1, r2, r3 uint32) {
+	entry, ok := c.Image().EntryOf(prog)
+	if !ok {
+		panic("bench: unknown program " + prog)
+	}
+	c.At(0, func(n *pm2.Node) {
+		th, err := n.Scheduler().Create(entry, r1)
+		if err != nil {
+			panic(err)
+		}
+		th.Regs.R[1] = r1
+		th.Regs.R[2] = r2
+		th.Regs.R[3] = r3
+		// kick happens through the public surface: posting again is
+		// harmless, Create left the thread queued.
+		n.Kick()
+	})
+}
+
+// Fig11Row is one point of the Figure 11 sweep.
+type Fig11Row struct {
+	Size         uint32
+	MallocMicros float64
+	IsoMicros    float64
+	Negotiated   bool // whether the isomalloc point required negotiation
+}
+
+// Fig11 measures the average allocation time of malloc and pm2_isomalloc
+// for each size, on a cluster of the given node count with round-robin
+// slots (the paper's configuration). Every trial runs on a fresh cluster so
+// multi-slot isomalloc requests always face the round-robin worst case,
+// exactly as in the paper's experiment.
+func Fig11(sizes []uint32, trials, nodes int) []Fig11Row {
+	rows := make([]Fig11Row, 0, len(sizes))
+	for _, size := range sizes {
+		row := Fig11Row{Size: size}
+		for _, iso := range []bool{false, true} {
+			var sum float64
+			for trial := 0; trial < trials; trial++ {
+				c := pm2.New(pm2.Config{
+					Nodes:        nodes,
+					Dist:         core.RoundRobin{},
+					RecordAllocs: true,
+				}, progs.NewImage())
+				which := uint32(1) // malloc
+				if iso {
+					which = 0
+				}
+				spawnWithRegs(c, "allocone", size, which, 0)
+				c.Run(0)
+				samples := c.AllocSamples()
+				if len(samples) != 1 || !samples[0].OK {
+					panic(fmt.Sprintf("bench: fig11 size %d iso=%v: samples %+v", size, iso, samples))
+				}
+				sum += samples[0].Latency.Micros()
+				if iso && c.Stats().Negotiations > 0 {
+					row.Negotiated = true
+				}
+			}
+			avg := sum / float64(trials)
+			if iso {
+				row.IsoMicros = avg
+			} else {
+				row.MallocMicros = avg
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// MigrationResult summarizes a ping-pong run.
+type MigrationResult struct {
+	Hops        int
+	AvgMicros   float64
+	WorstMicros float64
+	BytesOnWire uint64
+}
+
+// MigrationPingPong reproduces the §5 measurement: a thread with no static
+// data bounces between two nodes; the result is the average end-to-end
+// migration latency (freeze → resume).
+func MigrationPingPong(hops int, cfg pm2.Config) MigrationResult {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 2
+	}
+	c := pm2.New(cfg, progs.NewImage())
+	c.Spawn(0, "pingpong", uint32(hops))
+	c.Run(0)
+	return migrationResult(c, hops)
+}
+
+// MigrationWithPayload is the ablation: the thread carries payload bytes of
+// isomalloc'd data on every hop.
+func MigrationWithPayload(hops int, payload uint32, cfg pm2.Config) MigrationResult {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 2
+	}
+	c := pm2.New(cfg, progs.NewImage())
+	spawnWithRegs(c, "pingpongdata", uint32(hops), payload, 0)
+	c.Run(0)
+	return migrationResult(c, hops)
+}
+
+// RelocationPingPong measures the §2 baseline with regPtrs registered user
+// pointers: every hop pays the relocation fixup pass.
+func RelocationPingPong(hops, regPtrs int) MigrationResult {
+	c := pm2.New(pm2.Config{Nodes: 2, Policy: pm2.PolicyRelocate}, progs.NewImage())
+	spawnWithRegs(c, "pingpongreg", uint32(hops), uint32(regPtrs), 0)
+	c.Run(0)
+	return migrationResult(c, hops)
+}
+
+func migrationResult(c *pm2.Cluster, hops int) MigrationResult {
+	st := c.Stats()
+	if st.Migrations != hops {
+		panic(fmt.Sprintf("bench: %d migrations, want %d", st.Migrations, hops))
+	}
+	var sum, worst simtime.Time
+	for _, l := range st.MigrationLatencies {
+		sum += l
+		if l > worst {
+			worst = l
+		}
+	}
+	return MigrationResult{
+		Hops:        hops,
+		AvgMicros:   (sum / simtime.Time(hops)).Micros(),
+		WorstMicros: worst.Micros(),
+		BytesOnWire: st.Net.Bytes,
+	}
+}
+
+// NegotiationRow is one point of the negotiation scaling measurement.
+type NegotiationRow struct {
+	Nodes  int
+	Micros float64
+}
+
+// NegotiationScaling measures the negotiation protocol cost for each
+// cluster size: one multi-slot allocation on node 0 under round-robin slots
+// (which guarantees the negotiation, §5).
+func NegotiationScaling(nodeCounts []int) []NegotiationRow {
+	rows := make([]NegotiationRow, 0, len(nodeCounts))
+	for _, p := range nodeCounts {
+		c := pm2.New(pm2.Config{Nodes: p}, progs.NewImage())
+		spawnWithRegs(c, "allocone", 100_000, 0, 0)
+		c.Run(0)
+		st := c.Stats()
+		if st.Negotiations != 1 {
+			panic(fmt.Sprintf("bench: %d-node run negotiated %d times", p, st.Negotiations))
+		}
+		rows = append(rows, NegotiationRow{Nodes: p, Micros: st.NegotiationLatencies[0].Micros()})
+	}
+	return rows
+}
+
+// ThreadCreate measures the average virtual cost of creating (and
+// destroying) a thread: one slot acquisition plus descriptor and stack
+// initialization — a purely local operation (§4.1).
+func ThreadCreate(n int, cfg pm2.Config) (avgCreateMicros float64) {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 2
+	}
+	c := pm2.New(cfg, progs.NewImage())
+	entry, _ := c.Image().EntryOf("pingpong") // any program; threads exit at once with 0 hops
+	var total float64
+	done := false
+	c.At(0, func(node *pm2.Node) {
+		for i := 0; i < n; i++ {
+			t0 := node.Actor().Now()
+			th, err := node.Scheduler().Create(entry, 0)
+			if err != nil {
+				panic(err)
+			}
+			total += (node.Actor().Now() - t0).Micros()
+			_ = th
+		}
+		node.Kick()
+		done = true
+	})
+	for !done && c.Engine().Step() {
+	}
+	c.Run(0)
+	return total / float64(n)
+}
+
+// DistRow is one row of the distribution ablation.
+type DistRow struct {
+	Dist         string
+	Negotiations int
+	AvgNegMicros float64
+	TotalMicros  float64
+}
+
+// DistributionAblation runs the same multi-slot allocation workload under
+// each slot distribution (paper §4.1: the initial distribution decides how
+// often multi-slot requests go global).
+func DistributionAblation(dists []core.Distribution, allocs, nodes int) []DistRow {
+	rows := make([]DistRow, 0, len(dists))
+	for _, d := range dists {
+		c := pm2.New(pm2.Config{Nodes: nodes, Dist: d}, progs.NewImage())
+		// One thread per allocation so each faces the initial state of
+		// its node's bitmap evolution.
+		for i := 0; i < allocs; i++ {
+			spawnWithRegs(c, "allocone", 150_000, 0, 0)
+		}
+		c.Run(0)
+		st := c.Stats()
+		row := DistRow{Dist: d.Name(), Negotiations: st.Negotiations, TotalMicros: c.Now().Micros()}
+		var sum simtime.Time
+		for _, l := range st.NegotiationLatencies {
+			sum += l
+		}
+		if st.Negotiations > 0 {
+			row.AvgNegMicros = (sum / simtime.Time(st.Negotiations)).Micros()
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// CacheRow is one row of the slot-cache ablation.
+type CacheRow struct {
+	Label           string
+	AvgCreateMicros float64
+	Mmaps           uint64
+	CacheHits       uint64
+}
+
+// SlotCacheAblation measures thread create/destroy churn with and without
+// the mmapped-slot cache (the paper's §6 optimization).
+func SlotCacheAblation(churn int) []CacheRow {
+	out := make([]CacheRow, 0, 2)
+	for _, withCache := range []bool{true, false} {
+		cfg := pm2.Config{Nodes: 1}
+		if !withCache {
+			cfg.NoCache = true
+		}
+		c := pm2.New(cfg, progs.NewImage())
+		entry, _ := c.Image().EntryOf("pingpong")
+		var total float64
+		for i := 0; i < churn; i++ {
+			created := false
+			c.At(0, func(node *pm2.Node) {
+				t0 := node.Actor().Now()
+				if _, err := node.Scheduler().Create(entry, 0); err != nil {
+					panic(err)
+				}
+				total += (node.Actor().Now() - t0).Micros()
+				node.Kick()
+				created = true
+			})
+			for !created && c.Engine().Step() {
+			}
+			// Drain: the thread exits and its slot is released —
+			// into the cache when enabled, munmapped otherwise —
+			// so the next creation sees the steady-state path.
+			c.Run(0)
+		}
+		st := c.Node(0).Slots().Stats()
+		label := "cache=8"
+		if !withCache {
+			label = "cache=off"
+		}
+		out = append(out, CacheRow{
+			Label:           label,
+			AvgCreateMicros: total / float64(churn),
+			Mmaps:           st.Mmaps,
+			CacheHits:       st.CacheHits,
+		})
+	}
+	return out
+}
+
+// PackRow is one row of the pack-mode ablation.
+type PackRow struct {
+	Mode        string
+	Elements    int
+	AvgMicros   float64
+	BytesOnWire uint64
+}
+
+// PackModeAblation migrates the Figure 7 list thread under both packing
+// modes for each list size: used-blocks packing ships only live data (§6),
+// whole-slot packing ships every slot byte.
+func PackModeAblation(elementCounts []int) []PackRow {
+	var rows []PackRow
+	for _, mode := range []pm2.PackMode{pm2.PackUsed, pm2.PackWhole} {
+		for _, n := range elementCounts {
+			c := pm2.New(pm2.Config{Nodes: 2, Pack: mode}, progs.NewImage())
+			c.Spawn(0, "p4", uint32(n))
+			c.Run(0)
+			st := c.Stats()
+			if st.Migrations != 1 {
+				panic("bench: pack ablation expected exactly one migration")
+			}
+			rows = append(rows, PackRow{
+				Mode:        mode.String(),
+				Elements:    n,
+				AvgMicros:   st.MigrationLatencies[0].Micros(),
+				BytesOnWire: st.Net.Bytes,
+			})
+		}
+	}
+	return rows
+}
+
+// RemedyRow is one row of the §4.4 remedies ablation: what pre-buying or a
+// global defragmentation does to the negotiation count of a multi-slot
+// allocation sequence.
+type RemedyRow struct {
+	Remedy       string
+	Negotiations int
+	TotalMicros  float64
+}
+
+// remedySrc performs `arg` successive ~2-slot allocations.
+const remedySrc = `
+.program remedyalloc
+main:
+    enter 4
+    store [fp-4], r1
+top:
+    load  r2, [fp-4]
+    loadi r3, 0
+    beq   r2, r3, done
+    loadi r1, 100000
+    callb isomalloc
+    load  r2, [fp-4]
+    addi  r2, r2, -1
+    store [fp-4], r2
+    br    top
+done:
+    leave
+    halt
+`
+
+// RemediesAblation compares plain round-robin against the paper's §4.4
+// remedies: pre-buying during the first negotiation, and a global
+// defragmentation before the workload.
+func RemediesAblation(allocs, nodes int) []RemedyRow {
+	run := func(remedy string) RemedyRow {
+		im := progs.NewImage()
+		asm.MustAssemble(im, remedySrc)
+		cfg := pm2.Config{Nodes: nodes}
+		if remedy == "pre-buy:8" {
+			cfg.PreBuySlots = 8
+		}
+		c := pm2.New(cfg, im)
+		if remedy == "defragment" {
+			c.DefragmentSync(0)
+		}
+		c.Spawn(0, "remedyalloc", uint32(allocs))
+		c.Run(0)
+		return RemedyRow{
+			Remedy:       remedy,
+			Negotiations: c.Stats().Negotiations,
+			TotalMicros:  c.Now().Micros(),
+		}
+	}
+	return []RemedyRow{run("none"), run("pre-buy:8"), run("defragment")}
+}
+
+// RegPtrRow is one row of the registered-pointer ablation.
+type RegPtrRow struct {
+	Pointers    int
+	IsoMicros   float64 // iso-address migration: flat, no fixups
+	RelocMicros float64 // relocation baseline: grows with pointer count
+}
+
+// RegisteredPointerAblation compares migration cost as a function of the
+// number of (registered) user pointers: the iso-address scheme never looks
+// at them, the relocation baseline patches each one.
+func RegisteredPointerAblation(counts []int, hops int) []RegPtrRow {
+	rows := make([]RegPtrRow, 0, len(counts))
+	iso := MigrationPingPong(hops, pm2.Config{Nodes: 2})
+	for _, k := range counts {
+		reloc := RelocationPingPong(hops, k)
+		rows = append(rows, RegPtrRow{
+			Pointers:    k,
+			IsoMicros:   iso.AvgMicros,
+			RelocMicros: reloc.AvgMicros,
+		})
+	}
+	return rows
+}

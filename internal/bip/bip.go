@@ -1,0 +1,121 @@
+// Package bip simulates the BIP low-level communication interface over a
+// Myrinet network, the interconnect of the paper's PoPC cluster.
+//
+// Each node owns a NIC attached to a shared Network. Messages are tagged
+// byte payloads; delivery charges the calibrated BIP costs: sender CPU
+// overhead, one-way latency plus serialization on the sender's outgoing
+// link (with link occupancy, so back-to-back messages queue), and receiver
+// CPU overhead. All of it happens in virtual time on the discrete-event
+// engine, deterministically.
+package bip
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/simtime"
+)
+
+// Handler receives a delivered message on the destination node's actor.
+// The payload is owned by the receiver.
+type Handler func(src int, tag uint32, payload []byte)
+
+// Stats aggregates traffic counters for a network.
+type Stats struct {
+	Messages uint64
+	Bytes    uint64
+}
+
+// Network is the shared Myrinet fabric connecting all NICs of a cluster.
+type Network struct {
+	eng   *simtime.Engine
+	model *cost.Model
+	nics  []*NIC
+	stats Stats
+}
+
+// NewNetwork creates a network for n nodes. Each node i must later attach a
+// NIC with Attach(i, actor, handler).
+func NewNetwork(eng *simtime.Engine, model *cost.Model, n int) *Network {
+	if n <= 0 {
+		panic("bip: network needs at least one node")
+	}
+	return &Network{eng: eng, model: model, nics: make([]*NIC, n)}
+}
+
+// Size returns the number of node ports on the network.
+func (nw *Network) Size() int { return len(nw.nics) }
+
+// Stats returns a copy of the traffic counters.
+func (nw *Network) Stats() Stats { return nw.stats }
+
+// Attach creates node id's NIC, bound to its CPU actor and inbound handler.
+func (nw *Network) Attach(id int, actor *simtime.Actor, h Handler) *NIC {
+	if id < 0 || id >= len(nw.nics) {
+		panic(fmt.Sprintf("bip: node id %d out of range", id))
+	}
+	if nw.nics[id] != nil {
+		panic(fmt.Sprintf("bip: node %d already attached", id))
+	}
+	nic := &NIC{net: nw, id: id, actor: actor, handler: h}
+	nw.nics[id] = nic
+	return nic
+}
+
+// NIC is one node's network interface.
+type NIC struct {
+	net     *Network
+	id      int
+	actor   *simtime.Actor
+	handler Handler
+	// linkFreeAt is the instant the outgoing link finishes its current
+	// transmission; later sends serialize behind it.
+	linkFreeAt simtime.Time
+}
+
+// ID returns the node id of this NIC.
+func (n *NIC) ID() int { return n.id }
+
+// Send transmits payload to node dst with the given tag. It must be called
+// from within the owning node's actor handler: the sender-side CPU cost is
+// charged to that actor, and the message is delivered to the destination
+// actor after the wire delay. Sending to self is a cheap loopback.
+func (n *NIC) Send(dst int, tag uint32, payload []byte) {
+	nw := n.net
+	if dst < 0 || dst >= len(nw.nics) || nw.nics[dst] == nil {
+		panic(fmt.Sprintf("bip: send to invalid node %d", dst))
+	}
+	nw.stats.Messages++
+	nw.stats.Bytes += uint64(len(payload))
+
+	m := nw.model
+	if dst == n.id {
+		// Loopback: no NIC/wire involved, just a local queue hop.
+		n.actor.Charge(m.Send(len(payload)) / 4)
+		body := append([]byte(nil), payload...)
+		src := n.id
+		n.actor.Post(n.actor.Now(), func() {
+			n.handler(src, tag, body)
+		})
+		return
+	}
+
+	// Sender CPU: overhead + copy into NIC buffer.
+	n.actor.Charge(m.Send(len(payload)))
+
+	// Wire: serialize on this NIC's outgoing link.
+	start := n.actor.Now()
+	if n.linkFreeAt > start {
+		start = n.linkFreeAt
+	}
+	arrive := start + m.WireTime(len(payload))
+	n.linkFreeAt = arrive
+
+	dstNIC := nw.nics[dst]
+	body := append([]byte(nil), payload...)
+	src := n.id
+	dstNIC.actor.Post(arrive, func() {
+		dstNIC.actor.Charge(m.Recv(len(body)))
+		dstNIC.handler(src, tag, body)
+	})
+}

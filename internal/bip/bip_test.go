@@ -1,0 +1,152 @@
+package bip
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/simtime"
+)
+
+type delivery struct {
+	src     int
+	tag     uint32
+	payload []byte
+	at      simtime.Time
+}
+
+func twoNodes(t *testing.T) (*simtime.Engine, *Network, []*NIC, []*[]delivery) {
+	t.Helper()
+	eng := simtime.NewEngine()
+	nw := NewNetwork(eng, cost.Default(), 2)
+	nics := make([]*NIC, 2)
+	logs := make([]*[]delivery, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		log := &[]delivery{}
+		logs[i] = log
+		actor := simtime.NewActor(eng, "node")
+		nics[i] = nw.Attach(i, actor, func(src int, tag uint32, payload []byte) {
+			*log = append(*log, delivery{src, tag, payload, actor.Now()})
+		})
+	}
+	return eng, nw, nics, logs
+}
+
+func TestDelivery(t *testing.T) {
+	eng, nw, nics, logs := twoNodes(t)
+	actor0 := nicActor(nics[0])
+	actor0.Post(0, func() {
+		nics[0].Send(1, 7, []byte("hello"))
+	})
+	eng.Run(0)
+	got := *logs[1]
+	if len(got) != 1 {
+		t.Fatalf("deliveries = %d", len(got))
+	}
+	d := got[0]
+	if d.src != 0 || d.tag != 7 || string(d.payload) != "hello" {
+		t.Fatalf("delivery = %+v", d)
+	}
+	if d.at <= 0 {
+		t.Fatal("delivery should take virtual time")
+	}
+	st := nw.Stats()
+	if st.Messages != 1 || st.Bytes != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// nicActor digs out the actor for test scheduling.
+func nicActor(n *NIC) *simtime.Actor { return n.actor }
+
+func TestLatencyMatchesModel(t *testing.T) {
+	eng, _, nics, logs := twoNodes(t)
+	m := cost.Default()
+	actor0 := nicActor(nics[0])
+	payload := make([]byte, 1000)
+	actor0.Post(0, func() { nics[0].Send(1, 1, payload) })
+	eng.Run(0)
+	d := (*logs[1])[0]
+	want := m.Send(1000) + m.WireTime(1000) + m.Recv(1000)
+	if d.at != want {
+		t.Fatalf("delivery at %v, want %v", d.at, want)
+	}
+}
+
+func TestLinkOccupancySerializesBackToBackSends(t *testing.T) {
+	eng, _, nics, logs := twoNodes(t)
+	m := cost.Default()
+	actor0 := nicActor(nics[0])
+	big := make([]byte, 100_000)
+	actor0.Post(0, func() {
+		nics[0].Send(1, 1, big)
+		nics[0].Send(1, 2, []byte{1})
+	})
+	eng.Run(0)
+	got := *logs[1]
+	if len(got) != 2 {
+		t.Fatalf("deliveries = %d", len(got))
+	}
+	if got[0].tag != 1 || got[1].tag != 2 {
+		t.Fatalf("FIFO violated: %+v", got)
+	}
+	// The second (tiny) message must arrive after the big one finishes
+	// occupying the wire, not merely one latency after its send.
+	firstWireDone := m.Send(100_000) + m.WireTime(100_000)
+	if got[1].at < firstWireDone {
+		t.Fatalf("second message overtook link occupancy: %v < %v", got[1].at, firstWireDone)
+	}
+}
+
+func TestLoopback(t *testing.T) {
+	eng, _, nics, logs := twoNodes(t)
+	actor0 := nicActor(nics[0])
+	actor0.Post(0, func() { nics[0].Send(0, 9, []byte("me")) })
+	eng.Run(0)
+	got := *logs[0]
+	if len(got) != 1 || got[0].src != 0 || string(got[0].payload) != "me" {
+		t.Fatalf("loopback = %+v", got)
+	}
+	// Loopback must be much cheaper than a wire round.
+	if got[0].at > 5*simtime.Microsecond {
+		t.Fatalf("loopback too slow: %v", got[0].at)
+	}
+}
+
+func TestPayloadIsCopied(t *testing.T) {
+	eng, _, nics, logs := twoNodes(t)
+	actor0 := nicActor(nics[0])
+	buf := []byte{1, 2, 3}
+	actor0.Post(0, func() {
+		nics[0].Send(1, 1, buf)
+		buf[0] = 99 // mutate after send; receiver must see the original
+	})
+	eng.Run(0)
+	if (*logs[1])[0].payload[0] != 1 {
+		t.Fatal("payload aliased sender buffer")
+	}
+}
+
+func TestInvalidAttachAndSendPanic(t *testing.T) {
+	eng := simtime.NewEngine()
+	nw := NewNetwork(eng, cost.Default(), 1)
+	actor := simtime.NewActor(eng, "n")
+	nic := nw.Attach(0, actor, func(int, uint32, []byte) {})
+	mustPanic(t, func() { nw.Attach(0, actor, nil) })
+	mustPanic(t, func() { nw.Attach(5, actor, nil) })
+	actor.Post(0, func() {
+		mustPanic(t, func() { nic.Send(3, 0, nil) })
+	})
+	eng.Run(0)
+	mustPanic(t, func() { NewNetwork(eng, cost.Default(), 0) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,265 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetClearTest(t *testing.T) {
+	b := New(200)
+	for i := 0; i < 200; i += 3 {
+		b.Set(i)
+	}
+	for i := 0; i < 200; i++ {
+		want := i%3 == 0
+		if got := b.Test(i); got != want {
+			t.Fatalf("Test(%d) = %v, want %v", i, got, want)
+		}
+	}
+	b.Clear(0)
+	if b.Test(0) {
+		t.Fatal("Clear(0) did not clear")
+	}
+	if got, want := b.Count(), 66; got != want {
+		t.Fatalf("Count = %d, want %d", got, want)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	b := New(10)
+	for _, f := range []func(){
+		func() { b.Set(10) },
+		func() { b.Clear(-1) },
+		func() { b.Test(11) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range index")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFirstSet(t *testing.T) {
+	b := New(300)
+	if b.FirstSet(0) != -1 {
+		t.Fatal("FirstSet on empty map should be -1")
+	}
+	b.Set(5)
+	b.Set(70)
+	b.Set(299)
+	cases := []struct{ from, want int }{
+		{0, 5}, {5, 5}, {6, 70}, {70, 70}, {71, 299}, {299, 299}, {300, -1}, {-5, 5},
+	}
+	for _, c := range cases {
+		if got := b.FirstSet(c.from); got != c.want {
+			t.Errorf("FirstSet(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+}
+
+// findRunRef is a straightforward reference implementation of first-fit run
+// search, used to validate the optimized FindRun.
+func findRunRef(b *Bitmap, from, n int) int {
+	for i := from; i+n <= b.Len(); i++ {
+		ok := true
+		for k := 0; k < n; k++ {
+			if !b.Test(i + k) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestFindRunBasic(t *testing.T) {
+	b := New(64)
+	b.SetRun(10, 3)
+	b.SetRun(20, 8)
+	if got := b.FindRun(1); got != 10 {
+		t.Errorf("FindRun(1) = %d, want 10", got)
+	}
+	if got := b.FindRun(3); got != 10 {
+		t.Errorf("FindRun(3) = %d, want 10", got)
+	}
+	if got := b.FindRun(4); got != 20 {
+		t.Errorf("FindRun(4) = %d, want 20", got)
+	}
+	if got := b.FindRun(8); got != 20 {
+		t.Errorf("FindRun(8) = %d, want 20", got)
+	}
+	if got := b.FindRun(9); got != -1 {
+		t.Errorf("FindRun(9) = %d, want -1", got)
+	}
+	if got := b.FindRunFrom(11, 3); got != 20 {
+		t.Errorf("FindRunFrom(11, 3) = %d, want 20", got)
+	}
+}
+
+func TestFindRunAtEnd(t *testing.T) {
+	b := New(130)
+	b.SetRun(127, 3)
+	if got := b.FindRun(3); got != 127 {
+		t.Errorf("FindRun(3) = %d, want 127", got)
+	}
+	if got := b.FindRun(4); got != -1 {
+		t.Errorf("FindRun(4) = %d, want -1", got)
+	}
+}
+
+func TestFindRunMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(256)
+		b := New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				b.Set(i)
+			}
+		}
+		run := 1 + rng.Intn(10)
+		from := rng.Intn(n)
+		if got, want := b.FindRunFrom(from, run), findRunRef(b, from, run); got != want {
+			t.Fatalf("trial %d: FindRunFrom(%d, %d) = %d, want %d on %v", trial, from, run, got, want, b)
+		}
+	}
+}
+
+func TestOrAndNotIntersects(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	a.SetRun(0, 10)
+	b.SetRun(5, 10)
+	if !a.Intersects(b) {
+		t.Error("expected intersection")
+	}
+	c := a.Clone()
+	c.Or(b)
+	if got := c.Count(); got != 15 {
+		t.Errorf("Or count = %d, want 15", got)
+	}
+	c.AndNot(b)
+	if got := c.Count(); got != 5 {
+		t.Errorf("AndNot count = %d, want 5", got)
+	}
+	if c.Intersects(b) {
+		t.Error("AndNot left an intersection")
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 7, 8, 9, 63, 64, 65, 57344} {
+		b := New(n)
+		rng := rand.New(rand.NewSource(int64(n)))
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				b.Set(i)
+			}
+		}
+		data := b.Bytes()
+		if want := (n + 7) / 8; len(data) != want {
+			t.Fatalf("n=%d: Bytes len %d, want %d", n, len(data), want)
+		}
+		got, err := FromBytes(n, data)
+		if err != nil {
+			t.Fatalf("n=%d: FromBytes: %v", n, err)
+		}
+		if !got.Equal(b) {
+			t.Fatalf("n=%d: round trip mismatch", n)
+		}
+	}
+}
+
+func TestFromBytesRejectsBadLength(t *testing.T) {
+	if _, err := FromBytes(16, make([]byte, 3)); err == nil {
+		t.Error("expected error for wrong payload length")
+	}
+}
+
+func TestBytesRoundTripProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		n := len(raw) * 8
+		if n == 0 {
+			return true
+		}
+		b, err := FromBytes(n, raw)
+		if err != nil {
+			return false
+		}
+		out := b.Bytes()
+		if len(out) != len(raw) {
+			return false
+		}
+		for i := range raw {
+			if out[i] != raw[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrIsUnionProperty(t *testing.T) {
+	f := func(x, y []byte) bool {
+		n := 128
+		bx, by := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if len(x) > 0 && x[i%len(x)]&(1<<(i%8)) != 0 {
+				bx.Set(i)
+			}
+			if len(y) > 0 && y[i%len(y)]&(1<<(i%8)) != 0 {
+				by.Set(i)
+			}
+		}
+		u := bx.Clone()
+		u.Or(by)
+		for i := 0; i < n; i++ {
+			if u.Test(i) != (bx.Test(i) || by.Test(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunHelpers(t *testing.T) {
+	b := New(50)
+	b.SetRun(10, 5)
+	if !b.TestRun(10, 5) {
+		t.Error("TestRun(10,5) should be true")
+	}
+	if b.TestRun(9, 5) || b.TestRun(11, 5) {
+		t.Error("TestRun should be false when run extends past set bits")
+	}
+	b.ClearRun(12, 3)
+	if b.Count() != 2 {
+		t.Errorf("after ClearRun, Count = %d, want 2", b.Count())
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	b := New(8)
+	b.Set(1)
+	if got := b.String(); got != "01000000" {
+		t.Errorf("String() = %q", got)
+	}
+	big := New(1024)
+	big.Set(3)
+	if got := big.String(); got != "Bitmap(1024 bits, 1 set)" {
+		t.Errorf("big String() = %q", got)
+	}
+}

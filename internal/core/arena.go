@@ -1,0 +1,514 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/layout"
+	"repro/internal/vmem"
+)
+
+// Arena is the block layer (paper §3.3, §4.3) over one thread's slot list.
+// The list itself lives in simulated memory: Arena holds only the address of
+// the word (inside the thread descriptor) that stores the first slot group's
+// base. Everything else is read from and written to the slots, so the whole
+// structure migrates by copying bytes.
+type Arena struct {
+	sp    *vmem.Space
+	ch    Charger
+	model *cost.Model
+	// headAddr is the simulated address of the slot-list head pointer.
+	headAddr Addr
+}
+
+// NewArena returns the block-layer view of a thread whose slot-list head
+// pointer lives at headAddr. An Arena carries no state of its own and may be
+// freely recreated (e.g. on the destination node after a migration).
+func NewArena(sp *vmem.Space, ch Charger, model *cost.Model, headAddr Addr) *Arena {
+	if model == nil {
+		model = cost.Default()
+	}
+	return &Arena{sp: sp, ch: ch, model: model, headAddr: headAddr}
+}
+
+// Head returns the first slot group base, or 0 for an empty list.
+func (a *Arena) Head() (Addr, error) { return a.sp.Load32(a.headAddr) }
+
+// setHead stores the list head pointer.
+func (a *Arena) setHead(v Addr) error { return a.sp.Store32(a.headAddr, v) }
+
+// InitStackSlot writes the slot header of the thread's freshly acquired
+// stack slot and makes it the head of the (previously empty) slot list.
+func (a *Arena) InitStackSlot(base Addr) error {
+	h := SlotHeader{Base: base, NSlots: 1, Kind: KindStack}
+	if err := h.write(a.sp); err != nil {
+		return err
+	}
+	return a.setHead(base)
+}
+
+// attachGroup initializes a freshly acquired group of n contiguous slots as
+// a data slot group (single spanning free block) and links it into the list
+// right after the head (the stack slot stays first, so the descriptor's
+// position is invariant).
+func (a *Arena) attachGroup(base Addr, n int) error {
+	head, err := a.Head()
+	if err != nil {
+		return err
+	}
+	if head == 0 {
+		return fmt.Errorf("core: attachGroup on empty slot list")
+	}
+	hh, err := readSlotHeader(a.sp, head)
+	if err != nil {
+		return err
+	}
+	g := SlotHeader{
+		Base:     base,
+		Prev:     head,
+		Next:     hh.Next,
+		NSlots:   uint32(n),
+		Kind:     KindData,
+		FreeHead: base + SlotHeaderSize,
+	}
+	free := blockHeader{
+		addr:  base + SlotHeaderSize,
+		size:  groupDataBytes(n),
+		flags: flagFree,
+	}
+	if err := free.write(a.sp); err != nil {
+		return err
+	}
+	if err := free.writeFooter(a.sp); err != nil {
+		return err
+	}
+	if err := g.write(a.sp); err != nil {
+		return err
+	}
+	if hh.Next != 0 {
+		nx, err := readSlotHeader(a.sp, hh.Next)
+		if err != nil {
+			return err
+		}
+		nx.Prev = base
+		if err := nx.write(a.sp); err != nil {
+			return err
+		}
+	}
+	hh.Next = base
+	return hh.write(a.sp)
+}
+
+// detachGroup unlinks a group from the thread's list.
+func (a *Arena) detachGroup(g *SlotHeader) error {
+	if g.Prev == 0 {
+		if err := a.setHead(g.Next); err != nil {
+			return err
+		}
+	} else {
+		p, err := readSlotHeader(a.sp, g.Prev)
+		if err != nil {
+			return err
+		}
+		p.Next = g.Next
+		if err := p.write(a.sp); err != nil {
+			return err
+		}
+	}
+	if g.Next != 0 {
+		n, err := readSlotHeader(a.sp, g.Next)
+		if err != nil {
+			return err
+		}
+		n.Prev = g.Prev
+		if err := n.write(a.sp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SlotGroup describes one entry of a thread's slot list.
+type SlotGroup struct {
+	Base   Addr
+	NSlots int
+	Kind   SlotKind
+	Used   uint32
+}
+
+// Groups walks the thread's slot list (in simulated memory) and returns the
+// groups in list order.
+func (a *Arena) Groups() ([]SlotGroup, error) {
+	head, err := a.Head()
+	if err != nil {
+		return nil, err
+	}
+	var out []SlotGroup
+	for at := head; at != 0; {
+		h, err := readSlotHeader(a.sp, at)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SlotGroup{Base: at, NSlots: int(h.NSlots), Kind: h.Kind, Used: h.Used})
+		at = h.Next
+		if len(out) > layout.SlotCount {
+			return nil, fmt.Errorf("core: slot list cycle detected")
+		}
+	}
+	return out, nil
+}
+
+// Isomalloc allocates size bytes from the thread's slots, acquiring new
+// slots from the local node as needed (paper §4.3): first-fit over the free
+// lists of the thread's data groups, then a fresh group from the node. It
+// returns ErrNoSlots when the node cannot supply the required contiguous
+// slots — the caller then runs the negotiation protocol and retries.
+func (a *Arena) Isomalloc(size uint32, ns *NodeSlots) (Addr, error) {
+	if size == 0 {
+		return 0, fmt.Errorf("core: isomalloc(0)")
+	}
+	total := blockTotal(size)
+
+	// First fit across the thread's existing free blocks.
+	head, err := a.Head()
+	if err != nil {
+		return 0, err
+	}
+	for at := head; at != 0; {
+		h, err := readSlotHeader(a.sp, at)
+		if err != nil {
+			return 0, err
+		}
+		a.ch.Charge(a.model.Probes(1))
+		if h.Kind == KindData {
+			addr, ok, err := a.allocIn(&h, total)
+			if err != nil {
+				return 0, err
+			}
+			if ok {
+				return addr, nil
+			}
+		}
+		at = h.Next
+	}
+
+	// No fit: acquire a fresh group from the local node.
+	k := SlotsFor(size)
+	var start int
+	if k == 1 {
+		start, err = ns.AcquireOne()
+	} else {
+		start, err = ns.AcquireRun(k)
+	}
+	if err != nil {
+		return 0, err // ErrNoSlots → negotiation
+	}
+	base := layout.SlotBase(start)
+	if err := a.attachGroup(base, k); err != nil {
+		return 0, err
+	}
+	h, err := readSlotHeader(a.sp, base)
+	if err != nil {
+		return 0, err
+	}
+	addr, ok, err := a.allocIn(&h, total)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, fmt.Errorf("core: fresh %d-slot group cannot hold %d bytes", k, total)
+	}
+	// Model the first-touch cost of the freshly mapped pages backing the
+	// new block (kernel zero-fill), the dominant term of Figure 11.
+	a.ch.Charge(a.model.ZeroFill(int(total)))
+	return addr, nil
+}
+
+// allocIn carves a block of the given total size out of group h, first-fit
+// over its free list. ok is false when no free block fits.
+func (a *Arena) allocIn(h *SlotHeader, total uint32) (Addr, bool, error) {
+	for at := h.FreeHead; at != 0; {
+		a.ch.Charge(a.model.Probes(1))
+		b, err := readBlock(a.sp, at)
+		if err != nil {
+			return 0, false, err
+		}
+		if !b.isFree() {
+			return 0, false, fmt.Errorf("core: non-free block %#08x on free list", at)
+		}
+		if b.size >= total {
+			if err := a.carve(h, &b, total); err != nil {
+				return 0, false, err
+			}
+			if err := h.write(a.sp); err != nil {
+				return 0, false, err
+			}
+			return b.payload(), true, nil
+		}
+		at = b.nextFree
+	}
+	return 0, false, nil
+}
+
+// carve turns free block b into a live block of exactly total bytes,
+// splitting off the remainder when it is big enough to stand alone.
+func (a *Arena) carve(h *SlotHeader, b *blockHeader, total uint32) error {
+	remainder := b.size - total
+	if remainder >= MinBlock {
+		rem := blockHeader{
+			addr:     b.addr + Addr(total),
+			size:     remainder,
+			flags:    flagFree, // previous block (b) is now live
+			prevFree: b.prevFree,
+			nextFree: b.nextFree,
+		}
+		if err := rem.write(a.sp); err != nil {
+			return err
+		}
+		if err := rem.writeFooter(a.sp); err != nil {
+			return err
+		}
+		if err := a.relinkFree(h, b, rem.addr); err != nil {
+			return err
+		}
+		b.size = total
+	} else {
+		total = b.size
+		if err := a.relinkFree(h, b, 0); err != nil {
+			return err
+		}
+		// The whole block is consumed: the physically following block
+		// no longer has a free predecessor.
+		if err := a.setPrevFreeFlag(h, b.addr+Addr(b.size), false); err != nil {
+			return err
+		}
+	}
+	b.flags &^= flagFree
+	b.prevFree = 0
+	b.nextFree = 0
+	if err := b.write(a.sp); err != nil {
+		return err
+	}
+	h.Used += total
+	return nil
+}
+
+// relinkFree replaces b with repl (0 = remove) in h's free list.
+func (a *Arena) relinkFree(h *SlotHeader, b *blockHeader, repl Addr) error {
+	if repl != 0 {
+		// repl has already been written with b's links; just point the
+		// neighbours (or the list head) at it.
+		if b.prevFree == 0 {
+			h.FreeHead = repl
+		} else {
+			if err := a.patchLink(b.prevFree, blkNextFree, repl); err != nil {
+				return err
+			}
+		}
+		if b.nextFree != 0 {
+			if err := a.patchLink(b.nextFree, blkPrevFree, repl); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if b.prevFree == 0 {
+		h.FreeHead = b.nextFree
+	} else {
+		if err := a.patchLink(b.prevFree, blkNextFree, b.nextFree); err != nil {
+			return err
+		}
+	}
+	if b.nextFree != 0 {
+		if err := a.patchLink(b.nextFree, blkPrevFree, b.prevFree); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *Arena) patchLink(block Addr, fieldOff int, v Addr) error {
+	return a.sp.Store32(block+Addr(fieldOff), v)
+}
+
+// setPrevFreeFlag updates the flagPrevFree bit of the block at addr, if addr
+// is still inside group h.
+func (a *Arena) setPrevFreeFlag(h *SlotHeader, addr Addr, free bool) error {
+	if addr >= h.End() {
+		return nil
+	}
+	fl, err := a.sp.Load32(addr + blkFlags)
+	if err != nil {
+		return err
+	}
+	if free {
+		fl |= flagPrevFree
+	} else {
+		fl &^= flagPrevFree
+	}
+	return a.sp.Store32(addr+blkFlags, fl)
+}
+
+// Isofree releases the block at user address addr (paper §3.4). Fully
+// freed data groups are detached and donated to the local node ns — which,
+// after a migration, may well not be the node the slots came from.
+func (a *Arena) Isofree(addr Addr, ns *NodeSlots) error {
+	g, err := a.findGroup(addr)
+	if err != nil {
+		return err
+	}
+	b, err := readBlock(a.sp, addr-BlockHeaderSize)
+	if err != nil {
+		return err
+	}
+	if b.isFree() {
+		return fmt.Errorf("core: double free at %#08x", addr)
+	}
+	if b.size < MinBlock || b.addr+Addr(b.size) > g.End() {
+		return fmt.Errorf("core: corrupt block at %#08x (size %d)", addr, b.size)
+	}
+	g.Used -= b.size
+
+	// Coalesce backwards: the free predecessor's footer gives its start.
+	if b.prevIsFree() {
+		psize, err := a.sp.Load32(b.addr - 4)
+		if err != nil {
+			return err
+		}
+		p, err := readBlock(a.sp, b.addr-Addr(psize))
+		if err != nil {
+			return err
+		}
+		if !p.isFree() || p.size != psize {
+			return fmt.Errorf("core: corrupt footer before %#08x", b.addr)
+		}
+		if err := a.relinkFree(g, &p, 0); err != nil {
+			return err
+		}
+		p.size += b.size
+		b = p
+	}
+	// Coalesce forwards.
+	if nxt := b.addr + Addr(b.size); nxt < g.End() {
+		n, err := readBlock(a.sp, nxt)
+		if err != nil {
+			return err
+		}
+		if n.isFree() {
+			if err := a.relinkFree(g, &n, 0); err != nil {
+				return err
+			}
+			b.size += n.size
+		}
+	}
+
+	// Insert the merged block at the free list head.
+	b.flags |= flagFree
+	b.flags &^= flagPrevFree // predecessor is live, or we'd have merged
+	b.prevFree = 0
+	b.nextFree = g.FreeHead
+	if g.FreeHead != 0 {
+		if err := a.patchLink(g.FreeHead, blkPrevFree, b.addr); err != nil {
+			return err
+		}
+	}
+	g.FreeHead = b.addr
+	if err := b.write(a.sp); err != nil {
+		return err
+	}
+	if err := b.writeFooter(a.sp); err != nil {
+		return err
+	}
+	if err := a.setPrevFreeFlag(g, b.addr+Addr(b.size), true); err != nil {
+		return err
+	}
+	if err := g.write(a.sp); err != nil {
+		return err
+	}
+	a.ch.Charge(a.model.Probes(3))
+
+	// A fully free data group goes back to the node we are visiting.
+	if g.Used == 0 && g.Kind == KindData {
+		if err := a.detachGroup(g); err != nil {
+			return err
+		}
+		return ns.Release(layout.SlotIndex(g.Base), int(g.NSlots))
+	}
+	return nil
+}
+
+// findGroup locates the thread's slot group containing user address addr.
+func (a *Arena) findGroup(addr Addr) (*SlotHeader, error) {
+	head, err := a.Head()
+	if err != nil {
+		return nil, err
+	}
+	for at := head; at != 0; {
+		h, err := readSlotHeader(a.sp, at)
+		if err != nil {
+			return nil, err
+		}
+		a.ch.Charge(a.model.Probes(1))
+		if addr >= h.DataStart() && addr < h.End() {
+			if h.Kind != KindData {
+				return nil, fmt.Errorf("core: %#08x is in a stack slot, not isomalloc data", addr)
+			}
+			return &h, nil
+		}
+		at = h.Next
+	}
+	return nil, fmt.Errorf("core: %#08x does not belong to this thread's slots", addr)
+}
+
+// ReleaseAll donates every slot group of the thread (including its stack
+// slot) to node ns; used when a thread dies (paper Fig. 6, step 4). Stack
+// groups go last: the descriptor — and the list-head pointer inside it —
+// lives there, and vanishes with the release.
+func (a *Arena) ReleaseAll(ns *NodeSlots) error {
+	groups, err := a.Groups()
+	if err != nil {
+		return err
+	}
+	for _, g := range groups {
+		if g.Kind == KindStack {
+			continue
+		}
+		if err := ns.Release(layout.SlotIndex(g.Base), g.NSlots); err != nil {
+			return err
+		}
+	}
+	for _, g := range groups {
+		if g.Kind != KindStack {
+			continue
+		}
+		if err := ns.Release(layout.SlotIndex(g.Base), g.NSlots); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FreeBlocks returns the free list of the group at base, for tests and
+// invariant checks.
+func (a *Arena) FreeBlocks(base Addr) ([]Addr, error) {
+	h, err := readSlotHeader(a.sp, base)
+	if err != nil {
+		return nil, err
+	}
+	var out []Addr
+	for at := h.FreeHead; at != 0; {
+		b, err := readBlock(a.sp, at)
+		if err != nil {
+			return nil, err
+		}
+		if !b.isFree() {
+			return nil, fmt.Errorf("core: non-free block %#08x on free list", at)
+		}
+		out = append(out, at)
+		at = b.nextFree
+		if len(out) > layout.SlotSize/MinBlock+1 {
+			return nil, fmt.Errorf("core: free list cycle in group %#08x", base)
+		}
+	}
+	return out, nil
+}

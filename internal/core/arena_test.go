@@ -1,0 +1,389 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/vmem"
+)
+
+// arenaFixture wires a node, a space and a thread arena whose list-head
+// pointer lives in a mapped scratch page (standing in for the descriptor).
+type arenaFixture struct {
+	ns    *NodeSlots
+	sp    *vmem.Space
+	ar    *Arena
+	stack Addr // the thread's stack slot base
+}
+
+func newArenaFixture(t *testing.T, cacheCap int) *arenaFixture {
+	t.Helper()
+	ns := NewNodeSlots(vmem.NewSpace(), NopCharger{}, NodeConfig{
+		NodeID: 0, NumNodes: 1, Dist: RoundRobin{}, CacheCap: cacheCap,
+	})
+	sp := ns.Space()
+	// The thread's stack slot: header + (stand-in) descriptor holding
+	// the slot-list head pointer.
+	idx, err := ns.AcquireOne()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack := layout.SlotBase(idx)
+	headAddr := stack + SlotHeaderSize // first descriptor word
+	ar := NewArena(sp, NopCharger{}, nil, headAddr)
+	if err := ar.InitStackSlot(stack); err != nil {
+		t.Fatal(err)
+	}
+	return &arenaFixture{ns: ns, sp: sp, ar: ar, stack: stack}
+}
+
+func (f *arenaFixture) check(t *testing.T) {
+	t.Helper()
+	if err := CheckArena(f.sp, f.stack+SlotHeaderSize); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsomallocBasic(t *testing.T) {
+	f := newArenaFixture(t, 0)
+	addr, err := f.ar.Isomalloc(100, f.ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !layout.InIsoArea(addr) {
+		t.Fatalf("block at %#08x outside iso area", addr)
+	}
+	if addr%8 != 0 {
+		t.Fatalf("block at %#08x not 8-aligned", addr)
+	}
+	// The block is usable memory.
+	payload := bytes.Repeat([]byte{0xAB}, 100)
+	if err := f.sp.Write(addr, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.sp.ReadBytes(addr, 100)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("payload round-trip failed: %v", err)
+	}
+	f.check(t)
+}
+
+func TestIsomallocDistinctBlocks(t *testing.T) {
+	f := newArenaFixture(t, 0)
+	seen := map[Addr]uint32{}
+	for i := 0; i < 50; i++ {
+		size := uint32(16 + i*8)
+		addr, err := f.ar.Isomalloc(size, f.ns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for prev, psz := range seen {
+			if addr < prev+Addr(psz) && prev < addr+Addr(size) {
+				t.Fatalf("blocks overlap: [%#x,+%d) and [%#x,+%d)", prev, psz, addr, size)
+			}
+		}
+		seen[addr] = size
+	}
+	f.check(t)
+}
+
+func TestIsomallocReusesFreedBlock(t *testing.T) {
+	f := newArenaFixture(t, 0)
+	a, err := f.ar.Isomalloc(256, f.ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep the slot alive with a second block.
+	if _, err := f.ar.Isomalloc(64, f.ns); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ar.Isofree(a, f.ns); err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.ar.Isomalloc(200, f.ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != a {
+		t.Fatalf("first-fit should reuse freed block: got %#x, want %#x", b, a)
+	}
+	f.check(t)
+}
+
+func TestIsofreeCoalescing(t *testing.T) {
+	f := newArenaFixture(t, 0)
+	var blocks []Addr
+	for i := 0; i < 4; i++ {
+		a, err := f.ar.Isomalloc(128, f.ns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks = append(blocks, a)
+	}
+	groups, _ := f.ar.Groups()
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want stack + one data", len(groups))
+	}
+	dataBase := groups[1].Base
+
+	// Free middle two (forward + backward coalescing), then the ends.
+	for _, i := range []int{1, 2} {
+		if err := f.ar.Isofree(blocks[i], f.ns); err != nil {
+			t.Fatal(err)
+		}
+		f.check(t)
+	}
+	fl, err := f.ar.FreeBlocks(dataBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// blocks[1] and blocks[2] must have merged into one free block (plus
+	// the tail remainder of the slot).
+	if len(fl) != 2 {
+		t.Fatalf("free blocks = %d, want 2 (merged middle + tail)", len(fl))
+	}
+	if err := f.ar.Isofree(blocks[0], f.ns); err != nil {
+		t.Fatal(err)
+	}
+	f.check(t)
+	// Freeing the last block empties the group; it is donated to the node
+	// and detached.
+	if err := f.ar.Isofree(blocks[3], f.ns); err != nil {
+		t.Fatal(err)
+	}
+	groups, _ = f.ar.Groups()
+	if len(groups) != 1 || groups[0].Kind != KindStack {
+		t.Fatalf("empty data group not released: %+v", groups)
+	}
+	if f.ns.OwnedFree() != layout.SlotCount-1 {
+		t.Fatalf("node owns %d, want all but the stack slot", f.ns.OwnedFree())
+	}
+	f.check(t)
+}
+
+func TestIsofreeErrors(t *testing.T) {
+	f := newArenaFixture(t, 0)
+	a, err := f.ar.Isomalloc(64, f.ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ar.Isomalloc(64, f.ns); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ar.Isofree(a, f.ns); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ar.Isofree(a, f.ns); err == nil {
+		t.Fatal("double free must fail")
+	}
+	if err := f.ar.Isofree(0xDEAD0000, f.ns); err == nil {
+		t.Fatal("freeing a foreign address must fail")
+	}
+	if err := f.ar.Isofree(f.stack+SlotHeaderSize+64, f.ns); err == nil {
+		t.Fatal("freeing inside the stack slot must fail")
+	}
+}
+
+func TestIsomallocZeroSizeFails(t *testing.T) {
+	f := newArenaFixture(t, 0)
+	if _, err := f.ar.Isomalloc(0, f.ns); err == nil {
+		t.Fatal("isomalloc(0) must fail")
+	}
+}
+
+func TestLargeBlockSpansSlots(t *testing.T) {
+	f := newArenaFixture(t, 0)
+	const size = 3*layout.SlotSize + 1000 // needs 4 contiguous slots
+	addr, err := f.ar.Isomalloc(size, f.ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, _ := f.ar.Groups()
+	var g *SlotGroup
+	for i := range groups {
+		if groups[i].Kind == KindData {
+			g = &groups[i]
+		}
+	}
+	if g == nil || g.NSlots != 4 {
+		t.Fatalf("large group = %+v, want 4 slots", groups)
+	}
+	// Whole range usable.
+	if err := f.sp.Store32(addr+size-4, 0x1234); err != nil {
+		t.Fatal(err)
+	}
+	f.check(t)
+	if err := f.ar.Isofree(addr, f.ns); err != nil {
+		t.Fatal(err)
+	}
+	groups, _ = f.ar.Groups()
+	if len(groups) != 1 {
+		t.Fatal("large group not released after free")
+	}
+	f.check(t)
+}
+
+func TestSlotsForBoundaries(t *testing.T) {
+	cases := []struct {
+		size uint32
+		want int
+	}{
+		{1, 1},
+		{MaxSingleSlotRequest, 1},
+		{MaxSingleSlotRequest + 1, 2},
+		{layout.SlotSize, 2},
+		{2 * layout.SlotSize, 3},
+		{8 * 1024 * 1024, 129},
+	}
+	for _, c := range cases {
+		if got := SlotsFor(c.size); got != c.want {
+			t.Errorf("SlotsFor(%d) = %d, want %d", c.size, got, c.want)
+		}
+	}
+}
+
+func TestMaxSingleSlotRequestFitsExactly(t *testing.T) {
+	f := newArenaFixture(t, 0)
+	addr, err := f.ar.Isomalloc(MaxSingleSlotRequest, f.ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, _ := f.ar.Groups()
+	if len(groups) != 2 || groups[1].NSlots != 1 {
+		t.Fatalf("groups = %+v", groups)
+	}
+	if err := f.sp.Store8(addr+MaxSingleSlotRequest-1, 0xFF); err != nil {
+		t.Fatal(err)
+	}
+	f.check(t)
+}
+
+func TestReleaseAll(t *testing.T) {
+	f := newArenaFixture(t, 0)
+	for i := 0; i < 5; i++ {
+		if _, err := f.ar.Isomalloc(40_000, f.ns); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.ar.ReleaseAll(f.ns); err != nil {
+		t.Fatal(err)
+	}
+	if f.ns.OwnedFree() != layout.SlotCount {
+		t.Fatalf("node owns %d, want all %d", f.ns.OwnedFree(), layout.SlotCount)
+	}
+}
+
+func TestGroupsOrderKeepsStackFirst(t *testing.T) {
+	f := newArenaFixture(t, 0)
+	for i := 0; i < 3; i++ {
+		if _, err := f.ar.Isomalloc(60_000, f.ns); err != nil {
+			t.Fatal(err)
+		}
+	}
+	groups, err := f.ar.Groups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if groups[0].Kind != KindStack {
+		t.Fatal("stack slot must stay at the list head")
+	}
+	for _, g := range groups[1:] {
+		if g.Kind != KindData {
+			t.Fatalf("unexpected kind %d", g.Kind)
+		}
+	}
+}
+
+// TestRandomAllocFreeAgainstShadow drives the block layer with random
+// operations and cross-checks against a Go-side shadow model, validating
+// contents and full structural invariants at every step.
+func TestRandomAllocFreeAgainstShadow(t *testing.T) {
+	f := newArenaFixture(t, 4)
+	rng := rand.New(rand.NewSource(7))
+	type live struct {
+		addr Addr
+		data []byte
+	}
+	var blocks []live
+	for step := 0; step < 2000; step++ {
+		if rng.Intn(100) < 55 || len(blocks) == 0 {
+			size := uint32(1 + rng.Intn(3000))
+			if rng.Intn(20) == 0 {
+				size = uint32(60_000 + rng.Intn(200_000)) // multi-slot
+			}
+			addr, err := f.ar.Isomalloc(size, f.ns)
+			if err != nil {
+				t.Fatalf("step %d: isomalloc(%d): %v", step, size, err)
+			}
+			data := make([]byte, size)
+			rng.Read(data)
+			if err := f.sp.Write(addr, data); err != nil {
+				t.Fatalf("step %d: write: %v", step, err)
+			}
+			blocks = append(blocks, live{addr, data})
+		} else {
+			i := rng.Intn(len(blocks))
+			b := blocks[i]
+			got, err := f.sp.ReadBytes(b.addr, len(b.data))
+			if err != nil || !bytes.Equal(got, b.data) {
+				t.Fatalf("step %d: block %#x corrupted (err %v)", step, b.addr, err)
+			}
+			if err := f.ar.Isofree(b.addr, f.ns); err != nil {
+				t.Fatalf("step %d: isofree(%#x): %v", step, b.addr, err)
+			}
+			blocks[i] = blocks[len(blocks)-1]
+			blocks = blocks[:len(blocks)-1]
+		}
+		if step%50 == 0 {
+			f.check(t)
+			// All surviving blocks intact.
+			for _, b := range blocks {
+				got, err := f.sp.ReadBytes(b.addr, len(b.data))
+				if err != nil || !bytes.Equal(got, b.data) {
+					t.Fatalf("step %d: surviving block %#x corrupted", step, b.addr)
+				}
+			}
+		}
+	}
+	f.check(t)
+	for _, b := range blocks {
+		if err := f.ar.Isofree(b.addr, f.ns); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.check(t)
+	groups, _ := f.ar.Groups()
+	if len(groups) != 1 {
+		t.Fatalf("after freeing everything, %d groups remain", len(groups))
+	}
+}
+
+func TestErrNoSlotsPropagatesFromIsomalloc(t *testing.T) {
+	// Two-node round-robin: multi-slot requests cannot be satisfied
+	// locally (this is what triggers negotiation in the full runtime).
+	ns := NewNodeSlots(vmem.NewSpace(), NopCharger{}, NodeConfig{
+		NodeID: 0, NumNodes: 2, Dist: RoundRobin{}, CacheCap: 0,
+	})
+	idx, err := ns.AcquireOne()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack := layout.SlotBase(idx)
+	ar := NewArena(ns.Space(), NopCharger{}, nil, stack+SlotHeaderSize)
+	if err := ar.InitStackSlot(stack); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ar.Isomalloc(100_000, ns); err != ErrNoSlots {
+		t.Fatalf("err = %v, want ErrNoSlots", err)
+	}
+	// After buying slot 1 from node 1 (as the negotiation would), slots
+	// 1 and 2 form the contiguous run and the same call succeeds.
+	if err := ns.BuyRun(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ar.Isomalloc(100_000, ns); err != nil {
+		t.Fatalf("post-purchase isomalloc: %v", err)
+	}
+}

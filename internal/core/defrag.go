@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitmap"
+	"repro/internal/layout"
+)
+
+// PlanDefrag computes the global slot restructuring of §4.4: given the free
+// slots surrendered by every node, it redistributes them so that each node
+// receives (as far as the free pool allows) one contiguous range, sized
+// proportionally to what it surrendered — "grouping contiguous free slots
+// as much as possible on the various nodes". Slots owned by threads are not
+// in any bitmap and are untouched.
+//
+// The result is one new bitmap per node; they are pairwise disjoint and
+// their union is exactly the surrendered pool (the paper's only
+// requirement: "each slot present in the bitmaps must finally belong to
+// exactly one node").
+func PlanDefrag(surrendered []*bitmap.Bitmap) []*bitmap.Bitmap {
+	p := len(surrendered)
+	if p == 0 {
+		panic("core: PlanDefrag with no nodes")
+	}
+	pool := bitmap.New(layout.SlotCount)
+	counts := make([]int, p)
+	total := 0
+	for i, m := range surrendered {
+		if m.Len() != layout.SlotCount {
+			panic(fmt.Sprintf("core: node %d bitmap has %d bits", i, m.Len()))
+		}
+		pool.Or(m)
+		counts[i] = m.Count()
+		total += counts[i]
+	}
+	if pool.Count() != total {
+		panic("core: surrendered bitmaps overlap (double ownership)")
+	}
+
+	out := make([]*bitmap.Bitmap, p)
+	for i := range out {
+		out[i] = bitmap.New(layout.SlotCount)
+	}
+	// Walk the pool in address order, granting each node its quota as one
+	// consecutive stretch of the free sequence.
+	node := 0
+	granted := 0
+	for idx := pool.FirstSet(0); idx >= 0; idx = pool.FirstSet(idx + 1) {
+		for node < p && granted == counts[node] {
+			node++
+			granted = 0
+		}
+		if node == p {
+			panic("core: defrag accounting error")
+		}
+		out[node].Set(idx)
+		granted++
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitmap"
+	"repro/internal/layout"
+)
+
+func TestPlanDefragRoundRobin(t *testing.T) {
+	p := 4
+	maps := make([]*bitmap.Bitmap, p)
+	for i := range maps {
+		maps[i] = bitmap.New(layout.SlotCount)
+	}
+	for s := 0; s < layout.SlotCount; s++ {
+		maps[s%p].Set(s)
+	}
+	out := PlanDefrag(maps)
+	// Every node keeps its count.
+	for i := range out {
+		if out[i].Count() != maps[i].Count() {
+			t.Fatalf("node %d count %d, want %d", i, out[i].Count(), maps[i].Count())
+		}
+	}
+	// Single ownership preserved; union covers the pool.
+	if CheckSingleOwnership(out) != -1 {
+		t.Fatal("defrag created double ownership")
+	}
+	union := bitmap.New(layout.SlotCount)
+	for _, m := range out {
+		union.Or(m)
+	}
+	if union.Count() != layout.SlotCount {
+		t.Fatal("defrag lost slots")
+	}
+	// The whole point: each node now owns one contiguous range, so a
+	// large run is trivially available (round-robin had none).
+	for i := range out {
+		if got := out[i].FindRun(1000); got < 0 {
+			t.Fatalf("node %d has no 1000-run after defrag", i)
+		}
+	}
+	if maps[0].FindRun(2) >= 0 {
+		t.Fatal("precondition broken: round-robin should have no runs")
+	}
+}
+
+func TestPlanDefragWithBusySlots(t *testing.T) {
+	// Thread-owned (busy) slots are in nobody's bitmap; the defrag must
+	// redistribute only the free ones.
+	p := 2
+	maps := make([]*bitmap.Bitmap, p)
+	for i := range maps {
+		maps[i] = bitmap.New(layout.SlotCount)
+	}
+	rng := rand.New(rand.NewSource(5))
+	free := 0
+	for s := 0; s < layout.SlotCount; s++ {
+		switch rng.Intn(3) {
+		case 0:
+			maps[0].Set(s)
+			free++
+		case 1:
+			maps[1].Set(s)
+			free++
+			// case 2: busy — owned by some thread.
+		}
+	}
+	out := PlanDefrag(maps)
+	union := bitmap.New(layout.SlotCount)
+	for _, m := range out {
+		union.Or(m)
+	}
+	if union.Count() != free {
+		t.Fatalf("union %d, want %d free slots", union.Count(), free)
+	}
+	if CheckSingleOwnership(out) != -1 {
+		t.Fatal("double ownership")
+	}
+	if out[0].Count() != maps[0].Count() || out[1].Count() != maps[1].Count() {
+		t.Fatal("counts not preserved")
+	}
+}
+
+func TestPlanDefragOverlapPanics(t *testing.T) {
+	maps := []*bitmap.Bitmap{bitmap.New(layout.SlotCount), bitmap.New(layout.SlotCount)}
+	maps[0].Set(7)
+	maps[1].Set(7)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on overlapping bitmaps")
+		}
+	}()
+	PlanDefrag(maps)
+}
+
+func TestSurrenderAndReplace(t *testing.T) {
+	ns := newSlots(t, 0, 2, RoundRobin{}, 4)
+	// Put a slot in the cache first.
+	idx, _ := ns.AcquireOne()
+	ns.Release(idx, 1)
+	if ns.CachedSlots() != 1 {
+		t.Fatal("expected a cached slot")
+	}
+	before := ns.Bitmap().Count()
+	given := ns.SurrenderAll()
+	if given.Count() != before {
+		t.Fatalf("surrendered %d, want %d", given.Count(), before)
+	}
+	if ns.OwnedFree() != 0 || ns.CachedSlots() != 0 {
+		t.Fatal("surrender must empty bitmap and cache")
+	}
+	if ns.Space().IsMapped(layout.SlotBase(idx), 1) {
+		t.Fatal("cached mapping must be evicted on surrender")
+	}
+	if _, err := ns.AcquireOne(); err != ErrNoSlots {
+		t.Fatal("no slots should remain")
+	}
+	// Install a replacement and allocate again.
+	repl := bitmap.New(layout.SlotCount)
+	repl.SetRun(100, 50)
+	if err := ns.ReplaceBitmap(repl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ns.AcquireRun(50)
+	if err != nil || got != 100 {
+		t.Fatalf("AcquireRun after replace = %d, %v", got, err)
+	}
+}
+
+func TestReplaceBitmapEvictsLostCachedSlots(t *testing.T) {
+	ns := newSlots(t, 0, 1, RoundRobin{}, 4)
+	a, _ := ns.AcquireOne()
+	b, _ := ns.AcquireOne()
+	ns.Release(a, 1)
+	ns.Release(b, 1)
+	if ns.CachedSlots() != 2 {
+		t.Fatal("want two cached slots")
+	}
+	// New bitmap keeps slot a but loses slot b.
+	repl := ns.Bitmap().Clone()
+	repl.Clear(b)
+	if err := ns.ReplaceBitmap(repl); err != nil {
+		t.Fatal(err)
+	}
+	if !ns.Space().IsMapped(layout.SlotBase(a), 1) {
+		t.Fatal("kept slot should stay cached and mapped")
+	}
+	if ns.Space().IsMapped(layout.SlotBase(b), 1) {
+		t.Fatal("lost slot must be unmapped")
+	}
+	if err := ns.ReplaceBitmap(bitmap.New(10)); err == nil {
+		t.Fatal("wrong-size bitmap must be rejected")
+	}
+}

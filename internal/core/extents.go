@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/vmem"
+)
+
+// Migration packing (paper §2 step 1 and the §6 optimization).
+//
+// A slot group can be shipped in two modes:
+//
+//   - whole-slot: every byte of the group is copied. Trivially correct —
+//     all in-memory pointers, block headers and free-list links arrive
+//     verbatim at the same addresses.
+//   - used-blocks-only ("when migrating a slot attached to a thread, it is
+//     sufficient to send its internally allocated blocks"): only the group
+//     header and the live blocks travel; the gaps are reconstructed as free
+//     blocks on the destination.
+//
+// Span lists are what the migration message carries, together with the raw
+// bytes they cover.
+
+// Span is a byte extent within a slot group, relative to the group base.
+type Span struct {
+	Off uint32
+	Len uint32
+}
+
+// WholeSpan returns the single span covering an n-slot group.
+func WholeSpan(h *SlotHeader) []Span {
+	return []Span{{Off: 0, Len: uint32(h.End() - h.Base)}}
+}
+
+// UsedSpansData walks the physical blocks of a data group and returns spans
+// covering the group header plus every live block, merging adjacent spans.
+func UsedSpansData(sp *vmem.Space, h *SlotHeader) ([]Span, error) {
+	if h.Kind != KindData {
+		return nil, fmt.Errorf("core: UsedSpansData on non-data group %#08x", h.Base)
+	}
+	spans := []Span{{Off: 0, Len: SlotHeaderSize}}
+	end := h.End()
+	for at := h.DataStart(); at < end; {
+		b, err := readBlock(sp, at)
+		if err != nil {
+			return nil, err
+		}
+		if b.size < MinBlock || at+Addr(b.size) > end {
+			return nil, fmt.Errorf("core: corrupt block %#08x (size %d) walking group %#08x", at, b.size, h.Base)
+		}
+		if !b.isFree() {
+			off := uint32(at - h.Base)
+			last := &spans[len(spans)-1]
+			if last.Off+last.Len == off {
+				last.Len += b.size
+			} else {
+				spans = append(spans, Span{Off: off, Len: b.size})
+			}
+		}
+		at += Addr(b.size)
+	}
+	return spans, nil
+}
+
+// UsedSpansStack returns the spans of a stack group: the slot header plus
+// the thread descriptor at the bottom, and the live stack from the current
+// stack pointer up to the group end.
+func UsedSpansStack(h *SlotHeader, descBytes uint32, spAddr Addr) ([]Span, error) {
+	if h.Kind != KindStack {
+		return nil, fmt.Errorf("core: UsedSpansStack on non-stack group %#08x", h.Base)
+	}
+	reserved := SlotHeaderSize + descBytes
+	if spAddr < h.Base+Addr(reserved) || spAddr > h.End() {
+		return nil, fmt.Errorf("core: sp %#08x outside stack group %#08x", spAddr, h.Base)
+	}
+	spans := []Span{{Off: 0, Len: reserved}}
+	if live := uint32(h.End() - spAddr); live > 0 {
+		spans = append(spans, Span{Off: uint32(spAddr - h.Base), Len: live})
+	}
+	return spans, nil
+}
+
+// TotalBytes sums the lengths of spans.
+func TotalBytes(spans []Span) int {
+	n := 0
+	for _, s := range spans {
+		n += int(s.Len)
+	}
+	return n
+}
+
+// RebuildFreeList reconstructs the free blocks of a data group installed
+// from used-block spans: every gap between spans (within the data area)
+// becomes a free block, chained in address order from the group header's
+// FreeHead. Live blocks carried their own headers (including prev-free
+// flags) verbatim, so only the gap metadata needs writing.
+func RebuildFreeList(sp *vmem.Space, base Addr, spans []Span) error {
+	h, err := readSlotHeader(sp, base)
+	if err != nil {
+		return err
+	}
+	ss := append([]Span(nil), spans...)
+	sort.Slice(ss, func(i, j int) bool { return ss[i].Off < ss[j].Off })
+
+	groupLen := uint32(h.End() - h.Base)
+	var gaps []Span
+	cursor := uint32(SlotHeaderSize)
+	for _, s := range ss {
+		if s.Off < cursor {
+			if s.Off+s.Len <= cursor {
+				continue // header span, already covered
+			}
+			s.Len -= cursor - s.Off
+			s.Off = cursor
+		}
+		if s.Off > cursor {
+			gaps = append(gaps, Span{Off: cursor, Len: s.Off - cursor})
+		}
+		cursor = s.Off + s.Len
+	}
+	if cursor < groupLen {
+		gaps = append(gaps, Span{Off: cursor, Len: groupLen - cursor})
+	}
+
+	var prev Addr
+	h.FreeHead = 0
+	for _, g := range gaps {
+		if g.Len < MinBlock {
+			return fmt.Errorf("core: gap of %d bytes at %#08x too small for a free block", g.Len, base+Addr(g.Off))
+		}
+		fb := blockHeader{
+			addr:     base + Addr(g.Off),
+			size:     g.Len,
+			flags:    flagFree,
+			prevFree: prev,
+		}
+		if err := fb.write(sp); err != nil {
+			return err
+		}
+		if err := fb.writeFooter(sp); err != nil {
+			return err
+		}
+		if prev != 0 {
+			if err := sp.Store32(prev+blkNextFree, fb.addr); err != nil {
+				return err
+			}
+		} else {
+			h.FreeHead = fb.addr
+		}
+		prev = fb.addr
+	}
+	return h.write(sp)
+}

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/vmem"
+)
+
+func TestUsedSpansDataCoversLiveBlocksOnly(t *testing.T) {
+	f := newArenaFixture(t, 0)
+	a, _ := f.ar.Isomalloc(100, f.ns)
+	b, _ := f.ar.Isomalloc(200, f.ns)
+	c, _ := f.ar.Isomalloc(300, f.ns)
+	if err := f.ar.Isofree(b, f.ns); err != nil {
+		t.Fatal(err)
+	}
+	groups, _ := f.ar.Groups()
+	h, err := readSlotHeader(f.sp, groups[1].Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, err := UsedSpansData(f.sp, &h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := func(addr Addr, n uint32) bool {
+		off := uint32(addr - h.Base)
+		for _, s := range spans {
+			if off >= s.Off && off+n <= s.Off+s.Len {
+				return true
+			}
+		}
+		return false
+	}
+	if !covered(0+h.Base, SlotHeaderSize) {
+		t.Error("header not covered")
+	}
+	if !covered(a-BlockHeaderSize, blockTotal(100)) || !covered(c-BlockHeaderSize, blockTotal(300)) {
+		t.Error("live blocks not covered")
+	}
+	if covered(b-BlockHeaderSize+8, 8) {
+		t.Error("freed block payload should not be shipped")
+	}
+	// Spans must be well under the whole group.
+	if TotalBytes(spans) >= layout.SlotSize/2 {
+		t.Errorf("spans total %d, expected far less than a slot", TotalBytes(spans))
+	}
+}
+
+func TestUsedSpansMergesAdjacentBlocks(t *testing.T) {
+	f := newArenaFixture(t, 0)
+	// Two back-to-back live blocks directly after the header produce one
+	// contiguous span with the header.
+	f.ar.Isomalloc(64, f.ns)
+	f.ar.Isomalloc(64, f.ns)
+	groups, _ := f.ar.Groups()
+	h, _ := readSlotHeader(f.sp, groups[1].Base)
+	spans, err := UsedSpansData(f.sp, &h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 {
+		t.Fatalf("spans = %+v, want one merged span", spans)
+	}
+	if spans[0].Off != 0 || spans[0].Len != SlotHeaderSize+2*blockTotal(64) {
+		t.Fatalf("span = %+v", spans[0])
+	}
+}
+
+func TestUsedSpansStack(t *testing.T) {
+	f := newArenaFixture(t, 0)
+	h, _ := readSlotHeader(f.sp, f.stack)
+	spAddr := h.End() - 128 // 128 live stack bytes
+	spans, err := UsedSpansStack(&h, 96, spAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if spans[0].Off != 0 || spans[0].Len != SlotHeaderSize+96 {
+		t.Fatalf("desc span = %+v", spans[0])
+	}
+	if spans[1].Off != uint32(spAddr-h.Base) || spans[1].Len != 128 {
+		t.Fatalf("stack span = %+v", spans[1])
+	}
+	// Empty stack (sp at the very end) ships only the descriptor part.
+	spans, err = UsedSpansStack(&h, 96, h.End())
+	if err != nil || len(spans) != 1 {
+		t.Fatalf("empty-stack spans = %+v, %v", spans, err)
+	}
+	// SP outside the group is rejected.
+	if _, err := UsedSpansStack(&h, 96, h.Base); err == nil {
+		t.Fatal("sp inside descriptor must be rejected")
+	}
+}
+
+func TestKindMismatchErrors(t *testing.T) {
+	f := newArenaFixture(t, 0)
+	f.ar.Isomalloc(64, f.ns)
+	groups, _ := f.ar.Groups()
+	stackH, _ := readSlotHeader(f.sp, groups[0].Base)
+	dataH, _ := readSlotHeader(f.sp, groups[1].Base)
+	if _, err := UsedSpansData(f.sp, &stackH); err == nil {
+		t.Error("UsedSpansData on stack group must fail")
+	}
+	if _, err := UsedSpansStack(&dataH, 96, dataH.End()); err == nil {
+		t.Error("UsedSpansStack on data group must fail")
+	}
+}
+
+// installGroup simulates the destination side of a migration for one data
+// group: map the same addresses, copy the spans, rebuild the free lists.
+func installGroup(t *testing.T, src *vmem.Space, base Addr, nSlots int, spans []Span) *vmem.Space {
+	t.Helper()
+	dst := vmem.NewSpace()
+	if err := dst.Mmap(base, nSlots*layout.SlotSize); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range spans {
+		data, err := src.ReadBytes(base+Addr(s.Off), int(s.Len))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dst.Write(base+Addr(s.Off), data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := RebuildFreeList(dst, base, spans); err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+func TestRebuildFreeListRoundTrip(t *testing.T) {
+	f := newArenaFixture(t, 0)
+	// Build a group with an interesting free pattern.
+	var blocks []Addr
+	for i := 0; i < 8; i++ {
+		a, err := f.ar.Isomalloc(uint32(100+100*i), f.ns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks = append(blocks, a)
+	}
+	for _, i := range []int{1, 4, 5} {
+		if err := f.ar.Isofree(blocks[i], f.ns); err != nil {
+			t.Fatal(err)
+		}
+	}
+	groups, _ := f.ar.Groups()
+	base := groups[1].Base
+	h, _ := readSlotHeader(f.sp, base)
+	spans, err := UsedSpansData(f.sp, &h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := installGroup(t, f.sp, base, int(h.NSlots), spans)
+
+	// The destination group must pass the full invariant check when
+	// chained as a single-group list.
+	scratch := Addr(layout.StackBase)
+	if err := dst.Mmap(scratch, layout.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite prev/next to make it a standalone list for the checker.
+	dh, err := readSlotHeader(dst, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dh.Prev, dh.Next = 0, 0
+	if err := dh.write(dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Store32(scratch, uint32(base)); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckArena(dst, scratch); err != nil {
+		t.Fatalf("installed group fails invariants: %v", err)
+	}
+	// Live payloads must be byte-identical at the same addresses.
+	for _, i := range []int{0, 2, 3, 6, 7} {
+		want, _ := f.sp.ReadBytes(blocks[i], 64)
+		got, err := dst.ReadBytes(blocks[i], 64)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("block %d payload mismatch after install: %v", i, err)
+		}
+	}
+	// Freed regions must be usable free blocks: allocate again on dst.
+	ar2 := NewArena(dst, NopCharger{}, nil, scratch)
+	ns2 := NewNodeSlots(dst, NopCharger{}, NodeConfig{NodeID: 0, NumNodes: 1})
+	// Pre-own nothing: allocation must come from the rebuilt free list.
+	if err := ns2.SellRun(0, layout.SlotCount); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := ar2.Isomalloc(80, ns2)
+	if err != nil {
+		t.Fatalf("allocating from rebuilt free list: %v", err)
+	}
+	if !layout.InIsoArea(addr) {
+		t.Fatalf("addr %#x", addr)
+	}
+}
+
+func TestRebuildFreeListFullGroupNoGaps(t *testing.T) {
+	f := newArenaFixture(t, 0)
+	// Fill a slot completely so there is no free space at all.
+	a, err := f.ar.Isomalloc(MaxSingleSlotRequest, f.ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = a
+	groups, _ := f.ar.Groups()
+	base := groups[1].Base
+	h, _ := readSlotHeader(f.sp, base)
+	spans, err := UsedSpansData(f.sp, &h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if TotalBytes(spans) != layout.SlotSize {
+		t.Fatalf("full slot spans = %d bytes", TotalBytes(spans))
+	}
+	dst := installGroup(t, f.sp, base, 1, spans)
+	dh, _ := readSlotHeader(dst, base)
+	if dh.FreeHead != 0 {
+		t.Fatal("full group must have empty free list after rebuild")
+	}
+}
+
+func TestWholeSpanModeIsByteIdentical(t *testing.T) {
+	f := newArenaFixture(t, 0)
+	a, _ := f.ar.Isomalloc(500, f.ns)
+	b, _ := f.ar.Isomalloc(600, f.ns)
+	_ = a
+	if err := f.ar.Isofree(b, f.ns); err != nil {
+		t.Fatal(err)
+	}
+	groups, _ := f.ar.Groups()
+	base := groups[1].Base
+	h, _ := readSlotHeader(f.sp, base)
+	spans := WholeSpan(&h)
+	if len(spans) != 1 || spans[0].Len != layout.SlotSize {
+		t.Fatalf("WholeSpan = %+v", spans)
+	}
+	dst := vmem.NewSpace()
+	if err := dst.Mmap(base, layout.SlotSize); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := f.sp.ReadBytes(base, layout.SlotSize)
+	if err := dst.Write(base, data); err != nil {
+		t.Fatal(err)
+	}
+	// Whole-slot mode needs no rebuild: bytes are identical, including
+	// the free-list words.
+	got, _ := dst.ReadBytes(base, layout.SlotSize)
+	if !bytes.Equal(got, data) {
+		t.Fatal("whole-slot copy differs")
+	}
+}
+
+func TestRandomPatternsSurviveInstall(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		f := newArenaFixture(t, 0)
+		type rec struct {
+			addr Addr
+			data []byte
+		}
+		var live []rec
+		for i := 0; i < 30; i++ {
+			size := uint32(1 + rng.Intn(2000))
+			addr, err := f.ar.Isomalloc(size, f.ns)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := make([]byte, size)
+			rng.Read(data)
+			f.sp.Write(addr, data)
+			live = append(live, rec{addr, data})
+		}
+		// Free a random subset (keep at least one so the group stays).
+		for i := len(live) - 1; i > 0; i-- {
+			if rng.Intn(2) == 0 {
+				f.ar.Isofree(live[i].addr, f.ns)
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		groups, _ := f.ar.Groups()
+		for _, g := range groups {
+			if g.Kind != KindData {
+				continue
+			}
+			h, _ := readSlotHeader(f.sp, g.Base)
+			spans, err := UsedSpansData(f.sp, &h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst := installGroup(t, f.sp, g.Base, g.NSlots, spans)
+			for _, r := range live {
+				if r.addr < h.DataStart() || r.addr >= h.End() {
+					continue
+				}
+				got, err := dst.ReadBytes(r.addr, len(r.data))
+				if err != nil || !bytes.Equal(got, r.data) {
+					t.Fatalf("trial %d: block %#x lost after install", trial, r.addr)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitmap"
+	"repro/internal/layout"
+)
+
+// Negotiation planning (paper §4.4, step 2). The communication — entering
+// the system-wide critical section, gathering bitmaps, sending purchase
+// orders — is carried out by the runtime over Madeleine; this file holds the
+// pure protocol arithmetic so it can be tested exhaustively in isolation.
+
+// SellerShare is one seller's contribution to a purchased run.
+type SellerShare struct {
+	Node  int
+	Start int
+	N     int
+}
+
+// Purchase is the outcome of planning a multi-slot acquisition.
+type Purchase struct {
+	// Start and N identify the chosen run of contiguous slots.
+	Start int
+	N     int
+	// Sellers lists the non-requester nodes to buy sub-runs from, in
+	// slot order. Slots already owned by the requester are not listed.
+	Sellers []SellerShare
+}
+
+// PlanPurchase computes a global OR of the gathered per-node bitmaps,
+// first-fit searches it for n contiguous free slots, and splits the chosen
+// run into per-owner shares. maps[i] must be node i's bitmap; requester
+// identifies the initiating node. ok is false when no run exists anywhere —
+// the allocation fails (out of iso-address memory).
+func PlanPurchase(maps []*bitmap.Bitmap, n, requester int) (Purchase, bool) {
+	if n <= 0 {
+		panic("core: PlanPurchase with non-positive run")
+	}
+	if requester < 0 || requester >= len(maps) {
+		panic(fmt.Sprintf("core: requester %d out of range", requester))
+	}
+	global := bitmap.New(layout.SlotCount)
+	for _, m := range maps {
+		global.Or(m)
+	}
+	start := global.FindRun(n)
+	if start < 0 {
+		return Purchase{}, false
+	}
+	p := Purchase{Start: start, N: n}
+	for i := start; i < start+n; {
+		owner := ownerOf(maps, i)
+		j := i
+		for j < start+n && ownerOf(maps, j) == owner {
+			j++
+		}
+		if owner != requester {
+			p.Sellers = append(p.Sellers, SellerShare{Node: owner, Start: i, N: j - i})
+		}
+		i = j
+	}
+	return p, true
+}
+
+// ownerOf returns the node whose bitmap has slot i set. Exactly one node
+// may own a free slot; a duplicate is a broken invariant and panics.
+func ownerOf(maps []*bitmap.Bitmap, i int) int {
+	owner := -1
+	for node, m := range maps {
+		if m.Test(i) {
+			if owner >= 0 {
+				panic(fmt.Sprintf("core: slot %d owned by both node %d and node %d", i, owner, node))
+			}
+			owner = node
+		}
+	}
+	if owner < 0 {
+		panic(fmt.Sprintf("core: slot %d in ORed run but owned by nobody", i))
+	}
+	return owner
+}
+
+// CheckSingleOwnership validates the global invariant that no slot is owned
+// (free) by two nodes at once. It returns the index of the first violating
+// slot, or -1.
+func CheckSingleOwnership(maps []*bitmap.Bitmap) int {
+	if len(maps) < 2 {
+		return -1
+	}
+	seen := maps[0].Clone()
+	for _, m := range maps[1:] {
+		if seen.Intersects(m) {
+			// locate it for the error message
+			for i := 0; i < seen.Len(); i++ {
+				if seen.Test(i) && m.Test(i) {
+					return i
+				}
+			}
+		}
+		seen.Or(m)
+	}
+	return -1
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitmap"
+	"repro/internal/layout"
+	"repro/internal/vmem"
+)
+
+// TestBlockGeometryProperties pins the block-size arithmetic with
+// testing/quick.
+func TestBlockGeometryProperties(t *testing.T) {
+	f := func(size uint32) bool {
+		size = size%(16<<20) + 1 // 1 .. 16 MB
+		total := blockTotal(size)
+		if total%8 != 0 || total < MinBlock {
+			return false
+		}
+		if total < size { // header must not shrink the payload
+			return false
+		}
+		k := SlotsFor(size)
+		if k < 1 {
+			return false
+		}
+		// The chosen k is sufficient...
+		if uint64(SlotHeaderSize)+uint64(total) > uint64(k)*layout.SlotSize {
+			return false
+		}
+		// ...and minimal.
+		if k > 1 && uint64(SlotHeaderSize)+uint64(total) <= uint64(k-1)*layout.SlotSize {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPlanPurchaseProperties: for random ownership maps and run lengths,
+// any successful purchase plan must (a) pick a run that is entirely free,
+// (b) attribute every non-requester slot to its true owner, and (c) never
+// list requester-owned slots as shares.
+func TestPlanPurchaseProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 300; trial++ {
+		p := 2 + rng.Intn(4)
+		maps := make([]*bitmap.Bitmap, p)
+		for i := range maps {
+			maps[i] = bitmap.New(layout.SlotCount)
+		}
+		// Random ownership over a window (busy slots = no owner).
+		window := 200
+		for s := 0; s < window; s++ {
+			if o := rng.Intn(p + 1); o < p {
+				maps[o].Set(s)
+			}
+		}
+		k := 1 + rng.Intn(6)
+		requester := rng.Intn(p)
+		plan, ok := PlanPurchase(maps, k, requester)
+		if !ok {
+			// Verify there really is no run in the union.
+			u := bitmap.New(layout.SlotCount)
+			for _, m := range maps {
+				u.Or(m)
+			}
+			if u.FindRun(k) >= 0 {
+				t.Fatalf("trial %d: plan failed but a run exists", trial)
+			}
+			continue
+		}
+		if plan.N != k {
+			t.Fatalf("trial %d: plan.N = %d", trial, plan.N)
+		}
+		shareAt := map[int]int{} // slot → seller
+		for _, sh := range plan.Sellers {
+			if sh.Node == requester {
+				t.Fatalf("trial %d: requester listed as seller", trial)
+			}
+			for s := sh.Start; s < sh.Start+sh.N; s++ {
+				shareAt[s] = sh.Node
+			}
+		}
+		for s := plan.Start; s < plan.Start+plan.N; s++ {
+			owner := -1
+			for i, m := range maps {
+				if m.Test(s) {
+					owner = i
+				}
+			}
+			if owner < 0 {
+				t.Fatalf("trial %d: run slot %d is busy", trial, s)
+			}
+			if owner == requester {
+				if _, listed := shareAt[s]; listed {
+					t.Fatalf("trial %d: own slot %d listed", trial, s)
+				}
+			} else if shareAt[s] != owner {
+				t.Fatalf("trial %d: slot %d seller %d, owner %d", trial, s, shareAt[s], owner)
+			}
+		}
+	}
+}
+
+// TestPlanDefragProperties: random surrendered maps → disjoint outputs with
+// preserved counts and union.
+func TestPlanDefragProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		p := 1 + rng.Intn(6)
+		maps := make([]*bitmap.Bitmap, p)
+		for i := range maps {
+			maps[i] = bitmap.New(layout.SlotCount)
+		}
+		for s := 0; s < 500; s++ {
+			if o := rng.Intn(p + 2); o < p {
+				maps[o].Set(s)
+			}
+		}
+		out := PlanDefrag(maps)
+		if CheckSingleOwnership(out) != -1 {
+			t.Fatalf("trial %d: double ownership", trial)
+		}
+		uIn := bitmap.New(layout.SlotCount)
+		uOut := bitmap.New(layout.SlotCount)
+		for i := range maps {
+			uIn.Or(maps[i])
+			uOut.Or(out[i])
+			if maps[i].Count() != out[i].Count() {
+				t.Fatalf("trial %d: node %d count changed", trial, i)
+			}
+		}
+		if !uIn.Equal(uOut) {
+			t.Fatalf("trial %d: pool changed", trial)
+		}
+	}
+}
+
+// TestArenaQuickOps drives the arena through quick-generated operation
+// sequences, checking invariants at the end of each sequence.
+func TestArenaQuickOps(t *testing.T) {
+	f := func(ops []uint16) bool {
+		fx := newArenaFixtureQuick()
+		var live []Addr
+		for _, op := range ops {
+			if op%3 != 0 || len(live) == 0 {
+				size := uint32(op)%4096 + 1
+				a, err := fx.ar.Isomalloc(size, fx.ns)
+				if err != nil {
+					return false
+				}
+				live = append(live, a)
+			} else {
+				i := int(op) % len(live)
+				if err := fx.ar.Isofree(live[i], fx.ns); err != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		return CheckArena(fx.sp, fx.headAddr) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+type quickFixture struct {
+	ns       *NodeSlots
+	sp       *vmem.Space
+	ar       *Arena
+	headAddr Addr
+}
+
+func newArenaFixtureQuick() *quickFixture {
+	ns := NewNodeSlots(vmem.NewSpace(), NopCharger{}, NodeConfig{NodeID: 0, NumNodes: 1, CacheCap: 2})
+	idx, err := ns.AcquireOne()
+	if err != nil {
+		panic(err)
+	}
+	stack := layout.SlotBase(idx)
+	headAddr := stack + SlotHeaderSize
+	ar := NewArena(ns.Space(), NopCharger{}, nil, headAddr)
+	if err := ar.InitStackSlot(stack); err != nil {
+		panic(err)
+	}
+	return &quickFixture{ns: ns, sp: ns.Space(), ar: ar, headAddr: headAddr}
+}

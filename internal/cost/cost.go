@@ -1,0 +1,175 @@
+// Package cost holds the calibrated cost model for the simulated 1999 PoPC
+// cluster of the paper: 200 MHz PentiumPro nodes running Linux 2.0.36,
+// interconnected by Myrinet accessed through BIP.
+//
+// Every simulated operation (interpreting a thread instruction, memcpy,
+// first-touch zero-fill, mmap/munmap, network send) charges virtual time
+// through one of the helpers below. The constants are calibrated so that the
+// paper's headline measurements emerge from the mechanisms (not hard-coded):
+// thread migration < 75 µs, negotiation ≈ 255 µs on two nodes plus ≈ 165 µs
+// per extra node, and the malloc/isomalloc curves of Figure 11. EXPERIMENTS.md
+// records the calibration and the measured outcomes.
+package cost
+
+import "repro/internal/simtime"
+
+// Model is a set of cost constants. Benchmarks and ablations may copy and
+// perturb a Model; the runtime treats it as read-only.
+type Model struct {
+	// CPU.
+
+	// CycleNs is the duration of one CPU cycle (5 ns at 200 MHz).
+	CycleNs int64
+	// CyclesPerInstr is the charge per interpreted thread instruction.
+	CyclesPerInstr int64
+	// CyclesPerBuiltin is the fixed entry overhead of a runtime call
+	// (pm2_isomalloc, pm2_printf, ...), modeling the library call path.
+	CyclesPerBuiltin int64
+
+	// Memory.
+
+	// MemcpyNsPerByte is the cost of copying resident memory.
+	MemcpyNsPerByte float64
+	// ZeroFillNsPerByte is the first-touch cost of freshly mapped memory
+	// (kernel page clearing plus fault handling), charged when an
+	// allocation hands out new pages.
+	ZeroFillNsPerByte float64
+	// MmapFixedNs and MmapPerPageNs model the mmap system call.
+	MmapFixedNs   int64
+	MmapPerPageNs int64
+	// MunmapFixedNs and MunmapPerPageNs model munmap.
+	MunmapFixedNs   int64
+	MunmapPerPageNs int64
+
+	// Allocator bookkeeping.
+
+	// AllocSearchNsPerProbe is the charge per free-list or bitmap probe.
+	AllocSearchNsPerProbe int64
+	// BitmapScanNsPerByte is the charge for scanning/merging slot bitmaps
+	// during negotiation.
+	BitmapScanNsPerByte float64
+
+	// Network (BIP over Myrinet).
+
+	// WireLatencyNs is the one-way small-message latency.
+	WireLatencyNs int64
+	// WireNsPerByte is the inverse bandwidth of the link (8 ns/B = 125 MB/s).
+	WireNsPerByte float64
+	// SendOverheadNs is CPU time on the sender per message.
+	SendOverheadNs int64
+	// RecvOverheadNs is CPU time on the receiver per message.
+	RecvOverheadNs int64
+
+	// Thread and migration machinery.
+
+	// ThreadInitNs is the CPU cost of initializing a thread descriptor
+	// and stack (beyond slot acquisition).
+	ThreadInitNs int64
+	// CtxSwitchNs is a scheduler context switch.
+	CtxSwitchNs int64
+	// FreezeNs is stopping a thread and spilling its registers into the
+	// in-memory descriptor.
+	FreezeNs int64
+	// ResumeNs is re-enqueueing and reloading a thawed thread.
+	ResumeNs int64
+	// PointerFixupNs is the per-pointer charge of the post-migration
+	// update pass used by the relocation baseline (registered pointers
+	// and compiler frame-chain entries alike).
+	PointerFixupNs int64
+}
+
+// Default returns the calibrated model for the paper's platform.
+func Default() *Model {
+	return &Model{
+		CycleNs:          5, // 200 MHz
+		CyclesPerInstr:   2,
+		CyclesPerBuiltin: 60,
+
+		MemcpyNsPerByte:   3,    // ~330 MB/s resident copy
+		ZeroFillNsPerByte: 12.2, // ~82 MB/s first touch (kernel clear_page + fault)
+		MmapFixedNs:       9_000,
+		MmapPerPageNs:     150,
+		MunmapFixedNs:     6_000,
+		MunmapPerPageNs:   100,
+
+		AllocSearchNsPerProbe: 40,
+		BitmapScanNsPerByte:   2,
+
+		WireLatencyNs:  9_000, // BIP one-way latency (Madeleine over BIP)
+		WireNsPerByte:  8,     // 125 MB/s
+		SendOverheadNs: 4_000,
+		RecvOverheadNs: 4_000,
+
+		ThreadInitNs:   6_000,
+		CtxSwitchNs:    1_500,
+		FreezeNs:       3_000,
+		ResumeNs:       3_500,
+		PointerFixupNs: 900,
+	}
+}
+
+func ns(v float64) simtime.Time {
+	return simtime.Time(v) * simtime.Nanosecond
+}
+
+// Instr returns the cost of executing n interpreted instructions.
+func (m *Model) Instr(n int64) simtime.Time {
+	return simtime.Time(n*m.CyclesPerInstr*m.CycleNs) * simtime.Nanosecond
+}
+
+// Builtin returns the fixed entry cost of one runtime call.
+func (m *Model) Builtin() simtime.Time {
+	return simtime.Time(m.CyclesPerBuiltin*m.CycleNs) * simtime.Nanosecond
+}
+
+// Memcpy returns the cost of copying n resident bytes.
+func (m *Model) Memcpy(n int) simtime.Time {
+	return ns(float64(n) * m.MemcpyNsPerByte)
+}
+
+// ZeroFill returns the first-touch cost of n freshly mapped bytes.
+func (m *Model) ZeroFill(n int) simtime.Time {
+	return ns(float64(n) * m.ZeroFillNsPerByte)
+}
+
+// Mmap returns the cost of mapping n bytes (n is rounded up to pages by the
+// caller; pages is the page count).
+func (m *Model) Mmap(pages int) simtime.Time {
+	return simtime.Time(m.MmapFixedNs+int64(pages)*m.MmapPerPageNs) * simtime.Nanosecond
+}
+
+// Munmap returns the cost of unmapping pages pages.
+func (m *Model) Munmap(pages int) simtime.Time {
+	return simtime.Time(m.MunmapFixedNs+int64(pages)*m.MunmapPerPageNs) * simtime.Nanosecond
+}
+
+// Probes returns the cost of n allocator probes.
+func (m *Model) Probes(n int) simtime.Time {
+	return simtime.Time(int64(n)*m.AllocSearchNsPerProbe) * simtime.Nanosecond
+}
+
+// BitmapScan returns the cost of scanning n bitmap bytes.
+func (m *Model) BitmapScan(n int) simtime.Time {
+	return ns(float64(n) * m.BitmapScanNsPerByte)
+}
+
+// WireTime returns the link occupancy of an n-byte message: latency plus
+// serialization.
+func (m *Model) WireTime(n int) simtime.Time {
+	return simtime.Time(m.WireLatencyNs)*simtime.Nanosecond + ns(float64(n)*m.WireNsPerByte)
+}
+
+// Send returns the sender-side CPU cost of an n-byte message (overhead plus
+// copying the payload into the NIC buffer).
+func (m *Model) Send(n int) simtime.Time {
+	return simtime.Time(m.SendOverheadNs)*simtime.Nanosecond + m.Memcpy(n)
+}
+
+// Recv returns the receiver-side CPU cost of an n-byte message.
+func (m *Model) Recv(n int) simtime.Time {
+	return simtime.Time(m.RecvOverheadNs)*simtime.Nanosecond + m.Memcpy(n)
+}
+
+// Fixed returns v nanoseconds as virtual time; used for the one-off charges
+// (freeze, resume, context switch, ...).
+func Fixed(v int64) simtime.Time { return simtime.Time(v) * simtime.Nanosecond }

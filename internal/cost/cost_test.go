@@ -1,0 +1,108 @@
+package cost
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestDefaultIsEraPlausible(t *testing.T) {
+	m := Default()
+	if m.CycleNs != 5 {
+		t.Errorf("CycleNs = %d, want 5 (200 MHz PentiumPro)", m.CycleNs)
+	}
+	// The relations the reproduction depends on.
+	if m.ZeroFillNsPerByte <= m.MemcpyNsPerByte {
+		t.Error("first-touch zero-fill must cost more than resident memcpy")
+	}
+	if m.WireLatencyNs < 1000 || m.WireLatencyNs > 50_000 {
+		t.Errorf("BIP latency %d ns implausible", m.WireLatencyNs)
+	}
+	if m.WireNsPerByte != 8 {
+		t.Errorf("wire bandwidth should be 125 MB/s (8 ns/B), got %v", m.WireNsPerByte)
+	}
+}
+
+func TestInstrAndBuiltin(t *testing.T) {
+	m := Default()
+	if got := m.Instr(100); got != simtime.Time(100*m.CyclesPerInstr*m.CycleNs) {
+		t.Errorf("Instr(100) = %v", got)
+	}
+	if m.Builtin() <= 0 {
+		t.Error("builtin entry must cost time")
+	}
+}
+
+func TestMemoryCosts(t *testing.T) {
+	m := Default()
+	if m.Memcpy(0) != 0 || m.ZeroFill(0) != 0 {
+		t.Error("zero-byte operations must be free")
+	}
+	// 64 KB copy at 3 ns/B = 196.6 µs.
+	if got := m.Memcpy(64 << 10).Micros(); got < 190 || got > 205 {
+		t.Errorf("Memcpy(64K) = %v µs", got)
+	}
+	// Zero-fill of 8 MB should land near the paper's 100 ms allocation.
+	if got := m.ZeroFill(8 << 20).Micros(); got < 90_000 || got > 115_000 {
+		t.Errorf("ZeroFill(8M) = %v µs, want ≈100000 (paper Fig 11)", got)
+	}
+	if m.Mmap(16) <= m.Mmap(1) {
+		t.Error("mmap must scale with pages")
+	}
+	if m.Munmap(16) <= 0 {
+		t.Error("munmap must cost time")
+	}
+}
+
+func TestWireTimes(t *testing.T) {
+	m := Default()
+	lat := m.WireTime(0)
+	if lat != simtime.Time(m.WireLatencyNs) {
+		t.Errorf("empty message wire time = %v", lat)
+	}
+	// 7168-byte bitmap: latency + 57.3 µs serialization.
+	bm := m.WireTime(7168)
+	if d := (bm - lat).Micros(); d < 55 || d > 60 {
+		t.Errorf("bitmap serialization = %v µs", d)
+	}
+	if m.Send(100) <= simtime.Time(m.SendOverheadNs) {
+		t.Error("send must include the payload copy")
+	}
+	if m.Recv(100) <= simtime.Time(m.RecvOverheadNs) {
+		t.Error("recv must include the payload copy")
+	}
+}
+
+func TestScanAndProbes(t *testing.T) {
+	m := Default()
+	if m.Probes(10) != 10*m.Probes(1) {
+		t.Error("probes must be linear")
+	}
+	if m.BitmapScan(7168) <= 0 {
+		t.Error("bitmap scan must cost time")
+	}
+	if Fixed(1500) != 1500*simtime.Nanosecond {
+		t.Error("Fixed broken")
+	}
+}
+
+// TestHeadlineBudgets sanity-checks that the calibration leaves room for
+// the paper's headline numbers; the real measurements live in the pm2 and
+// bench tests.
+func TestHeadlineBudgets(t *testing.T) {
+	m := Default()
+	// One migration hop must fit in 75 µs: freeze + pack(600B) + send +
+	// wire + recv + mmap(16 pages) + copy + resume.
+	est := Fixed(m.FreezeNs) + m.Memcpy(600) + m.Send(600) + m.WireTime(600) +
+		m.Recv(600) + m.Mmap(16) + m.Memcpy(600) + m.ZeroFill(600) + Fixed(m.ResumeNs)
+	if est.Micros() >= 75 {
+		t.Errorf("migration budget estimate %v µs ≥ 75", est.Micros())
+	}
+	// A bitmap gather round must stay in the 165 µs ballpark.
+	gather := m.Send(12) + m.WireTime(12) + m.Recv(12) + // request
+		m.Memcpy(7168) + m.Send(7168) + m.WireTime(7168) + m.Recv(7168) + // reply
+		m.BitmapScan(7168) // OR
+	if g := gather.Micros(); g < 120 || g > 220 {
+		t.Errorf("gather estimate %v µs, want ≈165", g)
+	}
+}

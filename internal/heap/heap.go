@@ -1,0 +1,421 @@
+// Package heap implements the baseline C-style malloc/free allocator that
+// the paper compares pm2_isomalloc against (Figure 11) and whose
+// non-migrating data produces the crashes of Figures 4 and 9.
+//
+// Each node has its own Heap over the node-local heap region of the
+// simulated address space (layout.HeapBase..HeapEnd). Blocks are carved
+// first-fit from an in-memory free list with boundary-tag coalescing, and
+// the region grows sbrk-style in page multiples. Nothing here follows a
+// migrating thread: a heap address handed out on node 0 is, by design,
+// unmapped or unrelated memory on node 1.
+package heap
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/layout"
+	"repro/internal/simtime"
+	"repro/internal/vmem"
+)
+
+// Addr is a simulated virtual address.
+type Addr = layout.Addr
+
+// Charger absorbs virtual CPU-time charges.
+type Charger interface {
+	Charge(simtime.Time)
+}
+
+// Block header layout (16 bytes), followed by the payload. Free blocks keep
+// their size in their last word (footer) for backward coalescing.
+const (
+	offSize     = 0
+	offFlags    = 4
+	offPrevFree = 8
+	offNextFree = 12
+
+	headerSize = 16
+	minBlock   = 24
+
+	flagFree     = 1
+	flagPrevFree = 2
+)
+
+// Heap is one node's malloc arena.
+type Heap struct {
+	sp    *vmem.Space
+	ch    Charger
+	model *cost.Model
+	// brk is the first unmapped heap address; [HeapBase, brk) is mapped.
+	brk Addr
+	// freeHead is the first free block, 0 if none. Deliberately Go-side
+	// node state: the heap belongs to the container process, not to any
+	// thread, and does not migrate.
+	freeHead Addr
+	// brkPrevFree is the would-be prev-free flag of the block "at brk":
+	// it records whether the physically-last block is free, so an sbrk
+	// extension knows to coalesce with it.
+	brkPrevFree bool
+	// stats
+	nAlloc, nFree uint64
+}
+
+// New returns an empty heap for the node.
+func New(sp *vmem.Space, ch Charger, model *cost.Model) *Heap {
+	if model == nil {
+		model = cost.Default()
+	}
+	return &Heap{sp: sp, ch: ch, model: model, brk: layout.HeapBase}
+}
+
+// Counts returns the number of malloc and free calls served.
+func (h *Heap) Counts() (allocs, frees uint64) { return h.nAlloc, h.nFree }
+
+// Brk returns the current heap break.
+func (h *Heap) Brk() Addr { return h.brk }
+
+func align8(n uint32) uint32 { return (n + 7) &^ 7 }
+
+func blockTotal(size uint32) uint32 {
+	t := headerSize + align8(size)
+	if t < minBlock {
+		t = minBlock
+	}
+	return t
+}
+
+type block struct {
+	addr               Addr
+	size, flags        uint32
+	prevFree, nextFree Addr
+}
+
+func (h *Heap) readBlock(at Addr) (block, error) {
+	var b block
+	buf, err := h.sp.ReadBytes(at, headerSize)
+	if err != nil {
+		return b, err
+	}
+	w := func(off int) uint32 {
+		return uint32(buf[off]) | uint32(buf[off+1])<<8 | uint32(buf[off+2])<<16 | uint32(buf[off+3])<<24
+	}
+	b.addr = at
+	b.size = w(offSize)
+	b.flags = w(offFlags)
+	b.prevFree = w(offPrevFree)
+	b.nextFree = w(offNextFree)
+	return b, nil
+}
+
+func (h *Heap) writeBlock(b *block) error {
+	buf := make([]byte, headerSize)
+	put := func(off int, v uint32) {
+		buf[off] = byte(v)
+		buf[off+1] = byte(v >> 8)
+		buf[off+2] = byte(v >> 16)
+		buf[off+3] = byte(v >> 24)
+	}
+	put(offSize, b.size)
+	put(offFlags, b.flags)
+	put(offPrevFree, b.prevFree)
+	put(offNextFree, b.nextFree)
+	return h.sp.Write(b.addr, buf)
+}
+
+func (b *block) isFree() bool     { return b.flags&flagFree != 0 }
+func (b *block) prevIsFree() bool { return b.flags&flagPrevFree != 0 }
+
+func (h *Heap) writeFooter(b *block) error {
+	return h.sp.Store32(b.addr+Addr(b.size)-4, b.size)
+}
+
+// Malloc allocates size bytes and returns the payload address, or an error
+// if the heap region is exhausted.
+func (h *Heap) Malloc(size uint32) (Addr, error) {
+	if size == 0 {
+		return 0, fmt.Errorf("heap: malloc(0)")
+	}
+	total := blockTotal(size)
+
+	// First-fit over the free list.
+	for at := h.freeHead; at != 0; {
+		h.ch.Charge(h.model.Probes(1))
+		b, err := h.readBlock(at)
+		if err != nil {
+			return 0, err
+		}
+		if !b.isFree() {
+			return 0, fmt.Errorf("heap: live block %#08x on free list", at)
+		}
+		if b.size >= total {
+			if err := h.carve(&b, total); err != nil {
+				return 0, err
+			}
+			h.nAlloc++
+			return b.addr + headerSize, nil
+		}
+		at = b.nextFree
+	}
+
+	// Extend the break (sbrk) and carve a fresh block.
+	grow := layout.PageCeil(total)
+	if uint64(h.brk)+uint64(grow) > uint64(layout.HeapEnd) {
+		return 0, fmt.Errorf("heap: out of memory (brk %#08x + %d)", h.brk, grow)
+	}
+	h.ch.Charge(h.model.Mmap(int(grow / layout.PageSize)))
+	if err := h.sp.Mmap(h.brk, int(grow)); err != nil {
+		return 0, err
+	}
+	nb := block{addr: h.brk, size: grow, flags: flagFree}
+	if h.brkPrevFree {
+		// Coalesce the fresh region with the free block that ends at
+		// the old break, keeping the no-adjacent-frees invariant.
+		psz, err := h.sp.Load32(h.brk - 4)
+		if err != nil {
+			return 0, err
+		}
+		p, err := h.readBlock(h.brk - Addr(psz))
+		if err != nil {
+			return 0, err
+		}
+		if !p.isFree() || p.size != psz {
+			return 0, fmt.Errorf("heap: corrupt footer at brk %#08x", h.brk)
+		}
+		if err := h.relink(&p, 0); err != nil {
+			return 0, err
+		}
+		nb.addr = p.addr
+		nb.size += p.size
+		nb.flags |= p.flags & flagPrevFree
+		h.brkPrevFree = false
+	}
+	h.brk += Addr(grow)
+	if err := h.writeBlock(&nb); err != nil {
+		return 0, err
+	}
+	if err := h.writeFooter(&nb); err != nil {
+		return 0, err
+	}
+	h.pushFree(&nb)
+	h.brkPrevFree = true // nb is free and ends exactly at the new break
+	if err := h.carve(&nb, total); err != nil {
+		return 0, err
+	}
+	// First touch of the freshly mapped pages (kernel zero-fill): the
+	// dominant term of the paper's Figure 11 malloc curve.
+	h.ch.Charge(h.model.ZeroFill(int(total)))
+	h.nAlloc++
+	return nb.addr + headerSize, nil
+}
+
+// carve turns free block b into a live block of total bytes, splitting the
+// remainder back onto the free list when big enough.
+func (h *Heap) carve(b *block, total uint32) error {
+	rem := b.size - total
+	if rem >= minBlock {
+		r := block{
+			addr:     b.addr + Addr(total),
+			size:     rem,
+			flags:    flagFree,
+			prevFree: b.prevFree,
+			nextFree: b.nextFree,
+		}
+		if err := h.writeBlock(&r); err != nil {
+			return err
+		}
+		if err := h.writeFooter(&r); err != nil {
+			return err
+		}
+		if err := h.relink(b, r.addr); err != nil {
+			return err
+		}
+		b.size = total
+	} else {
+		total = b.size
+		if err := h.relink(b, 0); err != nil {
+			return err
+		}
+		if err := h.setPrevFree(b.addr+Addr(b.size), false); err != nil {
+			return err
+		}
+	}
+	b.flags &^= flagFree
+	b.prevFree, b.nextFree = 0, 0
+	return h.writeBlock(b)
+}
+
+// relink replaces b by repl (0 = remove) in the free list.
+func (h *Heap) relink(b *block, repl Addr) error {
+	if b.prevFree == 0 {
+		if repl != 0 {
+			h.freeHead = repl
+		} else {
+			h.freeHead = b.nextFree
+		}
+	} else {
+		v := repl
+		if v == 0 {
+			v = b.nextFree
+		}
+		if err := h.sp.Store32(b.prevFree+offNextFree, v); err != nil {
+			return err
+		}
+	}
+	if b.nextFree != 0 {
+		v := repl
+		if v == 0 {
+			v = b.prevFree
+		}
+		if err := h.sp.Store32(b.nextFree+offPrevFree, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (h *Heap) pushFree(b *block) {
+	b.prevFree = 0
+	b.nextFree = h.freeHead
+	if h.freeHead != 0 {
+		// Ignore errors: freeHead is always mapped.
+		_ = h.sp.Store32(h.freeHead+offPrevFree, b.addr)
+	}
+	h.freeHead = b.addr
+}
+
+func (h *Heap) setPrevFree(at Addr, free bool) error {
+	if at >= h.brk {
+		h.brkPrevFree = free
+		return nil
+	}
+	fl, err := h.sp.Load32(at + offFlags)
+	if err != nil {
+		return err
+	}
+	if free {
+		fl |= flagPrevFree
+	} else {
+		fl &^= flagPrevFree
+	}
+	return h.sp.Store32(at+offFlags, fl)
+}
+
+// Free releases the block at payload address addr, coalescing with free
+// neighbours.
+func (h *Heap) Free(addr Addr) error {
+	if addr < layout.HeapBase+headerSize || addr >= h.brk {
+		return fmt.Errorf("heap: free(%#08x) outside heap", addr)
+	}
+	b, err := h.readBlock(addr - headerSize)
+	if err != nil {
+		return err
+	}
+	if b.isFree() {
+		return fmt.Errorf("heap: double free at %#08x", addr)
+	}
+	if b.size < minBlock || b.addr+Addr(b.size) > h.brk {
+		return fmt.Errorf("heap: corrupt block at %#08x", addr)
+	}
+	h.ch.Charge(h.model.Probes(3))
+	h.nFree++
+
+	if b.prevIsFree() {
+		psz, err := h.sp.Load32(b.addr - 4)
+		if err != nil {
+			return err
+		}
+		p, err := h.readBlock(b.addr - Addr(psz))
+		if err != nil {
+			return err
+		}
+		if !p.isFree() || p.size != psz {
+			return fmt.Errorf("heap: corrupt footer before %#08x", b.addr)
+		}
+		if err := h.relink(&p, 0); err != nil {
+			return err
+		}
+		p.size += b.size
+		b = p
+	}
+	if nxt := b.addr + Addr(b.size); nxt < h.brk {
+		n, err := h.readBlock(nxt)
+		if err != nil {
+			return err
+		}
+		if n.isFree() {
+			if err := h.relink(&n, 0); err != nil {
+				return err
+			}
+			b.size += n.size
+		}
+	}
+	b.flags |= flagFree
+	b.flags &^= flagPrevFree
+	h.pushFree(&b)
+	if err := h.writeBlock(&b); err != nil {
+		return err
+	}
+	if err := h.writeFooter(&b); err != nil {
+		return err
+	}
+	return h.setPrevFree(b.addr+Addr(b.size), true)
+}
+
+// Check validates the heap's structural invariants (tiling, coalescing,
+// footer integrity, free-list/physical agreement).
+func (h *Heap) Check() error {
+	physFree := map[Addr]bool{}
+	prevFree := false
+	var prevSize uint32
+	for at := Addr(layout.HeapBase); at < h.brk; {
+		b, err := h.readBlock(at)
+		if err != nil {
+			return err
+		}
+		if b.size < minBlock || b.size%8 != 0 || at+Addr(b.size) > h.brk {
+			return fmt.Errorf("heap: corrupt block %#08x size %d", at, b.size)
+		}
+		if b.prevIsFree() != prevFree {
+			return fmt.Errorf("heap: block %#08x prev-free flag wrong", at)
+		}
+		if prevFree {
+			foot, err := h.sp.Load32(at - 4)
+			if err != nil {
+				return err
+			}
+			if foot != prevSize {
+				return fmt.Errorf("heap: bad footer before %#08x", at)
+			}
+		}
+		if b.isFree() {
+			if prevFree {
+				return fmt.Errorf("heap: adjacent free blocks at %#08x", at)
+			}
+			physFree[at] = true
+			prevFree = true
+		} else {
+			prevFree = false
+		}
+		prevSize = b.size
+		at += Addr(b.size)
+	}
+	n := 0
+	for at := h.freeHead; at != 0; {
+		if n++; n > 1<<20 {
+			return fmt.Errorf("heap: free list cycle")
+		}
+		b, err := h.readBlock(at)
+		if err != nil {
+			return err
+		}
+		if !b.isFree() || !physFree[at] {
+			return fmt.Errorf("heap: free list block %#08x invalid", at)
+		}
+		at = b.nextFree
+	}
+	if n != len(physFree) {
+		return fmt.Errorf("heap: free list has %d entries, %d physically free", n, len(physFree))
+	}
+	return nil
+}

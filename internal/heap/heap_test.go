@@ -1,0 +1,238 @@
+package heap
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/simtime"
+	"repro/internal/vmem"
+)
+
+type nop struct{}
+
+func (nop) Charge(simtime.Time) {}
+
+func newHeap() *Heap {
+	return New(vmem.NewSpace(), nop{}, nil)
+}
+
+func TestMallocBasic(t *testing.T) {
+	h := newHeap()
+	a, err := h.Malloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !layout.InHeap(a) {
+		t.Fatalf("addr %#x outside heap region", a)
+	}
+	if a%8 != 0 {
+		t.Fatalf("addr %#x not aligned", a)
+	}
+	data := bytes.Repeat([]byte{0x5A}, 100)
+	if err := h.sp.Write(a, data); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := h.sp.ReadBytes(a, 100)
+	if !bytes.Equal(got, data) {
+		t.Fatal("payload mismatch")
+	}
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMallocDistinct(t *testing.T) {
+	h := newHeap()
+	type rec struct {
+		a Addr
+		n uint32
+	}
+	var all []rec
+	for i := 0; i < 100; i++ {
+		n := uint32(8 + 13*i)
+		a, err := h.Malloc(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range all {
+			if a < r.a+Addr(r.n) && r.a < a+Addr(n) {
+				t.Fatalf("overlap %#x and %#x", r.a, a)
+			}
+		}
+		all = append(all, rec{a, n})
+	}
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	h := newHeap()
+	a, _ := h.Malloc(500)
+	if _, err := h.Malloc(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Malloc(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != a {
+		t.Fatalf("first-fit reuse failed: got %#x want %#x", b, a)
+	}
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeErrors(t *testing.T) {
+	h := newHeap()
+	a, _ := h.Malloc(64)
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(a); err == nil {
+		t.Fatal("double free must fail")
+	}
+	if err := h.Free(0x100); err == nil {
+		t.Fatal("free outside heap must fail")
+	}
+	if err := h.Free(layout.IsoBase); err == nil {
+		t.Fatal("free of iso address must fail")
+	}
+}
+
+func TestCoalescing(t *testing.T) {
+	h := newHeap()
+	var a [4]Addr
+	for i := range a {
+		a[i], _ = h.Malloc(256)
+	}
+	// Free in an order that exercises forward, backward, and both-sides
+	// coalescing.
+	for _, i := range []int{0, 2, 1, 3} {
+		if err := h.Free(a[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Check(); err != nil {
+			t.Fatalf("after freeing %d: %v", i, err)
+		}
+	}
+	// Everything merged: next alloc of the combined size reuses block 0.
+	big, err := h.Malloc(4 * 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big != a[0] {
+		t.Fatalf("coalesced reuse = %#x, want %#x", big, a[0])
+	}
+}
+
+func TestBrkGrowsInPages(t *testing.T) {
+	h := newHeap()
+	if h.Brk() != layout.HeapBase {
+		t.Fatal("initial brk wrong")
+	}
+	h.Malloc(10)
+	if h.Brk() != layout.HeapBase+layout.PageSize {
+		t.Fatalf("brk = %#x, want one page", h.Brk())
+	}
+	h.Malloc(layout.PageSize * 3)
+	if h.Brk()%layout.PageSize != 0 {
+		t.Fatal("brk not page aligned")
+	}
+}
+
+func TestMallocZeroFails(t *testing.T) {
+	h := newHeap()
+	if _, err := h.Malloc(0); err == nil {
+		t.Fatal("malloc(0) must fail")
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	h := newHeap()
+	// The heap region is 352 MB; a 400 MB request must fail cleanly.
+	if _, err := h.Malloc(400 * 1024 * 1024); err == nil {
+		t.Fatal("oversized malloc must fail")
+	}
+	// And the heap is still usable.
+	if _, err := h.Malloc(64); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeAllocation(t *testing.T) {
+	h := newHeap()
+	a, err := h.Malloc(8 * 1024 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.sp.Store32(a+8*1024*1024-4, 0xFEED); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomStress(t *testing.T) {
+	h := newHeap()
+	rng := rand.New(rand.NewSource(3))
+	type rec struct {
+		a    Addr
+		data []byte
+	}
+	var live []rec
+	for step := 0; step < 3000; step++ {
+		if rng.Intn(100) < 60 || len(live) == 0 {
+			n := uint32(1 + rng.Intn(5000))
+			a, err := h.Malloc(n)
+			if err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			d := make([]byte, n)
+			rng.Read(d)
+			h.sp.Write(a, d)
+			live = append(live, rec{a, d})
+		} else {
+			i := rng.Intn(len(live))
+			got, err := h.sp.ReadBytes(live[i].a, len(live[i].data))
+			if err != nil || !bytes.Equal(got, live[i].data) {
+				t.Fatalf("step %d: block %#x corrupted", step, live[i].a)
+			}
+			if err := h.Free(live[i].a); err != nil {
+				t.Fatal(err)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if step%100 == 0 {
+			if err := h.Check(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	allocs, frees := h.Counts()
+	if allocs == 0 || frees == 0 {
+		t.Fatal("stress did nothing")
+	}
+}
+
+func TestHeapsAreNodeLocal(t *testing.T) {
+	// The core failure mode of Figures 4/9: an address malloc'd on one
+	// node is unmapped on another node's space.
+	h0 := newHeap()
+	h1 := newHeap()
+	a, _ := h0.Malloc(100)
+	if h1.sp.IsMapped(a, 4) {
+		t.Fatal("fresh node 1 should not have node 0's heap mapped")
+	}
+	if _, err := h1.sp.Load32(a); !vmem.IsSegfault(err) {
+		t.Fatalf("expected segfault, got %v", err)
+	}
+}

@@ -1,0 +1,262 @@
+// Package isa defines the instruction set of the simulated threads.
+//
+// PM2 threads in the paper are ordinary compiled C code; what matters for
+// iso-address migration is that their stacks hold real machine pointers
+// (saved frame pointers, return addresses, user pointers) at concrete virtual
+// addresses. We reproduce that with a small register machine: programs are
+// the replicated SPMD "binary", loaded at identical code addresses on every
+// node, and all thread state — call frames, locals, saved FP chain, return
+// addresses — lives in the simulated address space. Whether a pointer
+// survives migration is then decided purely by addresses, exactly as in C.
+package isa
+
+import "fmt"
+
+// Reg names a register. R0..R15 are general purpose; SP and FP address the
+// simulated stack. PC is not directly addressable.
+type Reg uint8
+
+// Register file layout.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	SP
+	FP
+	// NumRegs is the size of the register file.
+	NumRegs = 18
+)
+
+func (r Reg) String() string {
+	switch {
+	case r < 16:
+		return fmt.Sprintf("r%d", int(r))
+	case r == SP:
+		return "sp"
+	case r == FP:
+		return "fp"
+	}
+	return fmt.Sprintf("reg?%d", int(r))
+}
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Opcodes. Loads and stores move 32-bit words (or single bytes for the B
+// variants) between registers and simulated memory.
+const (
+	OpNop Op = iota
+	// OpLoadI: rd = imm.
+	OpLoadI
+	// OpMov: rd = rs.
+	OpMov
+	// Three-register ALU: rd = rs <op> rt. Division and modulo by zero
+	// fault the thread.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	// OpAddI: rd = rs + imm (imm is two's-complement).
+	OpAddI
+	// OpLoad: rd = mem32[rs + imm].
+	OpLoad
+	// OpStore: mem32[rd + imm] = rs.
+	OpStore
+	// OpLoadB: rd = zero-extended mem8[rs + imm].
+	OpLoadB
+	// OpStoreB: mem8[rd + imm] = low byte of rs.
+	OpStoreB
+	// OpBr: pc = imm (absolute code address).
+	OpBr
+	// Conditional branches compare rs against rt. The U variants compare
+	// unsigned; the others are signed two's-complement comparisons.
+	OpBeq
+	OpBne
+	OpBlt
+	OpBge
+	OpBltU
+	OpBgeU
+	// OpPush: sp -= 4; mem32[sp] = rs.
+	OpPush
+	// OpPop: rd = mem32[sp]; sp += 4.
+	OpPop
+	// OpCall: push return address; pc = imm.
+	OpCall
+	// OpRet: pc = pop.
+	OpRet
+	// OpEnter: push fp; fp = sp; sp -= imm (local bytes). The pushed
+	// caller FP is the compiler-generated frame-chain pointer of the
+	// paper: a raw address stored in thread stack memory.
+	OpEnter
+	// OpLeave: sp = fp; fp = pop.
+	OpLeave
+	// OpCallB: invoke runtime builtin imm (see Builtin constants);
+	// arguments in r1..r4, result in r0.
+	OpCallB
+	// OpHalt: the thread terminates.
+	OpHalt
+
+	opMax
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpLoadI: "loadi", OpMov: "mov",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpMod: "mod",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl", OpShr: "shr",
+	OpAddI: "addi", OpLoad: "load", OpStore: "store",
+	OpLoadB: "loadb", OpStoreB: "storeb",
+	OpBr: "br", OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge",
+	OpBltU: "bltu", OpBgeU: "bgeu",
+	OpPush: "push", OpPop: "pop", OpCall: "call", OpRet: "ret",
+	OpEnter: "enter", OpLeave: "leave", OpCallB: "callb", OpHalt: "halt",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op?%d", int(o))
+}
+
+// Instr is one decoded instruction. Every instruction occupies InstrBytes of
+// simulated code space, so code addresses advance uniformly.
+type Instr struct {
+	Op         Op
+	Rd, Rs, Rt Reg
+	// Imm holds the immediate: a constant, a signed offset, an absolute
+	// code address (branches, calls), a data address, or a builtin id.
+	Imm uint32
+}
+
+// InstrBytes is the simulated footprint of one instruction.
+const InstrBytes = 4
+
+func (i Instr) String() string {
+	switch i.Op {
+	case OpNop, OpRet, OpLeave, OpHalt:
+		return i.Op.String()
+	case OpLoadI, OpAddI:
+		if i.Op == OpAddI {
+			return fmt.Sprintf("addi %s, %s, %d", i.Rd, i.Rs, int32(i.Imm))
+		}
+		return fmt.Sprintf("loadi %s, %#x", i.Rd, i.Imm)
+	case OpMov:
+		return fmt.Sprintf("mov %s, %s", i.Rd, i.Rs)
+	case OpLoad, OpLoadB:
+		return fmt.Sprintf("%s %s, [%s%+d]", i.Op, i.Rd, i.Rs, int32(i.Imm))
+	case OpStore, OpStoreB:
+		return fmt.Sprintf("%s [%s%+d], %s", i.Op, i.Rd, int32(i.Imm), i.Rs)
+	case OpBr, OpCall:
+		return fmt.Sprintf("%s %#x", i.Op, i.Imm)
+	case OpBeq, OpBne, OpBlt, OpBge, OpBltU, OpBgeU:
+		return fmt.Sprintf("%s %s, %s, %#x", i.Op, i.Rs, i.Rt, i.Imm)
+	case OpPush:
+		return fmt.Sprintf("push %s", i.Rs)
+	case OpPop:
+		return fmt.Sprintf("pop %s", i.Rd)
+	case OpEnter:
+		return fmt.Sprintf("enter %d", i.Imm)
+	case OpCallB:
+		return fmt.Sprintf("callb %s", BuiltinName(i.Imm))
+	default:
+		return fmt.Sprintf("%s %s,%s,%s,%#x", i.Op, i.Rd, i.Rs, i.Rt, i.Imm)
+	}
+}
+
+// Valid reports whether the opcode is defined.
+func (o Op) Valid() bool { return o < opMax }
+
+// Runtime builtins, invoked with OpCallB. Arguments are taken from r1..r4,
+// the result is placed in r0. These correspond to the PM2 programming
+// interface of the paper (§3.4) plus the baseline primitives of §2.
+const (
+	// BIsomalloc: r0 = pm2_isomalloc(r1 bytes); 0 on failure.
+	BIsomalloc uint32 = iota + 1
+	// BIsofree: pm2_isofree(r1).
+	BIsofree
+	// BMalloc: r0 = malloc(r1 bytes) from the node-local heap.
+	BMalloc
+	// BFree: free(r1) to the node-local heap.
+	BFree
+	// BMigrate: pm2_migrate(marcel_self(), r1) — migrate the calling
+	// thread to node r1.
+	BMigrate
+	// BSelfNode: r0 = pm2_self() — the current node id.
+	BSelfNode
+	// BSelfThread: r0 = marcel_self() — the thread handle (the address
+	// of its descriptor, stable under iso-address migration).
+	BSelfThread
+	// BPrintf: pm2_printf(fmt=r1, args r2, r3, r4). The format string
+	// lives in the replicated data segment.
+	BPrintf
+	// BRegisterPtr: r0 = pm2_register_pointer(&ptr = r1) (old scheme).
+	BRegisterPtr
+	// BUnregisterPtr: pm2_unregister_pointer(key = r1).
+	BUnregisterPtr
+	// BYield: yield the processor to the next ready thread.
+	BYield
+	// BExit: terminate the calling thread (equivalent to returning from
+	// its root function).
+	BExit
+	// BSpawn: r0 = tid of a new local thread running program entry r1
+	// with argument r2.
+	BSpawn
+	// BSpawnRemote: create a thread on node r1 running entry r2 with
+	// argument r3; r0 = 1 once acknowledged.
+	BSpawnRemote
+	// BJoin: block until local thread r1 (tid) terminates.
+	BJoin
+	// BNodeCount: r0 = pm2_config_size().
+	BNodeCount
+	// BClock: r0 = current virtual time in microseconds (saturating).
+	BClock
+	// BSleep: block the calling thread for r1 microseconds of virtual
+	// time.
+	BSleep
+)
+
+var builtinNames = map[uint32]string{
+	BIsomalloc: "isomalloc", BIsofree: "isofree",
+	BMalloc: "malloc", BFree: "free",
+	BMigrate: "migrate", BSelfNode: "self_node", BSelfThread: "self_thread",
+	BPrintf: "printf", BRegisterPtr: "register_ptr", BUnregisterPtr: "unregister_ptr",
+	BYield: "yield", BExit: "exit",
+	BSpawn: "spawn", BSpawnRemote: "spawn_remote", BJoin: "join",
+	BNodeCount: "node_count", BClock: "clock", BSleep: "sleep",
+}
+
+// Builtins maps builtin names (as written in assembly) to ids.
+var Builtins = func() map[string]uint32 {
+	m := make(map[string]uint32, len(builtinNames))
+	for id, name := range builtinNames {
+		m[name] = id
+	}
+	return m
+}()
+
+// BuiltinName returns the assembly name of builtin id.
+func BuiltinName(id uint32) string {
+	if n, ok := builtinNames[id]; ok {
+		return n
+	}
+	return fmt.Sprintf("builtin?%d", id)
+}

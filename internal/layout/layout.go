@@ -1,0 +1,128 @@
+// Package layout defines the simulated 32-bit process memory layout shared by
+// every node of a PM2 cluster (paper, Figure 5).
+//
+// All nodes are binary compatible and run "the same operating system": the
+// code, static data, local heap, iso-address area and process stack cover the
+// same virtual ranges on every node. The iso-address area sits between the
+// local heap and the process stack and is divided into fixed-size slots.
+package layout
+
+// Addr is a simulated 32-bit virtual address. The reproduction keeps the
+// paper's era-accurate 32-bit address space: pointers stored in simulated
+// memory are 4-byte little-endian words.
+type Addr = uint32
+
+// Geometry constants of the simulated address space.
+const (
+	// PageSize is the size of a virtual memory page (4 KB, as on the
+	// paper's Linux 2.0.36 / PentiumPro nodes).
+	PageSize = 4 * 1024
+	// PageShift is log2(PageSize).
+	PageShift = 12
+
+	// SlotSize is the size of an iso-address slot: 64 KB = 16 pages
+	// (paper §4.1: "the slot size was chosen so as to fit a thread stack
+	// and was fixed to 64 kB, that is 16 pages").
+	SlotSize = 64 * 1024
+	// SlotShift is log2(SlotSize).
+	SlotShift = 16
+	// PagesPerSlot is the number of pages covered by one slot.
+	PagesPerSlot = SlotSize / PageSize
+
+	// WordSize is the machine word (and pointer) size in bytes.
+	WordSize = 4
+)
+
+// Region boundaries (Figure 5). The iso-address area is exactly 3.5 GB so
+// that the per-node slot bitmap is exactly 7 KB, matching the paper's
+// arithmetic (3.5 GB / 64 KB = 57344 slots = 7168 bytes of bitmap).
+const (
+	// CodeBase .. CodeEnd holds the replicated SPMD program text. It is
+	// mapped at the same address on every node, so code addresses (return
+	// addresses on thread stacks in particular) stay valid across
+	// migration without any translation.
+	CodeBase Addr = 0x0040_0000
+	CodeEnd  Addr = 0x0100_0000
+
+	// DataBase .. DataEnd holds static data (the string table of the
+	// loaded program, global counters, ...). Identical on every node.
+	DataBase Addr = 0x0100_0000
+	DataEnd  Addr = 0x0200_0000
+
+	// HeapBase .. HeapEnd is the node-local heap used by the baseline
+	// malloc/free. Data allocated here never migrates; the same range on
+	// another node holds that node's own, unrelated heap.
+	HeapBase Addr = 0x0200_0000
+	HeapEnd  Addr = 0x1800_0000
+
+	// IsoBase .. IsoEnd is the iso-address area: globally partitioned,
+	// locally allocated. A slot busy on one node is kept free on all
+	// others.
+	IsoBase Addr = 0x1800_0000
+	IsoEnd  Addr = 0xF800_0000
+
+	// StackBase .. StackEnd is the (unique) container-process stack,
+	// located at the same virtual address on all nodes. PM2 threads do
+	// not run on it; their stacks live in iso-address slots.
+	StackBase Addr = 0xF800_0000
+	StackEnd  Addr = 0xF801_0000
+)
+
+// Derived sizes.
+const (
+	// IsoAreaSize is the byte size of the iso-address area (3.5 GB).
+	IsoAreaSize = uint64(IsoEnd - IsoBase)
+	// SlotCount is the number of slots in the iso-address area (57344).
+	SlotCount = int(IsoAreaSize / SlotSize)
+	// BitmapBytes is the size of a per-node slot bitmap (7 KB).
+	BitmapBytes = SlotCount / 8
+)
+
+// SlotIndex returns the slot number containing addr. addr must lie inside the
+// iso-address area; callers validate with InIsoArea first.
+func SlotIndex(addr Addr) int {
+	return int((addr - IsoBase) >> SlotShift)
+}
+
+// SlotBase returns the first address of slot index i.
+func SlotBase(i int) Addr {
+	return IsoBase + Addr(i)<<SlotShift
+}
+
+// InIsoArea reports whether addr lies inside the iso-address area.
+func InIsoArea(addr Addr) bool {
+	return addr >= IsoBase && addr < IsoEnd
+}
+
+// InHeap reports whether addr lies inside the node-local heap region.
+func InHeap(addr Addr) bool {
+	return addr >= HeapBase && addr < HeapEnd
+}
+
+// InCode reports whether addr lies inside the code region.
+func InCode(addr Addr) bool {
+	return addr >= CodeBase && addr < CodeEnd
+}
+
+// InData reports whether addr lies inside the static data region.
+func InData(addr Addr) bool {
+	return addr >= DataBase && addr < DataEnd
+}
+
+// PageAligned reports whether addr is a multiple of the page size.
+func PageAligned(addr Addr) bool { return addr&(PageSize-1) == 0 }
+
+// SlotAligned reports whether addr is a multiple of the slot size.
+func SlotAligned(addr Addr) bool { return addr&(SlotSize-1) == 0 }
+
+// PageFloor rounds addr down to a page boundary.
+func PageFloor(addr Addr) Addr { return addr &^ (PageSize - 1) }
+
+// PageCeil rounds n up to a whole number of pages.
+func PageCeil(n uint32) uint32 { return (n + PageSize - 1) &^ (PageSize - 1) }
+
+// SlotCeil rounds n up to a whole number of slots and reports that count.
+func SlotCeil(n uint32) int { return int((uint64(n) + SlotSize - 1) / SlotSize) }
+
+// WordAligned reports whether addr is a multiple of the word size.
+func WordAligned(addr Addr) bool { return addr&(WordSize-1) == 0 }

@@ -1,0 +1,138 @@
+package layout
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestLayoutFigure5 pins the paper's Figure 5 arithmetic: the iso-address
+// area is 3.5 GB, slots are 64 KB (16 pages), so there are 57344 slots and
+// the per-node bitmap is exactly 7 KB.
+func TestLayoutFigure5(t *testing.T) {
+	if got, want := IsoAreaSize, uint64(3584)*1024*1024; got != want {
+		t.Errorf("iso area size = %d, want 3.5 GB (%d)", got, want)
+	}
+	if SlotCount != 57344 {
+		t.Errorf("SlotCount = %d, want 57344", SlotCount)
+	}
+	if BitmapBytes != 7*1024 {
+		t.Errorf("BitmapBytes = %d, want 7168", BitmapBytes)
+	}
+	if PagesPerSlot != 16 {
+		t.Errorf("PagesPerSlot = %d, want 16", PagesPerSlot)
+	}
+}
+
+func TestRegionsAreOrderedAndDisjoint(t *testing.T) {
+	bounds := []struct {
+		name       string
+		base, end  Addr
+		wantBeside Addr // next region's base, 0 = don't care
+	}{
+		{"code", CodeBase, CodeEnd, DataBase},
+		{"data", DataBase, DataEnd, HeapBase},
+		{"heap", HeapBase, HeapEnd, IsoBase},
+		{"iso", IsoBase, IsoEnd, StackBase},
+		{"stack", StackBase, StackEnd, 0},
+	}
+	for _, r := range bounds {
+		if r.base >= r.end {
+			t.Errorf("%s region empty or inverted: [%#x, %#x)", r.name, r.base, r.end)
+		}
+		if r.wantBeside != 0 && r.end > r.wantBeside {
+			t.Errorf("%s region overlaps next: end %#x > next base %#x", r.name, r.end, r.wantBeside)
+		}
+		if !PageAligned(r.base) || !PageAligned(r.end) {
+			t.Errorf("%s region not page aligned: [%#x, %#x)", r.name, r.base, r.end)
+		}
+	}
+	// The iso area sits between the heap and the process stack (Fig. 5).
+	if !(HeapEnd <= IsoBase && IsoEnd <= StackBase) {
+		t.Errorf("iso area not between heap and stack")
+	}
+}
+
+func TestSlotIndexRoundTrip(t *testing.T) {
+	for _, i := range []int{0, 1, 2, 1000, SlotCount - 1} {
+		base := SlotBase(i)
+		if !InIsoArea(base) {
+			t.Errorf("SlotBase(%d) = %#x not in iso area", i, base)
+		}
+		if got := SlotIndex(base); got != i {
+			t.Errorf("SlotIndex(SlotBase(%d)) = %d", i, got)
+		}
+		if got := SlotIndex(base + SlotSize - 1); got != i {
+			t.Errorf("SlotIndex(last byte of slot %d) = %d", i, got)
+		}
+		if !SlotAligned(base) {
+			t.Errorf("SlotBase(%d) = %#x not slot aligned", i, base)
+		}
+	}
+	if end := SlotBase(SlotCount-1) + SlotSize; end != IsoEnd {
+		t.Errorf("last slot ends at %#x, want IsoEnd %#x", end, IsoEnd)
+	}
+}
+
+func TestSlotIndexProperty(t *testing.T) {
+	f := func(off uint32) bool {
+		addr := IsoBase + Addr(uint64(off)%IsoAreaSize)
+		i := SlotIndex(addr)
+		return i >= 0 && i < SlotCount && SlotBase(i) <= addr && addr < SlotBase(i)+SlotSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlignmentHelpers(t *testing.T) {
+	cases := []struct {
+		n    uint32
+		ceil uint32
+	}{
+		{0, 0},
+		{1, PageSize},
+		{PageSize, PageSize},
+		{PageSize + 1, 2 * PageSize},
+	}
+	for _, c := range cases {
+		if got := PageCeil(c.n); got != c.ceil {
+			t.Errorf("PageCeil(%d) = %d, want %d", c.n, got, c.ceil)
+		}
+	}
+	slotCases := []struct {
+		n    uint32
+		want int
+	}{
+		{0, 0},
+		{1, 1},
+		{SlotSize, 1},
+		{SlotSize + 1, 2},
+		{8 * 1024 * 1024, 128},
+	}
+	for _, c := range slotCases {
+		if got := SlotCeil(c.n); got != c.want {
+			t.Errorf("SlotCeil(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+	if PageFloor(0x1234_5678) != 0x1234_5000 {
+		t.Errorf("PageFloor broken: %#x", PageFloor(0x1234_5678))
+	}
+	if !WordAligned(8) || WordAligned(6) {
+		t.Errorf("WordAligned broken")
+	}
+}
+
+func TestRegionPredicates(t *testing.T) {
+	if !InIsoArea(IsoBase) || InIsoArea(IsoEnd) || InIsoArea(IsoBase-1) {
+		t.Errorf("InIsoArea boundary conditions wrong")
+	}
+	if !InHeap(HeapBase) || InHeap(HeapEnd) {
+		t.Errorf("InHeap boundary conditions wrong")
+	}
+	if !InCode(CodeBase) || InCode(CodeEnd) {
+		t.Errorf("InCode boundary conditions wrong")
+	}
+	if !InData(DataBase) || InData(DataEnd) {
+		t.Errorf("InData boundary conditions wrong")
+	}
+}

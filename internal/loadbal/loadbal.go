@@ -1,0 +1,124 @@
+// Package loadbal implements the generic load-balancing module the paper
+// motivates in §2: "a generic module implemented outside the running
+// application could balance the load by migrating the application threads.
+// The threads are unaware of their being migrated and keep on running
+// irrespective of their location."
+//
+// The balancer runs as a periodic virtual-time activity: it samples each
+// node's resident thread count and preemptively migrates threads from the
+// most loaded node to the least loaded one. It uses only the public
+// migration mechanism — no cooperation from the threads.
+package loadbal
+
+import (
+	"repro/internal/marcel"
+	"repro/internal/pm2"
+	"repro/internal/simtime"
+)
+
+// Config parameterizes a balancer.
+type Config struct {
+	// Period between balancing rounds (default 5 ms of virtual time).
+	Period simtime.Time
+	// Threshold is the minimum load imbalance (max - min resident
+	// threads) that triggers a migration (default 2).
+	Threshold int
+	// MaxMovesPerRound bounds migrations per round (default 1).
+	MaxMovesPerRound int
+}
+
+// Balancer periodically redistributes threads over a cluster.
+type Balancer struct {
+	c       *pm2.Cluster
+	cfg     Config
+	stopped bool
+	moves   int
+	rounds  int
+}
+
+// Attach starts a balancer on the cluster. It schedules itself on the
+// discrete-event engine and keeps running until Stop (or until the engine
+// drains with no further work).
+func Attach(c *pm2.Cluster, cfg Config) *Balancer {
+	if cfg.Period <= 0 {
+		cfg.Period = 5 * simtime.Millisecond
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 2
+	}
+	if cfg.MaxMovesPerRound <= 0 {
+		cfg.MaxMovesPerRound = 1
+	}
+	b := &Balancer{c: c, cfg: cfg}
+	b.schedule()
+	return b
+}
+
+// Moves returns the number of migrations the balancer has requested.
+func (b *Balancer) Moves() int { return b.moves }
+
+// Rounds returns the number of balancing rounds executed.
+func (b *Balancer) Rounds() int { return b.rounds }
+
+// Stop disables further rounds.
+func (b *Balancer) Stop() { b.stopped = true }
+
+func (b *Balancer) schedule() {
+	b.c.Engine().After(b.cfg.Period, b.round)
+}
+
+func (b *Balancer) round() {
+	if b.stopped {
+		return
+	}
+	b.rounds++
+	// Sample loads. Reading counts is a control-plane observation; the
+	// migration requests go through the owning node's actor.
+	busiest, idlest := -1, -1
+	maxLoad, minLoad := -1, 1<<30
+	totalThreads := 0
+	for i := 0; i < b.c.Nodes(); i++ {
+		load := b.c.Node(i).Scheduler().Threads()
+		totalThreads += load
+		if load > maxLoad {
+			maxLoad, busiest = load, i
+		}
+		if load < minLoad {
+			minLoad, idlest = load, i
+		}
+	}
+	if totalThreads == 0 {
+		// Nothing left to balance; stop rescheduling so the engine
+		// can drain.
+		return
+	}
+	if maxLoad-minLoad >= b.cfg.Threshold && busiest != idlest {
+		moves := b.cfg.MaxMovesPerRound
+		if d := (maxLoad - minLoad) / 2; d < moves {
+			moves = d
+		}
+		if moves < 1 {
+			moves = 1
+		}
+		src, dst := busiest, idlest
+		b.c.At(src, func(n *pm2.Node) {
+			moved := 0
+			for _, t := range n.Scheduler().Snapshot() {
+				if moved == moves {
+					break
+				}
+				if b.migratable(t) && n.Scheduler().RequestMigration(t.TID, dst) {
+					moved++
+					b.moves++
+				}
+			}
+		})
+	}
+	b.schedule()
+}
+
+// migratable filters out threads that should not move: blocked threads
+// would only migrate on wake-up, so prefer runnable ones.
+func (b *Balancer) migratable(t *marcel.Thread) bool {
+	return !t.Blocked() && t.MigrateTo < 0
+}

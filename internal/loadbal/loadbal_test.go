@@ -1,0 +1,93 @@
+package loadbal
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pm2"
+	"repro/internal/progs"
+	"repro/internal/simtime"
+)
+
+func TestBalancerSpreadsLoad(t *testing.T) {
+	c := pm2.New(pm2.Config{Nodes: 4}, progs.NewImage())
+	// All work lands on node 0, as in an irregular application phase.
+	for i := 0; i < 12; i++ {
+		c.SpawnSync(0, "worker", 60_000)
+	}
+	b := Attach(c, Config{
+		Period:           2 * simtime.Millisecond,
+		Threshold:        2,
+		MaxMovesPerRound: 2,
+	})
+	// Let the balancer operate while threads run.
+	c.RunFor(40 * simtime.Millisecond)
+	// Threads must have been spread out.
+	spread := 0
+	for i := 1; i < 4; i++ {
+		spread += c.Node(i).Scheduler().Threads()
+	}
+	if b.Moves() == 0 || spread == 0 {
+		t.Fatalf("balancer idle: moves=%d spread=%d", b.Moves(), spread)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(0)
+	// Every worker finishes despite being bounced around, and the
+	// isomalloc cell each carries stays consistent.
+	lines := c.Trace().Lines()
+	if len(lines) != 12 {
+		t.Fatalf("finished = %d, want 12:\n%s", len(lines), c.Trace().String())
+	}
+	// Some finished away from node 0.
+	away := 0
+	for _, l := range lines {
+		if !strings.HasSuffix(l, "on node 0") {
+			away++
+		}
+	}
+	if away == 0 {
+		t.Fatal("no worker finished on a remote node")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBalancerStopsWhenIdle(t *testing.T) {
+	c := pm2.New(pm2.Config{Nodes: 2}, progs.NewImage())
+	b := Attach(c, Config{Period: 1 * simtime.Millisecond})
+	// No threads at all: the balancer must not keep the engine alive
+	// forever.
+	c.Run(1_000)
+	if c.Engine().Pending() != 0 {
+		t.Fatalf("events still pending: %d", c.Engine().Pending())
+	}
+	if b.Rounds() == 0 {
+		t.Fatal("balancer never ran")
+	}
+}
+
+func TestBalancerStop(t *testing.T) {
+	c := pm2.New(pm2.Config{Nodes: 2}, progs.NewImage())
+	c.SpawnSync(0, "worker", 100_000)
+	b := Attach(c, Config{Period: 1 * simtime.Millisecond, Threshold: 1})
+	b.Stop()
+	c.RunFor(10 * simtime.Millisecond)
+	if b.Moves() != 0 {
+		t.Fatal("stopped balancer still migrating")
+	}
+}
+
+func TestBalancerRespectsThreshold(t *testing.T) {
+	c := pm2.New(pm2.Config{Nodes: 2}, progs.NewImage())
+	// One thread per node: perfectly balanced; threshold 2 must hold it.
+	c.SpawnSync(0, "worker", 50_000)
+	c.SpawnSync(1, "worker", 50_000)
+	b := Attach(c, Config{Period: 1 * simtime.Millisecond, Threshold: 2})
+	c.RunFor(20 * simtime.Millisecond)
+	if b.Moves() != 0 {
+		t.Fatalf("balancer moved threads across a balanced cluster: %d", b.Moves())
+	}
+}

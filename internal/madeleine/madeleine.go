@@ -1,0 +1,265 @@
+// Package madeleine reproduces the Madeleine communication layer used by
+// PM2: an efficient, portable message-passing interface on top of the
+// low-level BIP driver.
+//
+// It provides two things. Buffer is an incremental pack/unpack facility
+// (Madeleine's pack/unpack calls) used to marshal thread resources, slot
+// images and protocol records. Endpoint adds tagged dispatch and a
+// request/reply (LRPC-style) discipline on top of bip.NIC, which the PM2
+// runtime uses for migration, remote thread creation and the slot
+// negotiation protocol.
+package madeleine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/bip"
+	"repro/internal/simtime"
+)
+
+// ActorT is the node CPU actor type endpoints bind to.
+type ActorT = simtime.Actor
+
+// ErrUnderflow is reported by Buffer when unpacking past the end of a
+// message.
+var ErrUnderflow = errors.New("madeleine: unpack past end of message")
+
+// Buffer packs and unpacks typed fields in little-endian order. Packing
+// appends; unpacking consumes from the front. Unpack errors are sticky: the
+// first failure poisons the buffer and zero values are returned thereafter.
+type Buffer struct {
+	data []byte
+	off  int
+	err  error
+}
+
+// NewBuffer returns an empty pack buffer.
+func NewBuffer() *Buffer { return &Buffer{} }
+
+// FromBytes returns an unpack buffer over data (not copied).
+func FromBytes(data []byte) *Buffer { return &Buffer{data: data} }
+
+// Bytes returns the packed message.
+func (b *Buffer) Bytes() []byte { return b.data }
+
+// Len returns the total packed length in bytes.
+func (b *Buffer) Len() int { return len(b.data) }
+
+// Remaining returns the number of bytes not yet unpacked.
+func (b *Buffer) Remaining() int { return len(b.data) - b.off }
+
+// Err returns the sticky unpack error, if any.
+func (b *Buffer) Err() error { return b.err }
+
+// PackU32 appends a 32-bit word.
+func (b *Buffer) PackU32(v uint32) *Buffer {
+	b.data = binary.LittleEndian.AppendUint32(b.data, v)
+	return b
+}
+
+// PackU64 appends a 64-bit word.
+func (b *Buffer) PackU64(v uint64) *Buffer {
+	b.data = binary.LittleEndian.AppendUint64(b.data, v)
+	return b
+}
+
+// PackBytes appends a length-prefixed byte section.
+func (b *Buffer) PackBytes(p []byte) *Buffer {
+	b.PackU32(uint32(len(p)))
+	b.data = append(b.data, p...)
+	return b
+}
+
+// PackString appends a length-prefixed string.
+func (b *Buffer) PackString(s string) *Buffer { return b.PackBytes([]byte(s)) }
+
+func (b *Buffer) fail() {
+	if b.err == nil {
+		b.err = ErrUnderflow
+	}
+}
+
+// U32 consumes a 32-bit word.
+func (b *Buffer) U32() uint32 {
+	if b.err != nil || b.off+4 > len(b.data) {
+		b.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(b.data[b.off:])
+	b.off += 4
+	return v
+}
+
+// U64 consumes a 64-bit word.
+func (b *Buffer) U64() uint64 {
+	if b.err != nil || b.off+8 > len(b.data) {
+		b.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(b.data[b.off:])
+	b.off += 8
+	return v
+}
+
+// BytesSection consumes a length-prefixed byte section. The returned slice
+// aliases the message.
+func (b *Buffer) BytesSection() []byte {
+	n := b.U32()
+	if b.err != nil || b.off+int(n) > len(b.data) {
+		b.fail()
+		return nil
+	}
+	p := b.data[b.off : b.off+int(n)]
+	b.off += int(n)
+	return p
+}
+
+// String consumes a length-prefixed string.
+func (b *Buffer) String() string { return string(b.BytesSection()) }
+
+// Envelope kinds carried in the first word of every endpoint message.
+const (
+	kindOneway uint32 = 0
+	kindCall   uint32 = 1
+	kindReply  uint32 = 2
+)
+
+// Handler processes an inbound one-way message.
+type Handler func(src int, msg *Buffer)
+
+// CallHandler processes an inbound request. It may reply immediately or
+// retain the Call and reply later, once local events complete.
+type CallHandler func(src int, req *Call)
+
+// Call is a pending inbound request awaiting a reply.
+type Call struct {
+	ep    *Endpoint
+	src   int
+	reqID uint32
+	// Msg is the request payload.
+	Msg  *Buffer
+	done bool
+}
+
+// Src returns the requesting node.
+func (c *Call) Src() int { return c.src }
+
+// Reply sends the response payload back to the requester. It must be called
+// exactly once, from the receiving node's actor.
+func (c *Call) Reply(build func(*Buffer)) {
+	if c.done {
+		panic("madeleine: double reply")
+	}
+	c.done = true
+	out := NewBuffer()
+	out.PackU32(kindReply)
+	out.PackU32(c.reqID)
+	if build != nil {
+		build(out)
+	}
+	c.ep.nic.Send(c.src, 0, out.Bytes())
+}
+
+// Endpoint is a node's Madeleine port: tagged one-way messages plus a
+// request/reply discipline. All callbacks run on the node's CPU actor, in
+// virtual time.
+type Endpoint struct {
+	nic      *bip.NIC
+	handlers map[uint32]Handler
+	calls    map[uint32]CallHandler
+	pending  map[uint32]func(*Buffer)
+	nextReq  uint32
+}
+
+// Attach creates node id's endpoint on the network, bound to its CPU actor.
+func Attach(nw *bip.Network, id int, actor *ActorT) *Endpoint {
+	ep := &Endpoint{
+		handlers: make(map[uint32]Handler),
+		calls:    make(map[uint32]CallHandler),
+		pending:  make(map[uint32]func(*Buffer)),
+	}
+	ep.nic = nw.Attach(id, actor, ep.dispatch)
+	return ep
+}
+
+// ID returns the node id of the endpoint.
+func (ep *Endpoint) ID() int { return ep.nic.ID() }
+
+// Handle registers the handler for one-way messages on channel ch.
+func (ep *Endpoint) Handle(ch uint32, h Handler) {
+	if _, dup := ep.handlers[ch]; dup {
+		panic(fmt.Sprintf("madeleine: duplicate handler for channel %d", ch))
+	}
+	ep.handlers[ch] = h
+}
+
+// HandleCall registers the request handler for channel ch.
+func (ep *Endpoint) HandleCall(ch uint32, h CallHandler) {
+	if _, dup := ep.calls[ch]; dup {
+		panic(fmt.Sprintf("madeleine: duplicate call handler for channel %d", ch))
+	}
+	ep.calls[ch] = h
+}
+
+// Send transmits a one-way message on channel ch to node dst. build packs
+// the payload (may be nil for empty messages).
+func (ep *Endpoint) Send(dst int, ch uint32, build func(*Buffer)) {
+	out := NewBuffer()
+	out.PackU32(kindOneway)
+	out.PackU32(ch)
+	if build != nil {
+		build(out)
+	}
+	ep.nic.Send(dst, ch, out.Bytes())
+}
+
+// Call issues a request on channel ch to node dst; done runs on this node's
+// actor when the reply arrives.
+func (ep *Endpoint) Call(dst int, ch uint32, build func(*Buffer), done func(*Buffer)) {
+	ep.nextReq++
+	id := ep.nextReq
+	ep.pending[id] = done
+	out := NewBuffer()
+	out.PackU32(kindCall)
+	out.PackU32(ch)
+	out.PackU32(id)
+	if build != nil {
+		build(out)
+	}
+	ep.nic.Send(dst, ch, out.Bytes())
+}
+
+func (ep *Endpoint) dispatch(src int, _ uint32, payload []byte) {
+	msg := FromBytes(payload)
+	switch kind := msg.U32(); kind {
+	case kindOneway:
+		ch := msg.U32()
+		h, ok := ep.handlers[ch]
+		if !ok {
+			panic(fmt.Sprintf("madeleine: node %d: no handler for channel %d", ep.ID(), ch))
+		}
+		h(src, msg)
+	case kindCall:
+		ch := msg.U32()
+		reqID := msg.U32()
+		h, ok := ep.calls[ch]
+		if !ok {
+			panic(fmt.Sprintf("madeleine: node %d: no call handler for channel %d", ep.ID(), ch))
+		}
+		h(src, &Call{ep: ep, src: src, reqID: reqID, Msg: msg})
+	case kindReply:
+		reqID := msg.U32()
+		done, ok := ep.pending[reqID]
+		if !ok {
+			panic(fmt.Sprintf("madeleine: node %d: reply for unknown request %d", ep.ID(), reqID))
+		}
+		delete(ep.pending, reqID)
+		if done != nil {
+			done(msg)
+		}
+	default:
+		panic(fmt.Sprintf("madeleine: bad envelope kind %d", kind))
+	}
+}

@@ -1,0 +1,202 @@
+package madeleine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bip"
+	"repro/internal/cost"
+	"repro/internal/simtime"
+)
+
+func TestBufferRoundTrip(t *testing.T) {
+	b := NewBuffer()
+	b.PackU32(42).PackU64(1 << 40).PackString("pm2").PackBytes([]byte{9, 8, 7})
+	r := FromBytes(b.Bytes())
+	if got := r.U32(); got != 42 {
+		t.Fatalf("U32 = %d", got)
+	}
+	if got := r.U64(); got != 1<<40 {
+		t.Fatalf("U64 = %d", got)
+	}
+	if got := r.String(); got != "pm2" {
+		t.Fatalf("String = %q", got)
+	}
+	sec := r.BytesSection()
+	if len(sec) != 3 || sec[0] != 9 {
+		t.Fatalf("BytesSection = %v", sec)
+	}
+	if r.Remaining() != 0 || r.Err() != nil {
+		t.Fatalf("leftover %d, err %v", r.Remaining(), r.Err())
+	}
+}
+
+func TestBufferUnderflowIsSticky(t *testing.T) {
+	r := FromBytes([]byte{1, 2})
+	if got := r.U32(); got != 0 {
+		t.Fatalf("underflow U32 = %d", got)
+	}
+	if r.Err() != ErrUnderflow {
+		t.Fatalf("Err = %v", r.Err())
+	}
+	// Later reads keep failing and return zero values.
+	if r.U64() != 0 || r.String() != "" || r.BytesSection() != nil {
+		t.Fatal("poisoned buffer returned non-zero values")
+	}
+}
+
+func TestBufferTruncatedSection(t *testing.T) {
+	b := NewBuffer()
+	b.PackU32(100) // claims a 100-byte section that isn't there
+	r := FromBytes(b.Bytes())
+	if r.BytesSection() != nil || r.Err() == nil {
+		t.Fatal("truncated section must error")
+	}
+}
+
+func TestBufferPropertyU32(t *testing.T) {
+	f := func(vals []uint32) bool {
+		b := NewBuffer()
+		for _, v := range vals {
+			b.PackU32(v)
+		}
+		r := FromBytes(b.Bytes())
+		for _, v := range vals {
+			if r.U32() != v {
+				return false
+			}
+		}
+		return r.Err() == nil && r.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+type pair struct {
+	eng *simtime.Engine
+	eps [2]*Endpoint
+	act [2]*simtime.Actor
+}
+
+func newPair(t *testing.T) *pair {
+	t.Helper()
+	p := &pair{eng: simtime.NewEngine()}
+	nw := bip.NewNetwork(p.eng, cost.Default(), 2)
+	for i := 0; i < 2; i++ {
+		p.act[i] = simtime.NewActor(p.eng, "node")
+		p.eps[i] = Attach(nw, i, p.act[i])
+	}
+	return p
+}
+
+func TestOnewayMessage(t *testing.T) {
+	p := newPair(t)
+	var got []uint32
+	var from int
+	p.eps[1].Handle(5, func(src int, msg *Buffer) {
+		from = src
+		got = append(got, msg.U32(), msg.U32())
+	})
+	p.act[0].Post(0, func() {
+		p.eps[0].Send(1, 5, func(b *Buffer) { b.PackU32(11).PackU32(22) })
+	})
+	p.eng.Run(0)
+	if from != 0 || len(got) != 2 || got[0] != 11 || got[1] != 22 {
+		t.Fatalf("from=%d got=%v", from, got)
+	}
+}
+
+func TestCallReply(t *testing.T) {
+	p := newPair(t)
+	p.eps[1].HandleCall(3, func(src int, req *Call) {
+		x := req.Msg.U32()
+		req.Reply(func(b *Buffer) { b.PackU32(x * 2) })
+	})
+	var answer uint32
+	var doneAt simtime.Time
+	p.act[0].Post(0, func() {
+		p.eps[0].Call(1, 3, func(b *Buffer) { b.PackU32(21) }, func(b *Buffer) {
+			answer = b.U32()
+			doneAt = p.act[0].Now()
+		})
+	})
+	p.eng.Run(0)
+	if answer != 42 {
+		t.Fatalf("answer = %d", answer)
+	}
+	if doneAt <= 0 {
+		t.Fatal("reply must consume virtual time")
+	}
+}
+
+func TestDeferredReply(t *testing.T) {
+	p := newPair(t)
+	// The callee holds the Call and replies after some local work.
+	p.eps[1].HandleCall(1, func(src int, req *Call) {
+		r := req
+		p.act[1].PostAfter(50*simtime.Microsecond, func() {
+			r.Reply(func(b *Buffer) { b.PackString("late") })
+		})
+	})
+	var got string
+	p.act[0].Post(0, func() {
+		p.eps[0].Call(1, 1, nil, func(b *Buffer) { got = b.String() })
+	})
+	p.eng.Run(0)
+	if got != "late" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestConcurrentCallsCorrelate(t *testing.T) {
+	p := newPair(t)
+	p.eps[1].HandleCall(2, func(src int, req *Call) {
+		v := req.Msg.U32()
+		req.Reply(func(b *Buffer) { b.PackU32(v + 100) })
+	})
+	results := map[uint32]uint32{}
+	p.act[0].Post(0, func() {
+		for i := uint32(0); i < 5; i++ {
+			i := i
+			p.eps[0].Call(1, 2, func(b *Buffer) { b.PackU32(i) }, func(b *Buffer) {
+				results[i] = b.U32()
+			})
+		}
+	})
+	p.eng.Run(0)
+	if len(results) != 5 {
+		t.Fatalf("results = %v", results)
+	}
+	for i := uint32(0); i < 5; i++ {
+		if results[i] != i+100 {
+			t.Fatalf("call %d got %d", i, results[i])
+		}
+	}
+}
+
+func TestDoubleReplyPanics(t *testing.T) {
+	p := newPair(t)
+	p.eps[1].HandleCall(1, func(src int, req *Call) {
+		req.Reply(nil)
+		defer func() {
+			if recover() == nil {
+				t.Error("double reply should panic")
+			}
+		}()
+		req.Reply(nil)
+	})
+	p.act[0].Post(0, func() { p.eps[0].Call(1, 1, nil, nil) })
+	p.eng.Run(0)
+}
+
+func TestDuplicateHandlerPanics(t *testing.T) {
+	p := newPair(t)
+	p.eps[0].Handle(1, func(int, *Buffer) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	p.eps[0].Handle(1, func(int, *Buffer) {})
+}

@@ -1,0 +1,163 @@
+package pm2
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/progs"
+)
+
+// TestFig6SlotLifecycle walks the exact four steps of the paper's Figure 6:
+//
+//	Step 1  a thread is created and acquires a slot owned by the local
+//	        node to store its stack;
+//	Step 2  the thread acquires other slots from the local node, to store
+//	        its private data;
+//	Step 3  the thread migrates along with its slots;
+//	Step 4  the thread dies and its slots are acquired by the destination
+//	        node.
+//
+// At every step the test checks who owns what: the node bitmaps, the
+// thread's in-memory slot list, and the mapped ranges.
+func TestFig6SlotLifecycle(t *testing.T) {
+	im := progs.NewImage()
+	mustAsm(im, `
+.program fig6
+main:
+    enter 4
+    callb yield         ; checkpoint after step 1 (stack slot only)
+    loadi r1, 40000
+    callb isomalloc
+    store [fp-4], r0
+    callb yield         ; checkpoint after step 2 (stack + data slots)
+    loadi r1, 1
+    callb migrate       ; step 3
+    callb yield         ; checkpoint after arrival
+    halt                ; step 4: death releases everything to node 1
+`)
+	c := New(Config{Nodes: 2}, im)
+	node0, node1 := c.Node(0), c.Node(1)
+	free0 := node0.Slots().OwnedFree()
+	free1 := node1.Slots().OwnedFree()
+
+	tid := c.SpawnSync(0, "fig6", 0)
+
+	// until steps the engine event-by-event to the first instant cond
+	// holds, so each Figure 6 step can be inspected exactly when it
+	// happens.
+	until := func(what string, cond func() bool) {
+		for i := 0; i < 1_000_000; i++ {
+			if cond() {
+				return
+			}
+			if !c.eng.Step() {
+				break
+			}
+		}
+		if !cond() {
+			t.Fatalf("never reached: %s", what)
+		}
+	}
+
+	// --- Step 1: the stack slot has left node 0's bitmap and belongs to
+	// the thread.
+	th, ok := node0.Scheduler().Lookup(tid)
+	if !ok {
+		t.Fatal("thread not resident on node 0")
+	}
+	if got := node0.Slots().OwnedFree(); got != free0-1 {
+		t.Fatalf("step 1: node 0 owns %d, want %d", got, free0-1)
+	}
+	groups, err := node0.Scheduler().Arena(th).Groups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 || groups[0].Kind != core.KindStack {
+		t.Fatalf("step 1: thread groups = %+v", groups)
+	}
+	stackBase := groups[0].Base
+
+	// --- Step 2: a data slot joined the thread's list; node 0 lost
+	// another slot.
+	until("data slot attached", func() bool {
+		gs, err := node0.Scheduler().Arena(th).Groups()
+		return err == nil && len(gs) == 2
+	})
+	groups, err = node0.Scheduler().Arena(th).Groups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 || groups[1].Kind != core.KindData {
+		t.Fatalf("step 2: thread groups = %+v", groups)
+	}
+	dataBase := groups[1].Base
+	if got := node0.Slots().OwnedFree(); got != free0-2 {
+		t.Fatalf("step 2: node 0 owns %d, want %d", got, free0-2)
+	}
+	// Both slots are mapped on node 0 and unmapped on node 1.
+	for _, base := range []Addr{stackBase, dataBase} {
+		if !node0.Space().IsMapped(base, layout.SlotSize) {
+			t.Fatalf("step 2: %#x not mapped at source", base)
+		}
+		if node1.Space().IsMapped(base, 1) {
+			t.Fatalf("step 2: %#x mapped at destination already", base)
+		}
+	}
+
+	// --- Step 3: after migration the same addresses are mapped on node 1
+	// and gone from node 0; no bitmap changed ("the bitmaps do not undergo
+	// any change on thread migration").
+	bm0 := node0.Slots().Bitmap().Clone()
+	bm1 := node1.Slots().Bitmap().Clone()
+	until("thread arrived on node 1", func() bool {
+		_, there := node1.Scheduler().Lookup(tid)
+		return there
+	})
+	if _, still := node0.Scheduler().Lookup(tid); still {
+		t.Fatal("step 3: thread still on node 0")
+	}
+	th1, ok := node1.Scheduler().Lookup(tid)
+	if !ok {
+		t.Fatal("step 3: thread not on node 1")
+	}
+	if th1.Desc != th.Desc {
+		t.Fatalf("step 3: descriptor moved: %#x vs %#x", th1.Desc, th.Desc)
+	}
+	if !node0.Slots().Bitmap().Equal(bm0) || !node1.Slots().Bitmap().Equal(bm1) {
+		t.Fatal("step 3: a bitmap changed during migration")
+	}
+	for _, base := range []Addr{stackBase, dataBase} {
+		if node0.Space().IsMapped(base, 1) {
+			t.Fatalf("step 3: %#x still mapped at source", base)
+		}
+		if !node1.Space().IsMapped(base, layout.SlotSize) {
+			t.Fatalf("step 3: %#x not mapped at destination", base)
+		}
+	}
+	// The slot list arrived intact, readable from node 1's memory.
+	groups, err = node1.Scheduler().Arena(th1).Groups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 || groups[0].Base != stackBase || groups[1].Base != dataBase {
+		t.Fatalf("step 3: groups = %+v", groups)
+	}
+
+	// --- Step 4: on death, both slots are acquired by the destination
+	// node.
+	c.Run(0)
+	if got := node1.Slots().OwnedFree(); got != free1+2 {
+		t.Fatalf("step 4: node 1 owns %d, want %d", got, free1+2)
+	}
+	if got := node0.Slots().OwnedFree(); got != free0-2 {
+		t.Fatalf("step 4: node 0 owns %d, want %d", got, free0-2)
+	}
+	if !node1.Slots().Bitmap().Test(layout.SlotIndex(stackBase)) ||
+		!node1.Slots().Bitmap().Test(layout.SlotIndex(dataBase)) {
+		t.Fatal("step 4: node 1 did not acquire the thread's slots")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,158 @@
+package pm2
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/madeleine"
+	"repro/internal/marcel"
+	"repro/internal/simtime"
+)
+
+// Iso-address migration (paper §2 steps 1–3 with the §4.2 slot machinery):
+//
+//  1. the thread is frozen (registers spilled into its in-memory
+//     descriptor) and its slot groups are packed into a Madeleine buffer —
+//     whole slots or just the used extents, per Config.Pack. The source
+//     mappings are destroyed; ownership bits change on no node.
+//  2. the buffer travels over BIP.
+//  3. the destination mmaps the *same* virtual ranges, copies the extents,
+//     rebuilds free lists for used-mode data groups, and re-enqueues the
+//     thread. Nothing is relocated and no pointer is updated.
+
+// migrateOut is the marcel Migrate hook: the thread is already frozen and
+// detached.
+func (n *Node) migrateOut(t *marcel.Thread, dest int) {
+	switch n.c.cfg.Policy {
+	case PolicyIso:
+		n.isoMigrateOut(t, dest)
+	case PolicyRelocate:
+		n.relocMigrateOut(t, dest)
+	default:
+		panic("pm2: unknown migration policy")
+	}
+}
+
+func (n *Node) isoMigrateOut(t *marcel.Thread, dest int) {
+	model := n.c.cfg.Model
+	ar := n.sched.Arena(t)
+	groups, err := ar.Groups()
+	if err != nil {
+		panic(fmt.Sprintf("pm2: packing thread %#x: %v", t.TID, err))
+	}
+
+	start := n.actor.Now()
+	buf := madeleine.NewBuffer()
+	buf.PackU32(t.Desc)
+	buf.PackU64(uint64(start))
+	buf.PackU32(uint32(n.c.cfg.Pack))
+	buf.PackU32(uint32(len(groups)))
+
+	for _, g := range groups {
+		h, err := core.ReadSlotHeader(n.space, g.Base)
+		if err != nil {
+			panic(err)
+		}
+		var spans []core.Span
+		if n.c.cfg.Pack == PackWhole {
+			spans = core.WholeSpan(&h)
+		} else {
+			switch g.Kind {
+			case core.KindStack:
+				// The live stack runs from the frozen SP to the
+				// slot end; SP is in the descriptor we just wrote.
+				spans, err = core.UsedSpansStack(&h, marcel.DescSize, t.Regs.SP)
+			case core.KindData:
+				spans, err = core.UsedSpansData(n.space, &h)
+			default:
+				err = fmt.Errorf("bad slot kind %d", g.Kind)
+			}
+			if err != nil {
+				panic(fmt.Sprintf("pm2: packing thread %#x: %v", t.TID, err))
+			}
+		}
+		buf.PackU32(g.Base)
+		buf.PackU32(uint32(g.NSlots))
+		buf.PackU32(uint32(g.Kind))
+		buf.PackU32(uint32(len(spans)))
+		for _, s := range spans {
+			data, err := n.space.ReadBytes(g.Base+Addr(s.Off), int(s.Len))
+			if err != nil {
+				panic(err)
+			}
+			n.actor.Charge(model.Memcpy(int(s.Len)))
+			buf.PackU32(s.Off)
+			buf.PackBytes(data)
+		}
+	}
+
+	// The memory area storing the resources is set free (paper step 1);
+	// the bits stay 0 everywhere — the thread still owns its slots.
+	for _, g := range groups {
+		if err := n.slots.Evict(layout.SlotIndex(g.Base), g.NSlots); err != nil {
+			panic(err)
+		}
+	}
+
+	n.ep.Send(dest, chMigrate, func(b *madeleine.Buffer) {
+		b.PackBytes(buf.Bytes())
+	})
+}
+
+// onMigrateMsg is the destination half.
+func (n *Node) onMigrateMsg(src int, msg *madeleine.Buffer) {
+	inner := madeleine.FromBytes(msg.BytesSection())
+	model := n.c.cfg.Model
+
+	desc := inner.U32()
+	start := simtime.Time(inner.U64())
+	mode := PackMode(inner.U32())
+	nGroups := int(inner.U32())
+
+	for gi := 0; gi < nGroups; gi++ {
+		base := Addr(inner.U32())
+		nSlots := int(inner.U32())
+		kind := core.SlotKind(inner.U32())
+		nSpans := int(inner.U32())
+
+		// An adequate memory area is allocated on the destination
+		// node (paper step 3) — at the same virtual addresses. The
+		// iso-address discipline guarantees this cannot collide.
+		if err := n.slots.Install(layout.SlotIndex(base), nSlots); err != nil {
+			panic(fmt.Sprintf("pm2: iso-address collision installing %#08x on node %d: %v", base, n.id, err))
+		}
+
+		spans := make([]core.Span, 0, nSpans)
+		for si := 0; si < nSpans; si++ {
+			off := inner.U32()
+			data := inner.BytesSection()
+			if inner.Err() != nil {
+				panic("pm2: corrupt migration message")
+			}
+			if err := n.space.Write(base+Addr(off), data); err != nil {
+				panic(err)
+			}
+			n.actor.Charge(model.Memcpy(len(data)))
+			n.actor.Charge(model.ZeroFill(len(data))) // first touch of fresh pages
+			spans = append(spans, core.Span{Off: off, Len: uint32(len(data))})
+		}
+		if mode == PackUsed && kind == core.KindData {
+			if err := core.RebuildFreeList(n.space, base, spans); err != nil {
+				panic(err)
+			}
+		}
+	}
+	if inner.Err() != nil {
+		panic("pm2: corrupt migration message")
+	}
+
+	// Thread execution is resumed (paper step 3): thaw from memory only.
+	if _, err := n.sched.Thaw(desc); err != nil {
+		panic(fmt.Sprintf("pm2: thawing migrated thread on node %d: %v", n.id, err))
+	}
+	n.kick()
+
+	n.c.stats.Migrations++
+	n.c.stats.MigrationLatencies = append(n.c.stats.MigrationLatencies, n.actor.Now()-start)
+}

@@ -1,0 +1,257 @@
+package pm2
+
+import (
+	"fmt"
+
+	"repro/internal/bitmap"
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/madeleine"
+)
+
+// The negotiation protocol (paper §4.4, step 2). When a node cannot satisfy
+// a multi-slot allocation from its own bitmap, it:
+//
+//	(a) enters a system-wide critical section (lock manager on node 0);
+//	(b) gathers the bitmaps of all other nodes, one by one;
+//	(c) computes a global OR and first-fit searches it for the run;
+//	(d) buys the non-local slots from their owners;
+//	(e) the owners' bitmaps are updated by the purchase; the requester
+//	    marks the bought slots in its own bitmap;
+//	(f) exits the critical section.
+//
+// The per-node gather of the 7 KB bitmap dominates the cost, which is how
+// the paper's "+165 µs per extra node" arises. Because other nodes keep
+// allocating slots locally while the section is held (the paper permits
+// block allocation; we also allow slot allocation and handle the race), a
+// purchase can be declined — the initiator then re-gathers and retries.
+
+const maxNegotiationRounds = 8
+
+// negotiate acquires n contiguous slots into this node's bitmap and calls
+// done(true), or done(false) if the cluster is out of contiguous space.
+func (n *Node) negotiate(k int, done func(bool)) {
+	start := n.actor.Now()
+	finish := func(ok bool) {
+		n.c.stats.Negotiations++
+		n.c.stats.NegotiationLatencies = append(n.c.stats.NegotiationLatencies, n.actor.Now()-start)
+		done(ok)
+	}
+	n.acquireLock(func() {
+		n.negotiateRound(k, 0, func(ok bool) {
+			n.releaseLock()
+			finish(ok)
+		})
+	})
+}
+
+// negotiateRound runs one gather/plan/buy attempt.
+func (n *Node) negotiateRound(k, round int, done func(bool)) {
+	if round >= maxNegotiationRounds {
+		done(false)
+		return
+	}
+	maps := make([]*bitmap.Bitmap, n.c.Nodes())
+	maps[n.id] = n.slots.Bitmap().Clone()
+
+	// Gather the other nodes' bitmaps sequentially (paper step 2b).
+	order := make([]int, 0, n.c.Nodes()-1)
+	for i := 0; i < n.c.Nodes(); i++ {
+		if i != n.id {
+			order = append(order, i)
+		}
+	}
+	var gatherNext func(i int)
+	gatherNext = func(i int) {
+		if i == len(order) {
+			n.planAndBuy(k, round, maps, done)
+			return
+		}
+		peer := order[i]
+		n.ep.Call(peer, chBitmap, nil, func(reply *madeleine.Buffer) {
+			raw := reply.BytesSection()
+			bm, err := bitmap.FromBytes(layout.SlotCount, raw)
+			if err != nil {
+				panic(fmt.Sprintf("pm2: bad bitmap from node %d: %v", peer, err))
+			}
+			maps[peer] = bm
+			// Merging this bitmap into the global OR (step 2c is
+			// incremental).
+			n.actor.Charge(n.c.cfg.Model.BitmapScan(layout.BitmapBytes))
+			gatherNext(i + 1)
+		})
+	}
+	gatherNext(0)
+}
+
+// planAndBuy computes the purchase and executes it (paper steps 2c–2e).
+// With PreBuySlots configured, a larger run is tried first, "to pre-buy
+// slots in prevision of foreseeable large allocation requests" (§4.4).
+func (n *Node) planAndBuy(k, round int, maps []*bitmap.Bitmap, done func(bool)) {
+	// First-fit search over the global map (step 2d).
+	n.actor.Charge(n.c.cfg.Model.BitmapScan(layout.BitmapBytes))
+	plan, ok := core.Purchase{}, false
+	if pre := n.c.cfg.PreBuySlots; pre > 0 {
+		plan, ok = planPurchase(maps, k+pre, n.id)
+	}
+	if !ok {
+		plan, ok = planPurchase(maps, k, n.id)
+	}
+	if !ok {
+		done(false)
+		return
+	}
+
+	// Group the shares by owner: one purchase message per seller node
+	// (paper 2e sends one updated bitmap back to each owner, not one
+	// message per slot run).
+	order := make([]int, 0, len(plan.Sellers))
+	byNode := make(map[int][]core.SellerShare)
+	for _, sh := range plan.Sellers {
+		if _, seen := byNode[sh.Node]; !seen {
+			order = append(order, sh.Node)
+		}
+		byNode[sh.Node] = append(byNode[sh.Node], sh)
+	}
+
+	var buyNext func(i int)
+	buyNext = func(i int) {
+		if i == len(order) {
+			// All shares secured: mark the bought slots ours
+			// (paper 2d: "mark these slots with 1 in the bitmap of
+			// the requesting node").
+			for _, sh := range plan.Sellers {
+				if err := n.slots.BuyRun(sh.Start, sh.N); err != nil {
+					panic(fmt.Sprintf("pm2: recording purchase: %v", err))
+				}
+			}
+			done(true)
+			return
+		}
+		seller := order[i]
+		shares := byNode[seller]
+		n.ep.Call(seller, chBuy, func(b *madeleine.Buffer) {
+			b.PackU32(0) // purchase
+			packShares(b, shares)
+		}, func(reply *madeleine.Buffer) {
+			if reply.U32() == 1 {
+				buyNext(i + 1)
+				return
+			}
+			// The owner allocated some of those slots since the
+			// gather: give already-secured shares straight back
+			// to their sellers and retry with fresh bitmaps.
+			for j := 0; j < i; j++ {
+				n.returnSlots(order[j], byNode[order[j]])
+			}
+			n.negotiateRound(k, round+1, done)
+		})
+	}
+	buyNext(0)
+}
+
+func packShares(b *madeleine.Buffer, shares []core.SellerShare) {
+	b.PackU32(uint32(len(shares)))
+	for _, sh := range shares {
+		b.PackU32(uint32(sh.Start)).PackU32(uint32(sh.N))
+	}
+}
+
+// returnSlots gives secured (but not yet recorded) shares back to their
+// original owner after a failed round.
+func (n *Node) returnSlots(seller int, shares []core.SellerShare) {
+	n.ep.Call(seller, chBuy, func(b *madeleine.Buffer) {
+		b.PackU32(1) // give-back
+		packShares(b, shares)
+	}, func(*madeleine.Buffer) {})
+}
+
+// onBitmapCall serves a gather request: serialize and return our bitmap.
+func (n *Node) onBitmapCall(src int, req *madeleine.Call) {
+	raw := n.slots.Bitmap().Bytes()
+	n.actor.Charge(n.c.cfg.Model.Memcpy(len(raw)))
+	req.Reply(func(b *madeleine.Buffer) { b.PackBytes(raw) })
+}
+
+// onBuyCall serves a purchase (or give-back) of a batch of slot runs. A
+// purchase is atomic: either every requested run is still owned free and
+// all are sold, or the whole batch is declined.
+func (n *Node) onBuyCall(src int, req *madeleine.Call) {
+	giveBack := req.Msg.U32() == 1
+	count := int(req.Msg.U32())
+	type run struct{ start, k int }
+	runs := make([]run, count)
+	for i := range runs {
+		runs[i] = run{int(req.Msg.U32()), int(req.Msg.U32())}
+	}
+	if req.Msg.Err() != nil {
+		panic("pm2: corrupt purchase message")
+	}
+	// Updating the bitmap for the batch costs one scan, like installing
+	// the returned bitmap of the paper's step 2e.
+	n.actor.Charge(n.c.cfg.Model.BitmapScan(layout.BitmapBytes))
+	if giveBack {
+		for _, r := range runs {
+			if err := n.slots.BuyRun(r.start, r.k); err != nil {
+				panic(fmt.Sprintf("pm2: node %d taking back [%d,+%d): %v", n.id, r.start, r.k, err))
+			}
+		}
+		req.Reply(func(b *madeleine.Buffer) { b.PackU32(1) })
+		return
+	}
+	for _, r := range runs {
+		if !n.slots.Bitmap().TestRun(r.start, r.k) {
+			// We no longer own (all of) those slots: decline the
+			// whole batch.
+			req.Reply(func(b *madeleine.Buffer) { b.PackU32(0) })
+			return
+		}
+	}
+	for _, r := range runs {
+		if err := n.slots.SellRun(r.start, r.k); err != nil {
+			panic(fmt.Sprintf("pm2: node %d selling checked run: %v", n.id, err))
+		}
+	}
+	req.Reply(func(b *madeleine.Buffer) { b.PackU32(1) })
+}
+
+// Lock manager (system-wide critical section), hosted on node 0.
+
+func (n *Node) acquireLock(granted func()) {
+	n.ep.Call(0, chLock, nil, func(*madeleine.Buffer) { granted() })
+}
+
+func (n *Node) releaseLock() {
+	n.ep.Send(0, chUnlock, nil)
+}
+
+// onLockCall queues or grants the global lock (node 0 only).
+func (n *Node) onLockCall(src int, req *madeleine.Call) {
+	if n.id != 0 {
+		panic("pm2: lock request at non-manager node")
+	}
+	if n.lockHeld {
+		n.lockQueue = append(n.lockQueue, req)
+		return
+	}
+	n.lockHeld = true
+	req.Reply(nil)
+}
+
+// onUnlockMsg releases the lock and grants the next waiter (node 0 only).
+func (n *Node) onUnlockMsg(src int, _ *madeleine.Buffer) {
+	if !n.lockHeld {
+		panic("pm2: unlock without lock")
+	}
+	if len(n.lockQueue) > 0 {
+		next := n.lockQueue[0]
+		n.lockQueue = n.lockQueue[:copy(n.lockQueue, n.lockQueue[1:])]
+		next.Reply(nil)
+		return
+	}
+	n.lockHeld = false
+}
+
+func planPurchase(maps []*bitmap.Bitmap, k, requester int) (core.Purchase, bool) {
+	return core.PlanPurchase(maps, k, requester)
+}

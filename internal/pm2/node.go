@@ -1,0 +1,448 @@
+package pm2
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/isa"
+	"repro/internal/layout"
+	"repro/internal/madeleine"
+	"repro/internal/marcel"
+	"repro/internal/simtime"
+	"repro/internal/vm"
+	"repro/internal/vmem"
+)
+
+// Addr is a simulated virtual address.
+type Addr = layout.Addr
+
+// Madeleine channels used by the runtime services.
+const (
+	chMigrate uint32 = 1 // one-way: packed thread
+	chSpawn   uint32 = 2 // call: remote thread creation
+	chLock    uint32 = 3 // call to node 0: system-wide critical section
+	chUnlock  uint32 = 4 // one-way to node 0
+	chBitmap  uint32 = 5 // call: gather a node's slot bitmap
+	chBuy     uint32 = 6 // call: purchase a slot run from its owner
+)
+
+// Node is one PM2 node: a heavy container process with its own simulated
+// address space, slot layer, heap, thread scheduler and Madeleine endpoint.
+type Node struct {
+	c     *Cluster
+	id    int
+	actor *simtime.Actor
+	space *vmem.Space
+	ep    *madeleine.Endpoint
+	slots *core.NodeSlots
+	sched *marcel.Scheduler
+	heap  *heap.Heap
+
+	// pumpPosted tracks whether a scheduler-run event is queued.
+	pumpPosted bool
+
+	// Registered-pointer tables for the relocation baseline (§2):
+	// tid → key → address of the registered pointer variable.
+	regPtrs map[uint32]map[uint32]Addr
+	nextKey uint32
+
+	// lock manager state (only used on node 0).
+	lockHeld  bool
+	lockQueue []*madeleine.Call
+}
+
+func newNode(c *Cluster, id int) *Node {
+	n := &Node{
+		c:       c,
+		id:      id,
+		actor:   simtime.NewActor(c.eng, fmt.Sprintf("node%d", id)),
+		space:   vmem.NewSpace(),
+		regPtrs: make(map[uint32]map[uint32]Addr),
+	}
+	n.ep = madeleine.Attach(c.nw, id, n.actor)
+	n.slots = core.NewNodeSlots(n.space, n.actor, core.NodeConfig{
+		NodeID:   id,
+		NumNodes: c.cfg.Nodes,
+		Dist:     c.cfg.Dist,
+		CacheCap: c.cfg.CacheCap,
+		Model:    c.cfg.Model,
+	})
+	n.sched = marcel.NewScheduler(n.space, c.im, n.slots, n.actor, marcel.Config{
+		NodeID:  id,
+		Quantum: c.cfg.Quantum,
+		Model:   c.cfg.Model,
+	})
+	n.sched.SetEnv(n)
+	n.sched.SetHooks(marcel.Hooks{
+		Exit:    func(t *marcel.Thread) { delete(n.regPtrs, t.TID) },
+		Fault:   n.onFault,
+		Migrate: n.migrateOut,
+	})
+	n.heap = heap.New(n.space, n.actor, c.cfg.Model)
+
+	// Map the replicated static data segment at the same address on
+	// every node (paper rule 1).
+	if data := c.im.DataImage(); len(data) > 0 {
+		sz := int(layout.PageCeil(uint32(len(data))))
+		if err := n.space.Mmap(layout.DataBase, sz); err != nil {
+			panic(err)
+		}
+		if err := n.space.Write(layout.DataBase, data); err != nil {
+			panic(err)
+		}
+	}
+
+	n.ep.Handle(chMigrate, n.onMigrateMsg)
+	n.ep.Handle(chRelocMigrate, n.onRelocMigrateMsg)
+	n.ep.HandleCall(chSpawn, n.onSpawnCall)
+	n.ep.HandleCall(chLock, n.onLockCall)
+	n.ep.Handle(chUnlock, n.onUnlockMsg)
+	n.ep.HandleCall(chBitmap, n.onBitmapCall)
+	n.ep.HandleCall(chBuy, n.onBuyCall)
+	n.ep.HandleCall(chSurrender, n.onSurrenderCall)
+	n.ep.HandleCall(chInstall, n.onInstallCall)
+	return n
+}
+
+// ID returns the node's rank (pm2_self()).
+func (n *Node) ID() int { return n.id }
+
+// Space returns the node's simulated address space.
+func (n *Node) Space() *vmem.Space { return n.space }
+
+// Slots returns the node's slot layer.
+func (n *Node) Slots() *core.NodeSlots { return n.slots }
+
+// Scheduler returns the node's thread scheduler.
+func (n *Node) Scheduler() *marcel.Scheduler { return n.sched }
+
+// Heap returns the node's baseline malloc heap.
+func (n *Node) Heap() *heap.Heap { return n.heap }
+
+// Actor returns the node's CPU actor.
+func (n *Node) Actor() *simtime.Actor { return n.actor }
+
+// Kick ensures the scheduler keeps running while threads are ready; callers
+// that create or wake threads from outside the builtin path (benchmarks,
+// load balancers) call it after mutating the run queue.
+func (n *Node) Kick() { n.kick() }
+
+// kick ensures a scheduler-run event is queued while threads are ready.
+// One event runs one quantum, so message handling interleaves with thread
+// execution at quantum granularity.
+func (n *Node) kick() {
+	if n.pumpPosted || !n.sched.Ready() {
+		return
+	}
+	n.pumpPosted = true
+	n.actor.Post(n.actor.Now(), func() {
+		n.pumpPosted = false
+		if n.sched.RunOne() {
+			n.kick()
+		}
+	})
+}
+
+// onFault reports a dying thread the way the paper's traces do.
+func (n *Node) onFault(t *marcel.Thread, err error) {
+	n.c.log.Flush(n.id)
+	if vmem.IsSegfault(err) {
+		n.c.log.Raw("Segmentation fault")
+	} else {
+		n.c.log.Raw(fmt.Sprintf("thread %#x killed: %v", t.TID, err))
+	}
+	delete(n.regPtrs, t.TID)
+}
+
+// checkThreads runs the arena invariant checker over every resident thread.
+func (n *Node) checkThreads() error {
+	for _, t := range n.sched.Snapshot() {
+		if err := core.CheckArena(n.space, t.HeadAddr()); err != nil {
+			return fmt.Errorf("node %d thread %#x: %w", n.id, t.TID, err)
+		}
+	}
+	return nil
+}
+
+// Builtin dispatches one runtime call (vm.Env). It runs inside the node's
+// actor, during a scheduler quantum.
+func (n *Node) Builtin(id uint32, args [4]uint32) vm.BuiltinResult {
+	model := n.c.cfg.Model
+	n.actor.Charge(model.Builtin())
+	t := n.sched.Current()
+
+	switch id {
+	case isa.BIsomalloc:
+		return n.doIsomalloc(t, args[0])
+
+	case isa.BIsofree:
+		if err := n.sched.Arena(t).Isofree(args[0], n.slots); err != nil {
+			return vm.BuiltinResult{Ctl: vm.CtlFault, Err: err}
+		}
+		return vm.BuiltinResult{Ctl: vm.CtlReturn}
+
+	case isa.BMalloc:
+		start := n.actor.Now()
+		addr, err := n.heap.Malloc(args[0])
+		if n.c.cfg.RecordAllocs {
+			n.c.allocSamples = append(n.c.allocSamples, AllocSample{
+				Node: n.id, Size: args[0], Iso: false,
+				Latency: n.actor.Now() - start, OK: err == nil,
+			})
+		}
+		if err != nil {
+			return vm.BuiltinResult{Ctl: vm.CtlReturn, Ret: 0}
+		}
+		return vm.BuiltinResult{Ctl: vm.CtlReturn, Ret: addr}
+
+	case isa.BFree:
+		if err := n.heap.Free(args[0]); err != nil {
+			return vm.BuiltinResult{Ctl: vm.CtlFault, Err: err}
+		}
+		return vm.BuiltinResult{Ctl: vm.CtlReturn}
+
+	case isa.BMigrate:
+		dest := int(args[0])
+		if dest < 0 || dest >= n.c.Nodes() {
+			return vm.BuiltinResult{Ctl: vm.CtlFault, Err: fmt.Errorf("pm2_migrate to invalid node %d", dest)}
+		}
+		if dest == n.id {
+			return vm.BuiltinResult{Ctl: vm.CtlReturn}
+		}
+		return vm.BuiltinResult{Ctl: vm.CtlMigrate, Dest: dest}
+
+	case isa.BSelfNode:
+		return vm.BuiltinResult{Ctl: vm.CtlReturn, Ret: uint32(n.id)}
+
+	case isa.BSelfThread:
+		return vm.BuiltinResult{Ctl: vm.CtlReturn, Ret: t.Desc}
+
+	case isa.BPrintf:
+		return n.doPrintf(args)
+
+	case isa.BYield:
+		return vm.BuiltinResult{Ctl: vm.CtlYield}
+
+	case isa.BExit:
+		return vm.BuiltinResult{Ctl: vm.CtlExit}
+
+	case isa.BSpawn:
+		th, err := n.sched.Create(args[0], args[1])
+		if err == nil {
+			n.kick()
+			return vm.BuiltinResult{Ctl: vm.CtlReturn, Ret: th.TID}
+		}
+		// The node ran out of slots: "the same algorithm may be used if
+		// a node has run out of slots" (§4.4). Negotiate for one and
+		// retry while the caller blocks.
+		waiter := t
+		n.sched.Block(waiter)
+		n.createNegotiated(args[0], args[1], func(tid uint32) {
+			n.sched.Wake(waiter, tid)
+			n.kick()
+		})
+		return vm.BuiltinResult{Ctl: vm.CtlBlock}
+
+	case isa.BSpawnRemote:
+		dest := int(args[0])
+		if dest < 0 || dest >= n.c.Nodes() {
+			return vm.BuiltinResult{Ctl: vm.CtlFault, Err: fmt.Errorf("spawn_remote to invalid node %d", dest)}
+		}
+		if dest == n.id {
+			th, err := n.sched.Create(args[1], args[2])
+			if err != nil {
+				return vm.BuiltinResult{Ctl: vm.CtlReturn, Ret: 0}
+			}
+			n.kick()
+			return vm.BuiltinResult{Ctl: vm.CtlReturn, Ret: th.TID}
+		}
+		waiter := t
+		n.sched.Block(waiter)
+		n.ep.Call(dest, chSpawn, func(b *madeleine.Buffer) {
+			b.PackU32(args[1]).PackU32(args[2])
+		}, func(reply *madeleine.Buffer) {
+			n.sched.Wake(waiter, reply.U32())
+			n.kick()
+		})
+		return vm.BuiltinResult{Ctl: vm.CtlBlock}
+
+	case isa.BJoin:
+		if n.sched.Join(t, args[0]) {
+			return vm.BuiltinResult{Ctl: vm.CtlReturn}
+		}
+		return vm.BuiltinResult{Ctl: vm.CtlBlock}
+
+	case isa.BNodeCount:
+		return vm.BuiltinResult{Ctl: vm.CtlReturn, Ret: uint32(n.c.Nodes())}
+
+	case isa.BClock:
+		return vm.BuiltinResult{Ctl: vm.CtlReturn, Ret: uint32(n.actor.Now() / simtime.Microsecond)}
+
+	case isa.BSleep:
+		sleeper := t
+		n.sched.Block(sleeper)
+		n.actor.PostAfter(simtime.Time(args[0])*simtime.Microsecond, func() {
+			n.sched.Wake(sleeper, 0)
+			n.kick()
+		})
+		return vm.BuiltinResult{Ctl: vm.CtlBlock}
+
+	case isa.BRegisterPtr:
+		m := n.regPtrs[t.TID]
+		if m == nil {
+			m = make(map[uint32]Addr)
+			n.regPtrs[t.TID] = m
+		}
+		n.nextKey++
+		m[n.nextKey] = args[0]
+		return vm.BuiltinResult{Ctl: vm.CtlReturn, Ret: n.nextKey}
+
+	case isa.BUnregisterPtr:
+		if m := n.regPtrs[t.TID]; m != nil {
+			delete(m, args[0])
+		}
+		return vm.BuiltinResult{Ctl: vm.CtlReturn}
+	}
+	return vm.BuiltinResult{Ctl: vm.CtlFault, Err: fmt.Errorf("unknown builtin %d", id)}
+}
+
+// doIsomalloc serves pm2_isomalloc, falling back to the negotiation
+// protocol when the local node lacks the contiguous slots (paper §4.4).
+func (n *Node) doIsomalloc(t *marcel.Thread, size uint32) vm.BuiltinResult {
+	start := n.actor.Now()
+	record := func(latency simtime.Time, ok bool) {
+		if n.c.cfg.RecordAllocs {
+			n.c.allocSamples = append(n.c.allocSamples, AllocSample{
+				Node: n.id, Size: size, Iso: true, Latency: latency, OK: ok,
+			})
+		}
+	}
+	ar := n.sched.Arena(t)
+	addr, err := ar.Isomalloc(size, n.slots)
+	if err == nil {
+		record(n.actor.Now()-start, true)
+		return vm.BuiltinResult{Ctl: vm.CtlReturn, Ret: addr}
+	}
+	if err != core.ErrNoSlots {
+		return vm.BuiltinResult{Ctl: vm.CtlFault, Err: err}
+	}
+	// Block the thread and negotiate for the required run.
+	waiter := t
+	n.sched.Block(waiter)
+	n.negotiate(core.SlotsFor(size), func(ok bool) {
+		var ret uint32
+		if ok {
+			if a, err := ar.Isomalloc(size, n.slots); err == nil {
+				ret = a
+			}
+		}
+		record(n.actor.Now()-start, ret != 0)
+		n.sched.Wake(waiter, ret)
+		n.kick()
+	})
+	return vm.BuiltinResult{Ctl: vm.CtlBlock}
+}
+
+// doPrintf formats and emits pm2_printf output.
+func (n *Node) doPrintf(args [4]uint32) vm.BuiltinResult {
+	format, err := n.space.ReadCString(args[0], 4096)
+	if err != nil {
+		return vm.BuiltinResult{Ctl: vm.CtlFault, Err: err}
+	}
+	text, err := n.formatVM(format, [3]uint32{args[1], args[2], args[3]})
+	if err != nil {
+		return vm.BuiltinResult{Ctl: vm.CtlFault, Err: err}
+	}
+	n.actor.Charge(n.c.cfg.Model.Probes(len(text)))
+	n.c.log.Printf(n.id, text)
+	return vm.BuiltinResult{Ctl: vm.CtlReturn}
+}
+
+// formatVM implements the pm2_printf conversions: %d (signed), %u, %x,
+// %p (bare 8-digit hex, as in the paper's thread ids), %s, %%.
+func (n *Node) formatVM(format string, args [3]uint32) (string, error) {
+	var out strings.Builder
+	ai := 0
+	next := func() uint32 {
+		if ai < len(args) {
+			v := args[ai]
+			ai++
+			return v
+		}
+		return 0
+	}
+	for i := 0; i < len(format); i++ {
+		c := format[i]
+		if c != '%' {
+			out.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(format) {
+			out.WriteByte('%')
+			break
+		}
+		switch format[i] {
+		case 'd':
+			fmt.Fprintf(&out, "%d", int32(next()))
+		case 'u':
+			fmt.Fprintf(&out, "%d", next())
+		case 'x':
+			fmt.Fprintf(&out, "%x", next())
+		case 'p':
+			fmt.Fprintf(&out, "%08x", next())
+		case 's':
+			s, err := n.space.ReadCString(next(), 4096)
+			if err != nil {
+				return "", err
+			}
+			out.WriteString(s)
+		case '%':
+			out.WriteByte('%')
+		default:
+			out.WriteByte('%')
+			out.WriteByte(format[i])
+		}
+	}
+	return out.String(), nil
+}
+
+// onSpawnCall services remote thread creation (LRPC). If this node has run
+// out of slots the reply is deferred through a one-slot negotiation (§4.4:
+// the algorithm "simply enables a node to buy slots from some other
+// nodes").
+func (n *Node) onSpawnCall(src int, req *madeleine.Call) {
+	entry := req.Msg.U32()
+	arg := req.Msg.U32()
+	th, err := n.sched.Create(entry, arg)
+	if err == nil {
+		n.kick()
+		tid := th.TID
+		req.Reply(func(b *madeleine.Buffer) { b.PackU32(tid) })
+		return
+	}
+	r := req
+	n.createNegotiated(entry, arg, func(tid uint32) {
+		n.kick()
+		r.Reply(func(b *madeleine.Buffer) { b.PackU32(tid) })
+	})
+}
+
+// createNegotiated creates a thread after buying a slot through the
+// negotiation protocol; done receives the tid (0 on failure).
+func (n *Node) createNegotiated(entry, arg uint32, done func(tid uint32)) {
+	n.negotiate(1, func(ok bool) {
+		if !ok {
+			done(0)
+			return
+		}
+		th, err := n.sched.Create(entry, arg)
+		if err != nil {
+			done(0)
+			return
+		}
+		done(th.TID)
+	})
+}

@@ -1,0 +1,301 @@
+// Package pm2 is the runtime system: it composes the simulated substrates
+// (address spaces, BIP/Madeleine networking, Marcel threads, the isomalloc
+// core) into a cluster of PM2 nodes with transparent, preemptive,
+// iso-address thread migration — the system the paper describes.
+//
+// One heavy process runs per node; threads are created locally or remotely
+// (LRPC-style), allocate private data with pm2_isomalloc, and migrate
+// between nodes, voluntarily or preemptively, with no post-migration pointer
+// processing. The package also implements the paper's §2 baseline — stack
+// relocation with registered-pointer fixup — for the comparison figures.
+package pm2
+
+import (
+	"fmt"
+
+	"repro/internal/bip"
+	"repro/internal/bitmap"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/isa"
+	"repro/internal/layout"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// PackMode selects how slot contents travel during migration.
+type PackMode int
+
+// Pack modes.
+const (
+	// PackUsed ships only the used blocks and live stack (the paper's §6
+	// optimization; the default).
+	PackUsed PackMode = iota
+	// PackWhole ships every byte of every slot.
+	PackWhole
+)
+
+func (m PackMode) String() string {
+	if m == PackWhole {
+		return "whole-slot"
+	}
+	return "used-blocks"
+}
+
+// MigrationPolicy selects the migration mechanism.
+type MigrationPolicy int
+
+// Policies.
+const (
+	// PolicyIso is the paper's contribution: same-address reinstallation,
+	// no fixups.
+	PolicyIso MigrationPolicy = iota
+	// PolicyRelocate is the §2 baseline: the stack is re-installed at a
+	// different address on the destination and the frame chain plus
+	// registered user pointers are patched. Unregistered pointers break.
+	PolicyRelocate
+)
+
+func (p MigrationPolicy) String() string {
+	if p == PolicyRelocate {
+		return "relocate"
+	}
+	return "iso-address"
+}
+
+// Config parameterizes a cluster.
+type Config struct {
+	// Nodes is the cluster size (>= 1).
+	Nodes int
+	// Dist is the initial slot distribution (default round-robin, as in
+	// the paper's experiments).
+	Dist core.Distribution
+	// CacheCap bounds the per-node mmapped-slot cache (default 8).
+	CacheCap int
+	// Quantum is the scheduling quantum in instructions (default 64).
+	Quantum int64
+	// Model is the cost model (default cost.Default()).
+	Model *cost.Model
+	// Pack selects the migration pack mode (default PackUsed).
+	Pack PackMode
+	// Policy selects the migration mechanism (default PolicyIso).
+	Policy MigrationPolicy
+	// NoCache disables the slot cache entirely (ablation A1).
+	NoCache bool
+	// RecordAllocs makes the runtime sample the virtual-time latency of
+	// every pm2_isomalloc and malloc call (the Figure 11 measurement).
+	RecordAllocs bool
+	// PreBuySlots makes every negotiation try to purchase this many
+	// extra contiguous slots beyond the request, "in prevision of
+	// foreseeable large allocation requests" (§4.4). Falls back to the
+	// exact request when no larger run exists.
+	PreBuySlots int
+}
+
+// AllocSample is one recorded allocation.
+type AllocSample struct {
+	Node    int
+	Size    uint32
+	Iso     bool
+	Latency simtime.Time
+	// OK reports whether the allocation succeeded.
+	OK bool
+}
+
+// Stats aggregates cluster-wide measurements.
+type Stats struct {
+	// Migrations counts completed migrations; Latencies holds the
+	// end-to-end virtual time of each (freeze to resume).
+	Migrations         int
+	MigrationLatencies []simtime.Time
+	// Negotiations counts completed slot negotiations and their
+	// latencies (critical-section entry to exit).
+	Negotiations         int
+	NegotiationLatencies []simtime.Time
+	// Defragmentations counts completed global restructurings (§4.4).
+	Defragmentations int
+	// Net mirrors the BIP traffic counters.
+	Net bip.Stats
+}
+
+// Cluster is a running PM2 configuration: the replicated program image and
+// one node per configured rank, in one deterministic virtual-time world.
+type Cluster struct {
+	cfg   Config
+	eng   *simtime.Engine
+	im    *isa.Image
+	nw    *bip.Network
+	nodes []*Node
+	log   *trace.Log
+	stats Stats
+	// allocSamples records allocation latencies when cfg.RecordAllocs.
+	allocSamples []AllocSample
+}
+
+// New builds a cluster over the (sealed) program image.
+func New(cfg Config, im *isa.Image) *Cluster {
+	if cfg.Nodes <= 0 {
+		panic("pm2: cluster needs at least one node")
+	}
+	if cfg.Dist == nil {
+		cfg.Dist = core.RoundRobin{}
+	}
+	if cfg.Model == nil {
+		cfg.Model = cost.Default()
+	}
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = 64
+	}
+	if cfg.CacheCap == 0 {
+		cfg.CacheCap = 8
+	}
+	if cfg.NoCache {
+		cfg.CacheCap = 0
+	}
+	im.Seal()
+	c := &Cluster{
+		cfg: cfg,
+		eng: simtime.NewEngine(),
+		im:  im,
+		log: trace.New(),
+	}
+	c.nw = bip.NewNetwork(c.eng, cfg.Model, cfg.Nodes)
+	c.nodes = make([]*Node, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		c.nodes[i] = newNode(c, i)
+	}
+	return c
+}
+
+// Engine exposes the discrete-event engine (for time-based test driving).
+func (c *Cluster) Engine() *simtime.Engine { return c.eng }
+
+// Image returns the replicated program image.
+func (c *Cluster) Image() *isa.Image { return c.im }
+
+// Trace returns the cluster's output log.
+func (c *Cluster) Trace() *trace.Log { return c.log }
+
+// Nodes returns the cluster size.
+func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// AllocSamples returns the recorded allocation latencies (empty unless
+// Config.RecordAllocs).
+func (c *Cluster) AllocSamples() []AllocSample {
+	return append([]AllocSample(nil), c.allocSamples...)
+}
+
+// Stats returns a copy of the aggregate measurements.
+func (c *Cluster) Stats() Stats {
+	s := c.stats
+	s.Net = c.nw.Stats()
+	s.MigrationLatencies = append([]simtime.Time(nil), c.stats.MigrationLatencies...)
+	s.NegotiationLatencies = append([]simtime.Time(nil), c.stats.NegotiationLatencies...)
+	return s
+}
+
+// At schedules fn on node i's actor at the current virtual time. All
+// interactions with node state must go through the actor to keep the cost
+// accounting sound.
+func (c *Cluster) At(i int, fn func(n *Node)) {
+	n := c.nodes[i]
+	n.actor.Post(c.eng.Now(), func() { fn(n) })
+}
+
+// Spawn schedules the creation of a thread on node i running program prog
+// (by name) with argument arg. If the node has run out of slots, one is
+// bought through the negotiation protocol first (§4.4).
+func (c *Cluster) Spawn(i int, prog string, arg uint32) {
+	entry, ok := c.im.EntryOf(prog)
+	if !ok {
+		panic(fmt.Sprintf("pm2: unknown program %q", prog))
+	}
+	c.At(i, func(n *Node) {
+		if _, err := n.sched.Create(entry, arg); err == nil {
+			n.kick()
+			return
+		}
+		n.createNegotiated(entry, arg, func(tid uint32) {
+			if tid == 0 {
+				panic(fmt.Sprintf("pm2: spawn %s on node %d: cluster out of slots", prog, i))
+			}
+			n.kick()
+		})
+	})
+}
+
+// SpawnSync creates the thread and drives the engine until creation has
+// executed, returning the thread id. Intended for test and benchmark setup.
+func (c *Cluster) SpawnSync(i int, prog string, arg uint32) uint32 {
+	entry, ok := c.im.EntryOf(prog)
+	if !ok {
+		panic(fmt.Sprintf("pm2: unknown program %q", prog))
+	}
+	var tid uint32
+	done := false
+	c.At(i, func(n *Node) {
+		th, err := n.sched.Create(entry, arg)
+		if err != nil {
+			panic(fmt.Sprintf("pm2: spawn %s on node %d: %v", prog, i, err))
+		}
+		tid = th.TID
+		done = true
+		n.kick()
+	})
+	for !done && c.eng.Step() {
+	}
+	if !done {
+		panic("pm2: SpawnSync never ran")
+	}
+	return tid
+}
+
+// Run drives the simulation until no events remain (all threads exited or
+// blocked) or the step limit is reached (0 = unlimited). It returns the
+// number of events executed.
+func (c *Cluster) Run(limit uint64) uint64 {
+	return c.eng.Run(limit)
+}
+
+// RunFor drives the simulation for d of virtual time.
+func (c *Cluster) RunFor(d simtime.Time) {
+	c.eng.RunUntil(c.eng.Now() + d)
+}
+
+// Now returns the current virtual time.
+func (c *Cluster) Now() simtime.Time { return c.eng.Now() }
+
+// CheckInvariants validates the cluster-wide iso-address discipline:
+// no slot is owned-free by two nodes, no iso slot is mapped in two address
+// spaces, and every resident thread's arena passes its structural checks.
+func (c *Cluster) CheckInvariants() error {
+	maps := make([]*bitmap.Bitmap, len(c.nodes))
+	for i, n := range c.nodes {
+		maps[i] = n.slots.Bitmap()
+	}
+	if i := core.CheckSingleOwnership(maps); i >= 0 {
+		return fmt.Errorf("pm2: slot %d owned free by two nodes", i)
+	}
+	// No iso-area page mapped on two nodes.
+	for s := 0; s < layout.SlotCount; s++ {
+		base := layout.SlotBase(s)
+		mappedOn := -1
+		for _, n := range c.nodes {
+			if n.space.IsMapped(base, 1) {
+				if mappedOn >= 0 {
+					return fmt.Errorf("pm2: slot %d mapped on nodes %d and %d", s, mappedOn, n.id)
+				}
+				mappedOn = n.id
+			}
+		}
+	}
+	for _, n := range c.nodes {
+		if err := n.checkThreads(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

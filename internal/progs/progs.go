@@ -1,0 +1,509 @@
+// Package progs holds the paper's example procedures (Figures 1–4 and 7)
+// and the workload programs used by the benchmarks, written in the thread
+// assembly and registered into a replicated SPMD image.
+//
+// Each source mirrors the corresponding C listing: locals live in stack
+// frames (so they migrate with the stack), pointers are real simulated
+// addresses, and the PM2 primitives are runtime builtins.
+package progs
+
+import (
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// P1 is Figure 1: a local variable survives migration because it lives in
+// the thread stack.
+//
+//	void p1() {
+//	    int x;
+//	    x = 1;
+//	    pm2_printf("value = %d\n", x);
+//	    pm2_migrate(marcel_self(), 1);
+//	    pm2_printf("value = %d\n", x);
+//	}
+const P1 = `
+.program p1
+.string fmt "value = %d\n"
+main:
+    enter 4
+    loadi r2, 1
+    store [fp-4], r2        ; x = 1
+    loadi r1, fmt
+    load  r2, [fp-4]
+    callb printf            ; value = 1 (on the source node)
+    loadi r1, 1
+    callb migrate           ; pm2_migrate(marcel_self(), 1)
+    loadi r1, fmt
+    load  r2, [fp-4]
+    callb printf            ; value = 1 (on the destination node)
+    leave
+    halt
+`
+
+// P2 is Figure 2: a pointer to stack data. Transparent under iso-address
+// migration; a segmentation fault under the relocation baseline, because
+// ptr still holds the old stack address.
+//
+//	void p2() {
+//	    int x;
+//	    int *ptr = &x;
+//	    x = 1;
+//	    pm2_printf("value = %d\n", *ptr);
+//	    pm2_migrate(marcel_self(), 1);
+//	    pm2_printf("value = %d\n", *ptr);
+//	}
+const P2 = `
+.program p2
+.string fmt "value = %d\n"
+main:
+    enter 8                 ; x at fp-4, ptr at fp-8
+    loadi r2, 1
+    store [fp-4], r2        ; x = 1
+    mov   r3, fp
+    addi  r3, r3, -4
+    store [fp-8], r3        ; ptr = &x
+    load  r4, [fp-8]
+    load  r2, [r4]          ; *ptr
+    loadi r1, fmt
+    callb printf
+    loadi r1, 1
+    callb migrate
+    load  r4, [fp-8]        ; reload ptr from the (migrated) stack
+    load  r2, [r4]          ; *ptr — address validity decides the outcome
+    loadi r1, fmt
+    callb printf
+    leave
+    halt
+`
+
+// P2R is Figure 3: the same procedure using the early-PM2 registered
+// pointer interface, which makes the relocation baseline work at the cost
+// of explicit declarations.
+const P2R = `
+.program p2r
+.string fmt "value = %d\n"
+main:
+    enter 12                ; x at fp-4, ptr at fp-8, key at fp-12
+    loadi r2, 1
+    store [fp-4], r2        ; x = 1
+    mov   r3, fp
+    addi  r3, r3, -4
+    store [fp-8], r3        ; ptr = &x
+    mov   r1, fp
+    addi  r1, r1, -8        ; &ptr
+    callb register_ptr      ; key = pm2_register_pointer(&ptr)
+    store [fp-12], r0
+    load  r4, [fp-8]
+    load  r2, [r4]
+    loadi r1, fmt
+    callb printf
+    loadi r1, 1
+    callb migrate
+    load  r4, [fp-8]        ; ptr was patched by the post-migration pass
+    load  r2, [r4]
+    loadi r1, fmt
+    callb printf
+    load  r1, [fp-12]
+    callb unregister_ptr
+    leave
+    halt
+`
+
+// P3 is Figure 4: malloc'd heap data does not follow the thread; the access
+// after migration faults under every policy.
+//
+//	void p3() {
+//	    int *t = (int *)malloc(100 * sizeof(int));
+//	    t[10] = 1;
+//	    pm2_printf("value = %d\n", t[10]);
+//	    pm2_migrate(marcel_self(), 1);
+//	    pm2_printf("value = %d\n", t[10]);
+//	}
+const P3 = `
+.program p3
+.string fmt "value = %d\n"
+main:
+    enter 4
+    loadi r1, 400           ; 100 * sizeof(int)
+    callb malloc
+    store [fp-4], r0        ; t
+    loadi r2, 1
+    store [r0+40], r2       ; t[10] = 1
+    load  r3, [fp-4]
+    load  r2, [r3+40]
+    loadi r1, fmt
+    callb printf
+    loadi r1, 1
+    callb migrate
+    load  r3, [fp-4]        ; t migrated with the stack...
+    load  r2, [r3+40]       ; ...but the heap block did not: fault
+    loadi r1, fmt
+    callb printf
+    leave
+    halt
+`
+
+// P4 is Figure 7: build a linked list with pm2_isomalloc, traverse it,
+// migrate at element 100 and keep traversing on the destination node. The
+// element count is the thread argument (the paper uses 100000).
+//
+// List item layout: {int value; struct item *next;} — value at +0, next at
+// +4.
+const P4 = `
+.program p4
+.string fmt_thread "I am thread %p\n"
+.string fmt_init   "Initializing migration from node %d\n"
+.string fmt_arr    "Arrived at node %d\n"
+.string fmt_elem   "Element %d = %d\n"
+main:
+    enter 16                ; head fp-4, j fp-8, ptr fp-12, n fp-16
+    store [fp-16], r1       ; n = arg
+    loadi r2, 0
+    store [fp-4], r2        ; head = NULL
+    load  r2, [fp-16]
+    addi  r2, r2, -1
+    store [fp-8], r2        ; j = n-1 (build downwards so the
+                            ; prepended list reads 1, 3, 5, ...)
+build:
+    load  r2, [fp-8]
+    loadi r3, 0
+    blt   r2, r3, built
+    loadi r1, 8             ; sizeof(item)
+    callb isomalloc         ; ptr = pm2_isomalloc(8)
+    load  r2, [fp-8]
+    loadi r3, 2
+    mul   r4, r2, r3
+    addi  r4, r4, 1         ; j*2 + 1
+    store [r0], r4          ; ptr->value
+    load  r5, [fp-4]
+    store [r0+4], r5        ; ptr->next = head
+    store [fp-4], r0        ; head = ptr
+    addi  r2, r2, -1
+    store [fp-8], r2
+    br    build
+built:
+    callb self_thread
+    mov   r2, r0
+    loadi r1, fmt_thread
+    callb printf            ; I am thread %p
+    loadi r2, 0
+    store [fp-8], r2        ; j = 0
+    load  r2, [fp-4]
+    store [fp-12], r2       ; ptr = head
+loop:
+    load  r4, [fp-12]
+    loadi r5, 0
+    beq   r4, r5, done      ; while (ptr != NULL)
+    load  r2, [fp-8]
+    loadi r3, 100
+    bne   r2, r3, print     ; if (j == 100) migrate
+    callb self_node
+    mov   r2, r0
+    loadi r1, fmt_init
+    callb printf            ; Initializing migration from node %d
+    loadi r1, 1
+    callb migrate
+    callb self_node
+    mov   r2, r0
+    loadi r1, fmt_arr
+    callb printf            ; Arrived at node %d
+print:
+    load  r2, [fp-8]        ; j
+    load  r4, [fp-12]
+    load  r3, [r4]          ; ptr->value
+    loadi r1, fmt_elem
+    callb printf            ; Element %d = %d
+    load  r4, [fp-12]
+    load  r4, [r4+4]        ; ptr = ptr->next
+    store [fp-12], r4
+    load  r2, [fp-8]
+    addi  r2, r2, 1
+    store [fp-8], r2
+    br    loop
+done:
+    leave
+    halt
+`
+
+// P4M is Figure 9: the same program with malloc instead of pm2_isomalloc.
+// The list stays on the source node's heap; after migration the thread reads
+// whatever the destination heap holds at those addresses.
+const P4M = `
+.program p4m
+.string fmt_thread "I am thread %p\n"
+.string fmt_init   "Initializing migration from node %d\n"
+.string fmt_arr    "Arrived at node %d\n"
+.string fmt_elem   "Element %d = %d\n"
+main:
+    enter 16
+    store [fp-16], r1
+    loadi r2, 0
+    store [fp-4], r2
+    load  r2, [fp-16]
+    addi  r2, r2, -1
+    store [fp-8], r2
+build:
+    load  r2, [fp-8]
+    loadi r3, 0
+    blt   r2, r3, built
+    loadi r1, 8
+    callb malloc            ; the only difference from p4
+    load  r2, [fp-8]
+    loadi r3, 2
+    mul   r4, r2, r3
+    addi  r4, r4, 1
+    store [r0], r4
+    load  r5, [fp-4]
+    store [r0+4], r5
+    store [fp-4], r0
+    addi  r2, r2, -1
+    store [fp-8], r2
+    br    build
+built:
+    callb self_thread
+    mov   r2, r0
+    loadi r1, fmt_thread
+    callb printf
+    loadi r2, 0
+    store [fp-8], r2
+    load  r2, [fp-4]
+    store [fp-12], r2
+loop:
+    load  r4, [fp-12]
+    loadi r5, 0
+    beq   r4, r5, done
+    load  r2, [fp-8]
+    loadi r3, 100
+    bne   r2, r3, print
+    callb self_node
+    mov   r2, r0
+    loadi r1, fmt_init
+    callb printf
+    loadi r1, 1
+    callb migrate
+    callb self_node
+    mov   r2, r0
+    loadi r1, fmt_arr
+    callb printf
+print:
+    load  r2, [fp-8]
+    load  r4, [fp-12]
+    load  r3, [r4]          ; on node 1 this reads foreign heap memory
+    loadi r1, fmt_elem
+    callb printf
+    load  r4, [fp-12]
+    load  r4, [r4+4]
+    store [fp-12], r4
+    load  r2, [fp-8]
+    addi  r2, r2, 1
+    store [fp-8], r2
+    br    loop
+done:
+    leave
+    halt
+`
+
+// HeapJunk warms a node's heap the way a long-running process would: it
+// allocates r1 bytes, fills them with a junk pattern, and frees the block.
+// Used to reproduce Figure 9's garbage reads (the destination heap holds
+// stale data at the list's addresses). The junk word 0x94DFD2E0 is the
+// paper's own first garbage value: -1797270816.
+const HeapJunk = `
+.program heapjunk
+main:
+    enter 8
+    store [fp-4], r1        ; size
+    callb malloc
+    store [fp-8], r0
+    loadi r5, 0
+    beq   r0, r5, done      ; malloc failed: nothing to do
+    mov   r2, r0
+    load  r3, [fp-4]
+    add   r3, r2, r3        ; end
+    loadi r4, 0x94DFD2E0
+fill:
+    bgeu  r2, r3, filled
+    store [r2], r4
+    addi  r2, r2, 4
+    br    fill
+filled:
+    load  r1, [fp-8]
+    callb free
+done:
+    leave
+    halt
+`
+
+// PingPong migrates back and forth between nodes 0 and 1; the hop count is
+// the thread argument. This is the paper's §5 migration measurement ("a
+// thread ping-pong between two nodes").
+const PingPong = `
+.program pingpong
+main:
+    enter 4
+    store [fp-4], r1        ; remaining hops
+hop:
+    load  r2, [fp-4]
+    loadi r3, 0
+    beq   r2, r3, done
+    callb self_node
+    loadi r3, 1
+    sub   r1, r3, r0        ; dest = 1 - self
+    callb migrate
+    load  r2, [fp-4]
+    addi  r2, r2, -1
+    store [fp-4], r2
+    br    hop
+done:
+    leave
+    halt
+`
+
+// PingPongData is PingPong carrying r2 bytes of isomalloc'd private data:
+// the ablation workload for migration cost versus payload size.
+const PingPongData = `
+.program pingpongdata
+main:
+    enter 8
+    store [fp-4], r1        ; hops
+    loadi r3, 0
+    store [fp-8], r3        ; data = NULL
+    beq   r2, r3, hop       ; no payload requested
+    mov   r1, r2
+    callb isomalloc
+    store [fp-8], r0
+hop:
+    load  r2, [fp-4]
+    loadi r3, 0
+    beq   r2, r3, done
+    callb self_node
+    loadi r3, 1
+    sub   r1, r3, r0        ; dest = 1 - self
+    callb migrate
+    load  r2, [fp-4]
+    addi  r2, r2, -1
+    store [fp-4], r2
+    br    hop
+done:
+    load  r1, [fp-8]
+    loadi r3, 0
+    beq   r1, r3, out
+    callb isofree
+out:
+    leave
+    halt
+`
+
+// PingPongReg is the relocation-baseline ping-pong: before migrating it
+// registers r2 user pointers (all aliases of one stack address), so every
+// hop pays the post-migration pointer-update pass. The ablation workload
+// for migration cost versus registered-pointer count (paper §2).
+const PingPongReg = `
+.program pingpongreg
+main:
+    enter 12                ; hops fp-4, count fp-8, ptrvar fp-12
+    store [fp-4], r1
+    store [fp-8], r2
+    mov   r4, fp
+    addi  r4, r4, -4
+    store [fp-12], r4       ; ptrvar = &hops (a pointer into the stack)
+reg:
+    load  r3, [fp-8]
+    loadi r5, 0
+    beq   r3, r5, hop
+    mov   r1, fp
+    addi  r1, r1, -12       ; &ptrvar
+    callb register_ptr
+    load  r3, [fp-8]
+    addi  r3, r3, -1
+    store [fp-8], r3
+    br    reg
+hop:
+    load  r2, [fp-4]
+    loadi r3, 0
+    beq   r2, r3, done
+    callb self_node
+    loadi r3, 1
+    sub   r1, r3, r0
+    callb migrate
+    load  r2, [fp-4]
+    addi  r2, r2, -1
+    store [fp-4], r2
+    br    hop
+done:
+    leave
+    halt
+`
+
+// AllocOnce performs a single allocation of r1 bytes — with pm2_isomalloc
+// when r2 is 0, with malloc when r2 is 1 — then exits. The Figure 11
+// harness measures the allocation's virtual-time cost.
+const AllocOnce = `
+.program allocone
+main:
+    loadi r3, 1
+    beq   r2, r3, usemalloc
+    callb isomalloc
+    halt
+usemalloc:
+    callb malloc
+    halt
+`
+
+// Worker runs a compute loop of r1 iterations, yielding periodically; used
+// by the load-balancing example and the stress tests as a migratable
+// workload that keeps private isomalloc state.
+const Worker = `
+.program worker
+.string fmt_done "worker %p finished on node %d\n"
+main:
+    enter 12                ; iters fp-4, acc-cell fp-8, i fp-12
+    store [fp-4], r1
+    loadi r1, 64
+    callb isomalloc         ; private accumulator cell (migrates with us)
+    store [fp-8], r0
+    loadi r2, 0
+    store [fp-12], r2
+wtop:
+    load  r2, [fp-12]
+    load  r3, [fp-4]
+    bge   r2, r3, wdone
+    load  r4, [fp-8]
+    load  r5, [r4]
+    add   r5, r5, r2
+    store [r4], r5          ; acc += i (through the isomalloc pointer)
+    addi  r2, r2, 1
+    store [fp-12], r2
+    loadi r6, 63
+    and   r7, r2, r6
+    loadi r6, 0
+    bne   r7, r6, wtop
+    callb yield             ; let the scheduler rotate
+    br    wtop
+wdone:
+    callb self_thread
+    mov   r2, r0
+    callb self_node
+    mov   r3, r0
+    loadi r1, fmt_done
+    callb printf
+    load  r1, [fp-8]
+    callb isofree
+    leave
+    halt
+`
+
+// All registers every program above into the image.
+func All(im *isa.Image) {
+	for _, src := range []string{P1, P2, P2R, P3, P4, P4M, HeapJunk, PingPong, PingPongData, PingPongReg, AllocOnce, Worker} {
+		asm.MustAssemble(im, src)
+	}
+}
+
+// NewImage returns a fresh image with all example programs registered.
+func NewImage() *isa.Image {
+	im := isa.NewImage()
+	All(im)
+	return im
+}

@@ -1,0 +1,83 @@
+package progs
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestAllProgramsAssemble(t *testing.T) {
+	im := NewImage()
+	for _, name := range []string{
+		"p1", "p2", "p2r", "p3", "p4", "p4m",
+		"heapjunk", "pingpong", "pingpongdata", "pingpongreg",
+		"allocone", "worker",
+	} {
+		if _, ok := im.EntryOf(name); !ok {
+			t.Errorf("program %q missing from image", name)
+		}
+	}
+	if im.CodeSize() == 0 {
+		t.Fatal("empty image")
+	}
+}
+
+func TestStringsLandInDataSegment(t *testing.T) {
+	im := NewImage()
+	data := string(im.DataImage())
+	for _, s := range []string{
+		"value = %d\n",
+		"I am thread %p\n",
+		"Initializing migration from node %d\n",
+		"Arrived at node %d\n",
+		"Element %d = %d\n",
+	} {
+		if !contains(data, s+"\x00") {
+			t.Errorf("string %q not interned", s)
+		}
+	}
+}
+
+func contains(haystack, needle string) bool {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if haystack[i:i+len(needle)] == needle {
+			return true
+		}
+	}
+	return false
+}
+
+func TestImageIsDeterministic(t *testing.T) {
+	a, b := NewImage(), NewImage()
+	if a.CodeSize() != b.CodeSize() {
+		t.Fatal("code sizes differ")
+	}
+	for i := 0; i < a.CodeSize(); i++ {
+		addr := isa.Addr(0x0040_0000 + i*isa.InstrBytes)
+		ia, _ := a.InstrAt(addr)
+		ib, _ := b.InstrAt(addr)
+		if ia != ib {
+			t.Fatalf("instruction %d differs: %v vs %v", i, ia, ib)
+		}
+	}
+	da, db := a.DataImage(), b.DataImage()
+	if string(da) != string(db) {
+		t.Fatal("data images differ")
+	}
+}
+
+// TestRegisterIntoExistingImage ensures All composes with user programs.
+func TestRegisterIntoExistingImage(t *testing.T) {
+	im := isa.NewImage()
+	All(im)
+	if _, ok := im.Program("p4"); !ok {
+		t.Fatal("p4 missing")
+	}
+	// Double registration must fail loudly (duplicate program names).
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double registration should panic")
+		}
+	}()
+	All(im)
+}

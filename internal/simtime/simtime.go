@@ -1,0 +1,199 @@
+// Package simtime provides the discrete-event simulation kernel under the
+// PM2 cluster reproduction.
+//
+// The paper reports microsecond-scale measurements (thread migration in less
+// than 75 µs, slot negotiations of a few hundred µs) taken on a 1999 PoPC
+// cluster. We reproduce those measurements in virtual time: nodes are actors
+// with private busy clocks, every simulated operation charges a calibrated
+// cost, and network messages are future events. The whole simulation is
+// single-threaded and deterministic: equal seeds yield bit-identical event
+// orders and timings.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, in nanoseconds.
+type Time int64
+
+// Convenient virtual-time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Micros returns t expressed in (fractional) microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// String formats the time as microseconds, the natural unit of the paper.
+func (t Time) String() string { return fmt.Sprintf("%.3fµs", t.Micros()) }
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event scheduler. It is not safe for
+// concurrent use; the entire cluster simulation runs on one goroutine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	nSteps uint64
+}
+
+// NewEngine returns an engine with an empty event queue at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.nSteps }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute virtual time t. Times in the past are
+// clamped to Now; ties run in scheduling order.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current virtual time.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Step executes the earliest pending event, advancing Now to its timestamp.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	e.nSteps++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or the step limit is hit.
+// A limit of 0 means no limit. It returns the number of events executed.
+func (e *Engine) Run(limit uint64) uint64 {
+	var n uint64
+	for limit == 0 || n < limit {
+		if !e.Step() {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// RunUntil executes events with timestamps <= deadline and then advances Now
+// to deadline (if the queue drained earlier).
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Actor models a sequential resource (a node's CPU): events destined for the
+// actor serialize on its busy clock, and handlers charge virtual time for
+// the work they model.
+type Actor struct {
+	eng  *Engine
+	name string
+	// busyUntil is the first instant at which the actor is free.
+	busyUntil Time
+	// localNow is the actor-local clock while inside a handler.
+	localNow Time
+	inside   bool
+}
+
+// NewActor returns an actor bound to engine eng. The name is used in panics
+// and debugging output only.
+func NewActor(eng *Engine, name string) *Actor {
+	return &Actor{eng: eng, name: name}
+}
+
+// Name returns the actor's debug name.
+func (a *Actor) Name() string { return a.name }
+
+// Engine returns the engine the actor is bound to.
+func (a *Actor) Engine() *Engine { return a.eng }
+
+// Now returns the actor-local clock: inside a handler this includes time
+// charged so far; outside it is the instant the actor becomes free.
+func (a *Actor) Now() Time {
+	if a.inside {
+		return a.localNow
+	}
+	if a.busyUntil > a.eng.Now() {
+		return a.busyUntil
+	}
+	return a.eng.Now()
+}
+
+// Post schedules fn on the actor at or after absolute time at. If the actor
+// is still busy at that instant the handler is delayed until it frees up, so
+// handlers on one actor never overlap in virtual time.
+func (a *Actor) Post(at Time, fn func()) {
+	a.eng.At(at, func() {
+		start := a.eng.Now()
+		if a.busyUntil > start {
+			start = a.busyUntil
+		}
+		a.localNow = start
+		a.inside = true
+		fn()
+		a.inside = false
+		a.busyUntil = a.localNow
+	})
+}
+
+// PostAfter schedules fn on the actor d after the current engine time.
+func (a *Actor) PostAfter(d Time, fn func()) { a.Post(a.eng.Now()+d, fn) }
+
+// Charge advances the actor-local clock by d, modeling d of CPU work. It
+// must be called from within a handler posted via Post.
+func (a *Actor) Charge(d Time) {
+	if !a.inside {
+		panic("simtime: Charge outside of actor handler (" + a.name + ")")
+	}
+	if d < 0 {
+		panic("simtime: negative charge on " + a.name)
+	}
+	a.localNow += d
+}

@@ -1,0 +1,197 @@
+package simtime
+
+import (
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	e.Run(0)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %v, want 30", e.Now())
+	}
+}
+
+func TestTieBreakIsSchedulingOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("ties not FIFO: %v", order)
+		}
+	}
+}
+
+func TestPastEventsClampToNow(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {
+		e.At(50, func() {
+			if e.Now() != 100 {
+				t.Errorf("past event ran at %v, want clamped to 100", e.Now())
+			}
+		})
+	})
+	e.Run(0)
+}
+
+func TestAfterAndRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.After(10, func() { fired++ })
+	e.After(20, func() { fired++ })
+	e.After(30, func() { fired++ })
+	e.RunUntil(20)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("Now = %v, want 20", e.Now())
+	}
+	e.Run(0)
+	if fired != 3 {
+		t.Fatalf("fired = %d, want 3", fired)
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var self func()
+	self = func() {
+		n++
+		e.After(1, self)
+	}
+	e.After(1, self)
+	if got := e.Run(100); got != 100 {
+		t.Fatalf("Run(100) executed %d", got)
+	}
+	if n != 100 {
+		t.Fatalf("n = %d", n)
+	}
+	if e.Steps() != 100 {
+		t.Fatalf("Steps = %d", e.Steps())
+	}
+}
+
+func TestActorSerializesWork(t *testing.T) {
+	e := NewEngine()
+	a := NewActor(e, "node0")
+	var t1, t2 Time
+	// Two handlers posted at the same instant: the second must start after
+	// the first one's charged work.
+	a.Post(0, func() {
+		a.Charge(10 * Microsecond)
+		t1 = a.Now()
+	})
+	a.Post(0, func() {
+		t2 = a.Now()
+		a.Charge(5 * Microsecond)
+	})
+	e.Run(0)
+	if t1 != 10*Microsecond {
+		t.Fatalf("t1 = %v, want 10µs", t1)
+	}
+	if t2 != 10*Microsecond {
+		t.Fatalf("t2 = %v, want 10µs (serialized after first handler)", t2)
+	}
+	if got := a.Now(); got != 15*Microsecond {
+		t.Fatalf("busyUntil = %v, want 15µs", got)
+	}
+}
+
+func TestActorsAreIndependent(t *testing.T) {
+	e := NewEngine()
+	a := NewActor(e, "a")
+	b := NewActor(e, "b")
+	var ta, tb Time
+	a.Post(0, func() { a.Charge(100 * Microsecond); ta = a.Now() })
+	b.Post(0, func() { b.Charge(1 * Microsecond); tb = b.Now() })
+	e.Run(0)
+	if ta != 100*Microsecond || tb != 1*Microsecond {
+		t.Fatalf("ta=%v tb=%v: actors should not serialize against each other", ta, tb)
+	}
+}
+
+func TestChargeOutsideHandlerPanics(t *testing.T) {
+	e := NewEngine()
+	a := NewActor(e, "x")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	a.Charge(1)
+}
+
+func TestNegativeChargePanics(t *testing.T) {
+	e := NewEngine()
+	a := NewActor(e, "x")
+	a.Post(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		a.Charge(-1)
+	})
+	e.Run(0)
+}
+
+func TestTimeUnitsAndString(t *testing.T) {
+	if Microsecond != 1000*Nanosecond || Millisecond != 1000*Microsecond || Second != 1000*Millisecond {
+		t.Fatal("unit arithmetic broken")
+	}
+	if got := (75 * Microsecond).Micros(); got != 75 {
+		t.Fatalf("Micros = %v", got)
+	}
+	if got := (1500 * Nanosecond).String(); got != "1.500µs" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		e := NewEngine()
+		a := NewActor(e, "a")
+		b := NewActor(e, "b")
+		var log []Time
+		var ping, pong func()
+		n := 0
+		ping = func() {
+			a.Charge(3 * Microsecond)
+			log = append(log, a.Now())
+			if n++; n < 20 {
+				b.Post(a.Now()+2*Microsecond, pong)
+			}
+		}
+		pong = func() {
+			b.Charge(7 * Microsecond)
+			log = append(log, b.Now())
+			a.Post(b.Now()+2*Microsecond, ping)
+		}
+		a.Post(0, ping)
+		e.Run(0)
+		return log
+	}
+	x, y := run(), run()
+	if len(x) == 0 || len(x) != len(y) {
+		t.Fatalf("lengths differ: %d vs %d", len(x), len(y))
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("non-deterministic at %d: %v vs %v", i, x[i], y[i])
+		}
+	}
+}

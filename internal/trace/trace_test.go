@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPrintfLineAssembly(t *testing.T) {
+	l := New()
+	l.Printf(0, "value = ")
+	l.Printf(0, "1\n")
+	l.Printf(1, "other\npartial")
+	got := l.Lines()
+	want := []string{"[node0] value = 1", "[node1] other"}
+	if Equal(got, want) != -1 {
+		t.Fatalf("lines = %q", got)
+	}
+	l.Flush(1)
+	if l.Lines()[2] != "[node1] partial" {
+		t.Fatalf("flush = %q", l.Lines())
+	}
+	l.Flush(1) // idempotent
+	if l.Len() != 3 {
+		t.Fatal("double flush emitted")
+	}
+}
+
+func TestInterleavedNodesKeepSeparateBuffers(t *testing.T) {
+	l := New()
+	l.Printf(0, "aa")
+	l.Printf(1, "bb")
+	l.Printf(0, "cc\n")
+	l.Printf(1, "dd\n")
+	want := []string{"[node0] aacc", "[node1] bbdd"}
+	if Equal(l.Lines(), want) != -1 {
+		t.Fatalf("lines = %q", l.Lines())
+	}
+}
+
+func TestRawLine(t *testing.T) {
+	l := New()
+	l.Printf(0, "Element 101 = 57654\n")
+	l.Raw("Segmentation fault")
+	if l.Lines()[1] != "Segmentation fault" {
+		t.Fatalf("lines = %q", l.Lines())
+	}
+}
+
+func TestWriterMirrors(t *testing.T) {
+	l := New()
+	var sb strings.Builder
+	l.SetWriter(&sb)
+	l.Printf(3, "hello\n")
+	if sb.String() != "[node3] hello\n" {
+		t.Fatalf("writer got %q", sb.String())
+	}
+}
+
+func TestMaskPointers(t *testing.T) {
+	in := []string{"I am thread eeff0020", "Element 0 = 1", "at 1801002c ok"}
+	out := MaskPointers(in)
+	if out[0] != "I am thread &ADDR" || out[1] != "Element 0 = 1" || out[2] != "at &ADDR ok" {
+		t.Fatalf("masked = %q", out)
+	}
+}
+
+func TestEqualReportsFirstDiff(t *testing.T) {
+	a := []string{"x", "y", "z"}
+	if Equal(a, []string{"x", "y", "z"}) != -1 {
+		t.Fatal("equal slices reported diff")
+	}
+	if got := Equal(a, []string{"x", "q", "z"}); got != 1 {
+		t.Fatalf("diff index = %d", got)
+	}
+	if got := Equal(a, []string{"x", "y"}); got != 2 {
+		t.Fatalf("length diff index = %d", got)
+	}
+}
+
+func TestStringJoins(t *testing.T) {
+	l := New()
+	l.Printf(0, "a\nb\n")
+	if l.String() != "[node0] a\n[node0] b" {
+		t.Fatalf("String = %q", l.String())
+	}
+}

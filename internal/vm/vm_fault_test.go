@@ -1,0 +1,176 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/layout"
+	"repro/internal/vmem"
+)
+
+// faultCase runs src and expects a fault whose message contains want.
+func faultCase(t *testing.T, src, want string) {
+	t.Helper()
+	_, st, _, _ := run(t, src)
+	if st.Kind != Faulted {
+		t.Fatalf("status = %v, want fault containing %q", st.Kind, want)
+	}
+	if !strings.Contains(st.Fault.Error(), want) {
+		t.Fatalf("fault = %v, want contains %q", st.Fault, want)
+	}
+}
+
+func TestFaultMatrix(t *testing.T) {
+	t.Run("mod by zero", func(t *testing.T) {
+		faultCase(t, `
+.program f
+main:
+    loadi r1, 7
+    loadi r2, 0
+    mod   r3, r1, r2
+    halt
+`, "division by zero")
+	})
+	t.Run("store to unmapped", func(t *testing.T) {
+		faultCase(t, `
+.program f
+main:
+    loadi r1, 0x700000
+    store [r1], r2
+    halt
+`, "segmentation fault")
+	})
+	t.Run("loadb unmapped", func(t *testing.T) {
+		faultCase(t, `
+.program f
+main:
+    loadi r1, 0x700000
+    loadb r2, [r1]
+    halt
+`, "segmentation fault")
+	})
+	t.Run("storeb unmapped", func(t *testing.T) {
+		faultCase(t, `
+.program f
+main:
+    loadi r1, 0x700000
+    storeb [r1], r2
+    halt
+`, "segmentation fault")
+	})
+	t.Run("pop from unmapped sp", func(t *testing.T) {
+		faultCase(t, `
+.program f
+main:
+    loadi r1, 0x700000
+    mov   sp, r1
+    pop   r2
+`, "segmentation fault")
+	})
+	t.Run("ret from unmapped sp", func(t *testing.T) {
+		faultCase(t, `
+.program f
+main:
+    loadi r1, 0x700000
+    mov   sp, r1
+    ret
+`, "segmentation fault")
+	})
+	t.Run("leave with corrupt fp", func(t *testing.T) {
+		faultCase(t, `
+.program f
+main:
+    loadi r1, 0x700000
+    mov   fp, r1
+    leave
+`, "segmentation fault")
+	})
+	t.Run("branch to garbage", func(t *testing.T) {
+		faultCase(t, `
+.program f
+main:
+    br 0x40
+`, "instruction fetch")
+	})
+}
+
+func TestIllegalInstructionFaults(t *testing.T) {
+	im := isa.NewImage()
+	lp, err := im.AddProgram("ill", []isa.Instr{{Op: isa.Op(99)}}, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := vmem.NewSpace()
+	if err := sp.Mmap(layout.IsoBase, layout.SlotSize); err != nil {
+		t.Fatal(err)
+	}
+	th := &Thread{Regs: &RegFile{PC: lp.Entry, SP: layout.IsoBase + layout.SlotSize}}
+	st := Run(im, sp, th, &testEnv{}, 10)
+	if st.Kind != Faulted || !strings.Contains(st.Fault.Error(), "illegal instruction") {
+		t.Fatalf("st = %v (%v)", st.Kind, st.Fault)
+	}
+}
+
+func TestBadBuiltinControlPanics(t *testing.T) {
+	im, sp, th, env := harness(t, `
+.program bad
+main:
+    callb exit
+`)
+	env.results[isa.BExit] = BuiltinResult{Ctl: Control(42)}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bogus control")
+		}
+	}()
+	Run(im, sp, th, env, 10)
+}
+
+func TestShiftMasking(t *testing.T) {
+	// Shift counts use only the low 5 bits, like real 32-bit hardware.
+	th, st, _, _ := run(t, `
+.program sh
+main:
+    loadi r1, 1
+    loadi r2, 33
+    shl   r3, r1, r2   ; 1 << (33 & 31) = 2
+    loadi r4, 0x80000000
+    shr   r5, r4, r2   ; >> 1
+    halt
+`)
+	if st.Kind != Exited || th.Regs.R[3] != 2 || th.Regs.R[5] != 0x40000000 {
+		t.Fatalf("r3=%#x r5=%#x st=%v", th.Regs.R[3], th.Regs.R[5], st.Kind)
+	}
+}
+
+func TestStatusKindStrings(t *testing.T) {
+	for kind, want := range map[StatusKind]string{
+		Running: "running", Yielded: "yielded", Blocked: "blocked",
+		Exited: "exited", Faulted: "faulted", Migrating: "migrating",
+	} {
+		if kind.String() != want {
+			t.Errorf("%d.String() = %q", kind, kind.String())
+		}
+	}
+	if StatusKind(99).String() != "?" {
+		t.Error("unknown status should be ?")
+	}
+}
+
+func TestRegFilePanicsOnBogusRegister(t *testing.T) {
+	rf := &RegFile{}
+	for _, f := range []func(){
+		func() { rf.Get(isa.Reg(30)) },
+		func() { rf.Set(isa.Reg(30), 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,274 @@
+// Package vmem implements the simulated per-node 32-bit virtual address
+// space on which the whole reproduction runs.
+//
+// Portable Go gives no control over the placement of goroutine stacks or heap
+// objects, so the paper's central mechanism — re-installing a thread's memory
+// at the very same virtual addresses on another node — cannot be expressed on
+// the Go runtime directly. Instead every node owns a Space: a sparse,
+// page-granular map from simulated addresses to byte pages, with mmap-like
+// mapping at caller-chosen addresses and hard faults on unmapped access.
+// "Segmentation fault" is a first-class, catchable outcome, exactly as in the
+// paper's Figures 2, 4 and 9.
+package vmem
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/layout"
+)
+
+// Addr is a simulated 32-bit virtual address.
+type Addr = layout.Addr
+
+// FaultOp describes the access that triggered a fault.
+type FaultOp uint8
+
+// Fault operations.
+const (
+	OpRead FaultOp = iota
+	OpWrite
+	OpMap
+	OpUnmap
+)
+
+func (op FaultOp) String() string {
+	switch op {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpMap:
+		return "mmap"
+	case OpUnmap:
+		return "munmap"
+	}
+	return "?"
+}
+
+// Fault is the error returned for invalid memory operations. A Fault from
+// OpRead or OpWrite corresponds to a SIGSEGV delivered to the faulting
+// thread.
+type Fault struct {
+	Addr Addr
+	Op   FaultOp
+	Why  string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("segmentation fault: %s at %#08x (%s)", f.Op, f.Addr, f.Why)
+}
+
+// IsSegfault reports whether err is a read/write access fault (as opposed to
+// a mapping-management error).
+func IsSegfault(err error) bool {
+	f, ok := err.(*Fault)
+	return ok && (f.Op == OpRead || f.Op == OpWrite)
+}
+
+type page [layout.PageSize]byte
+
+// Space is one node's simulated virtual address space. It is not safe for
+// concurrent use; the discrete-event simulation is single-threaded.
+type Space struct {
+	pages map[uint32]*page
+	// mappedBytes counts currently mapped memory, for accounting tests.
+	mappedBytes uint64
+}
+
+// NewSpace returns an empty address space: no page is mapped.
+func NewSpace() *Space {
+	return &Space{pages: make(map[uint32]*page)}
+}
+
+// MappedBytes returns the number of currently mapped bytes.
+func (s *Space) MappedBytes() uint64 { return s.mappedBytes }
+
+// MappedPages returns the number of currently mapped pages.
+func (s *Space) MappedPages() int { return len(s.pages) }
+
+func pageIndex(a Addr) uint32 { return uint32(a) >> layout.PageShift }
+
+// checkRange validates an [addr, addr+n) range against 32-bit wraparound.
+func checkRange(addr Addr, n int, op FaultOp) error {
+	if n < 0 {
+		return &Fault{Addr: addr, Op: op, Why: "negative length"}
+	}
+	if uint64(addr)+uint64(n) > 1<<32 {
+		return &Fault{Addr: addr, Op: op, Why: "range wraps address space"}
+	}
+	return nil
+}
+
+// Mmap maps the page-aligned range [addr, addr+n) with zero-filled pages.
+// It fails (without mapping anything) if the range is misaligned, wraps, or
+// overlaps an existing mapping — the iso-address discipline guarantees the
+// runtime never legitimately double-maps a slot.
+func (s *Space) Mmap(addr Addr, n int) error {
+	if err := checkRange(addr, n, OpMap); err != nil {
+		return err
+	}
+	if !layout.PageAligned(addr) || n%layout.PageSize != 0 {
+		return &Fault{Addr: addr, Op: OpMap, Why: fmt.Sprintf("misaligned mapping of %d bytes", n)}
+	}
+	npages := n / layout.PageSize
+	first := pageIndex(addr)
+	for i := 0; i < npages; i++ {
+		if _, ok := s.pages[first+uint32(i)]; ok {
+			return &Fault{Addr: addr + Addr(i*layout.PageSize), Op: OpMap, Why: "page already mapped"}
+		}
+	}
+	for i := 0; i < npages; i++ {
+		s.pages[first+uint32(i)] = new(page)
+	}
+	s.mappedBytes += uint64(n)
+	return nil
+}
+
+// Munmap unmaps the page-aligned range [addr, addr+n). Every page in the
+// range must currently be mapped.
+func (s *Space) Munmap(addr Addr, n int) error {
+	if err := checkRange(addr, n, OpUnmap); err != nil {
+		return err
+	}
+	if !layout.PageAligned(addr) || n%layout.PageSize != 0 {
+		return &Fault{Addr: addr, Op: OpUnmap, Why: fmt.Sprintf("misaligned unmapping of %d bytes", n)}
+	}
+	npages := n / layout.PageSize
+	first := pageIndex(addr)
+	for i := 0; i < npages; i++ {
+		if _, ok := s.pages[first+uint32(i)]; !ok {
+			return &Fault{Addr: addr + Addr(i*layout.PageSize), Op: OpUnmap, Why: "page not mapped"}
+		}
+	}
+	for i := 0; i < npages; i++ {
+		delete(s.pages, first+uint32(i))
+	}
+	s.mappedBytes -= uint64(n)
+	return nil
+}
+
+// IsMapped reports whether every byte of [addr, addr+n) is mapped.
+func (s *Space) IsMapped(addr Addr, n int) bool {
+	if n <= 0 {
+		return n == 0
+	}
+	if uint64(addr)+uint64(n) > 1<<32 {
+		return false
+	}
+	for pi := pageIndex(addr); pi <= pageIndex(addr+Addr(n-1)); pi++ {
+		if _, ok := s.pages[pi]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Read copies len(p) bytes from [addr, ...) into p, faulting if any byte is
+// unmapped.
+func (s *Space) Read(addr Addr, p []byte) error {
+	if err := checkRange(addr, len(p), OpRead); err != nil {
+		return err
+	}
+	off := 0
+	for off < len(p) {
+		pg, ok := s.pages[pageIndex(addr+Addr(off))]
+		if !ok {
+			return &Fault{Addr: addr + Addr(off), Op: OpRead, Why: "unmapped page"}
+		}
+		in := int(addr+Addr(off)) & (layout.PageSize - 1)
+		n := copy(p[off:], pg[in:])
+		off += n
+	}
+	return nil
+}
+
+// Write copies p into simulated memory at addr, faulting if any byte is
+// unmapped.
+func (s *Space) Write(addr Addr, p []byte) error {
+	if err := checkRange(addr, len(p), OpWrite); err != nil {
+		return err
+	}
+	if len(p) == 0 {
+		return nil
+	}
+	// Validate the full range before mutating anything, so a faulting
+	// write has no partial effect.
+	for pi := pageIndex(addr); pi <= pageIndex(addr+Addr(len(p)-1)); pi++ {
+		if _, ok := s.pages[pi]; !ok {
+			fa := Addr(pi) << layout.PageShift
+			if fa < addr {
+				fa = addr
+			}
+			return &Fault{Addr: fa, Op: OpWrite, Why: "unmapped page"}
+		}
+	}
+	off := 0
+	for off < len(p) {
+		pg := s.pages[pageIndex(addr+Addr(off))]
+		in := int(addr+Addr(off)) & (layout.PageSize - 1)
+		n := copy(pg[in:], p[off:])
+		off += n
+	}
+	return nil
+}
+
+// Load32 reads a little-endian 32-bit word at addr.
+func (s *Space) Load32(addr Addr) (uint32, error) {
+	var buf [4]byte
+	if err := s.Read(addr, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}
+
+// Store32 writes a little-endian 32-bit word at addr.
+func (s *Space) Store32(addr Addr, v uint32) error {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	return s.Write(addr, buf[:])
+}
+
+// Load8 reads one byte at addr.
+func (s *Space) Load8(addr Addr) (byte, error) {
+	var buf [1]byte
+	if err := s.Read(addr, buf[:]); err != nil {
+		return 0, err
+	}
+	return buf[0], nil
+}
+
+// Store8 writes one byte at addr.
+func (s *Space) Store8(addr Addr, v byte) error {
+	return s.Write(addr, []byte{v})
+}
+
+// ReadBytes returns a fresh copy of [addr, addr+n).
+func (s *Space) ReadBytes(addr Addr, n int) ([]byte, error) {
+	p := make([]byte, n)
+	if err := s.Read(addr, p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Zero writes n zero bytes at addr.
+func (s *Space) Zero(addr Addr, n int) error {
+	return s.Write(addr, make([]byte, n))
+}
+
+// ReadCString reads a NUL-terminated string of at most max bytes from addr.
+func (s *Space) ReadCString(addr Addr, max int) (string, error) {
+	out := make([]byte, 0, 32)
+	for i := 0; i < max; i++ {
+		b, err := s.Load8(addr + Addr(i))
+		if err != nil {
+			return "", err
+		}
+		if b == 0 {
+			return string(out), nil
+		}
+		out = append(out, b)
+	}
+	return "", &Fault{Addr: addr, Op: OpRead, Why: "unterminated string"}
+}

@@ -1,0 +1,293 @@
+// Package pm2 is the public API of the PM2 reproduction: a distributed
+// multithreaded runtime with transparent, preemptive, iso-address thread
+// migration, after Antoniu, Bougé & Namyst, "An Efficient and Transparent
+// Thread Migration Scheme in the PM2 Runtime System" (IPPS/SPDP RTSPP 1999).
+//
+// The runtime simulates a 1999 PoPC cluster — per-node 32-bit address
+// spaces, Myrinet/BIP networking, Marcel user-level threads — in
+// deterministic virtual time. Threads are small assembly programs whose
+// stacks and isomalloc'd data live at explicit simulated addresses, which is
+// what makes "pointers survive migration" a concrete, testable property.
+//
+// Basic use:
+//
+//	sys := pm2.NewSystem()
+//	sys.RegisterExamples()            // the paper's p1..p4, workers, ...
+//	cl := sys.Boot(pm2.Config{Nodes: 2})
+//	cl.Spawn(0, "p4", 1000)           // the Figure 7 program
+//	cl.Run()
+//	fmt.Println(cl.OutputString())    // [node0] Element 0 = 1 ...
+//	fmt.Printf("%+v\n", cl.Stats())
+package pm2
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/isa"
+	ipm2 "repro/internal/pm2"
+	"repro/internal/progs"
+	"repro/internal/simtime"
+)
+
+// Config selects a cluster configuration. The zero value is a sensible
+// 2-node cluster with the paper's defaults (round-robin slot distribution,
+// iso-address migration, used-blocks packing, slot cache of 8).
+type Config struct {
+	// Nodes is the cluster size (default 2).
+	Nodes int
+	// Distribution is the initial slot distribution: "round-robin"
+	// (default), "block-cyclic:K", or "partition".
+	Distribution string
+	// SlotCache bounds the mmapped-slot cache per node (default 8);
+	// negative disables the cache.
+	SlotCache int
+	// Quantum is the scheduler quantum in instructions (default 64).
+	Quantum int
+	// WholeSlotPack ships entire slots on migration instead of only the
+	// used blocks (the paper's unoptimized variant).
+	WholeSlotPack bool
+	// RelocationPolicy selects the paper's §2 baseline (stack relocation
+	// with registered-pointer fixup) instead of iso-address migration.
+	RelocationPolicy bool
+	// RecordAllocations samples every pm2_isomalloc/malloc latency.
+	RecordAllocations bool
+	// PreBuySlots makes every negotiation over-purchase this many extra
+	// contiguous slots, anticipating future large requests (§4.4).
+	PreBuySlots int
+}
+
+func (c Config) toInternal() ipm2.Config {
+	cfg := ipm2.Config{
+		Nodes:        c.Nodes,
+		Quantum:      int64(c.Quantum),
+		CacheCap:     c.SlotCache,
+		RecordAllocs: c.RecordAllocations,
+	}
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 2
+	}
+	if c.SlotCache < 0 {
+		cfg.NoCache = true
+		cfg.CacheCap = 0
+	}
+	if c.WholeSlotPack {
+		cfg.Pack = ipm2.PackWhole
+	}
+	if c.RelocationPolicy {
+		cfg.Policy = ipm2.PolicyRelocate
+	}
+	cfg.PreBuySlots = c.PreBuySlots
+	dist, err := ParseDistribution(c.Distribution)
+	if err != nil {
+		panic(err)
+	}
+	cfg.Dist = dist
+	return cfg
+}
+
+// ParseDistribution resolves a distribution name. Empty means round-robin.
+func ParseDistribution(s string) (core.Distribution, error) {
+	switch {
+	case s == "" || s == "round-robin" || s == "rr":
+		return core.RoundRobin{}, nil
+	case s == "partition":
+		return core.Partition{}, nil
+	case strings.HasPrefix(s, "block-cyclic:"):
+		k, err := strconv.Atoi(strings.TrimPrefix(s, "block-cyclic:"))
+		if err != nil || k <= 0 {
+			return nil, fmt.Errorf("pm2: bad block-cyclic size in %q", s)
+		}
+		return core.BlockCyclic{K: k}, nil
+	}
+	return nil, fmt.Errorf("pm2: unknown distribution %q", s)
+}
+
+// System holds the replicated SPMD program image under construction.
+// Register every program before booting a cluster from it.
+type System struct {
+	im *isa.Image
+}
+
+// NewSystem returns a System with an empty program image.
+func NewSystem() *System { return &System{im: isa.NewImage()} }
+
+// Register assembles a program (see internal/asm for the syntax) into the
+// image.
+func (s *System) Register(src string) error {
+	_, err := asm.Assemble(s.im, src)
+	return err
+}
+
+// MustRegister is Register panicking on error.
+func (s *System) MustRegister(src string) {
+	if err := s.Register(src); err != nil {
+		panic(err)
+	}
+}
+
+// RegisterExamples loads the paper's example programs (p1, p2, p2r, p3, p4,
+// p4m) and the workload programs (worker, pingpong, heapjunk, allocone).
+func (s *System) RegisterExamples() { progs.All(s.im) }
+
+// Boot builds a cluster over the image; the image is sealed and must not be
+// modified afterwards (it is the same binary on every node).
+func (s *System) Boot(cfg Config) *Cluster {
+	return &Cluster{inner: ipm2.New(cfg.toInternal(), s.im)}
+}
+
+// Cluster is a running PM2 configuration in deterministic virtual time.
+type Cluster struct {
+	inner *ipm2.Cluster
+}
+
+// Internal exposes the underlying runtime cluster for advanced scenarios
+// (benchmarks, load balancing modules, invariant checks).
+func (c *Cluster) Internal() *ipm2.Cluster { return c.inner }
+
+// Spawn creates a thread on node running the named program with one
+// argument (delivered in r1).
+func (c *Cluster) Spawn(node int, program string, arg uint32) {
+	c.inner.Spawn(node, program, arg)
+}
+
+// SpawnWait creates the thread and returns its id once creation executed.
+func (c *Cluster) SpawnWait(node int, program string, arg uint32) uint32 {
+	return c.inner.SpawnSync(node, program, arg)
+}
+
+// Run drives the cluster until every thread has exited or blocked forever.
+func (c *Cluster) Run() { c.inner.Run(0) }
+
+// RunForMicros advances virtual time by the given number of microseconds.
+func (c *Cluster) RunForMicros(us int64) {
+	c.inner.RunFor(simtime.Time(us) * simtime.Microsecond)
+}
+
+// NowMicros returns the current virtual time in microseconds.
+func (c *Cluster) NowMicros() float64 { return c.inner.Now().Micros() }
+
+// Output returns the pm2_printf trace lines emitted so far.
+func (c *Cluster) Output() []string { return c.inner.Trace().Lines() }
+
+// OutputString returns the whole trace as one string.
+func (c *Cluster) OutputString() string { return c.inner.Trace().String() }
+
+// MigrateThread preemptively migrates thread tid (currently on node src) to
+// node dest at its next quantum boundary. It reports whether the thread was
+// found on src.
+func (c *Cluster) MigrateThread(src int, tid uint32, dest int) bool {
+	found := false
+	done := false
+	c.inner.At(src, func(n *ipm2.Node) {
+		found = n.Scheduler().RequestMigration(tid, dest)
+		done = true
+	})
+	for !done && c.inner.Engine().Step() {
+	}
+	return found
+}
+
+// ThreadsOn returns the number of threads resident on node.
+func (c *Cluster) ThreadsOn(node int) int {
+	return c.inner.Node(node).Scheduler().Threads()
+}
+
+// Locate returns the node currently hosting thread tid, or -1.
+func (c *Cluster) Locate(tid uint32) int {
+	for i := 0; i < c.inner.Nodes(); i++ {
+		if _, ok := c.inner.Node(i).Scheduler().Lookup(tid); ok {
+			return i
+		}
+	}
+	return -1
+}
+
+// Defragment triggers the paper's §4.4 global restructuring: every node
+// surrenders its free slots to node 0, which redistributes them as per-node
+// contiguous ranges, maximizing the contiguity available to multi-slot
+// allocations. Runs synchronously in virtual time.
+func (c *Cluster) Defragment() { c.inner.DefragmentSync(0) }
+
+// Validate checks the cluster-wide iso-address invariants (single slot
+// ownership, no double mapping, allocator structural integrity).
+func (c *Cluster) Validate() error { return c.inner.CheckInvariants() }
+
+// Stats summarizes the run.
+type Stats struct {
+	// VirtualMicros is the virtual time consumed so far.
+	VirtualMicros float64
+	// Migrations and the average/worst end-to-end migration latency.
+	Migrations         int
+	AvgMigrationMicros float64
+	MaxMigrationMicros float64
+	// Negotiations and the average latency of the slot negotiation
+	// protocol.
+	Negotiations         int
+	AvgNegotiationMicros float64
+	// Defragmentations counts §4.4 global restructurings.
+	Defragmentations int
+	// Network traffic.
+	NetworkMessages uint64
+	NetworkBytes    uint64
+}
+
+// Stats returns the aggregate measurements so far.
+func (c *Cluster) Stats() Stats {
+	st := c.inner.Stats()
+	out := Stats{
+		VirtualMicros:    c.inner.Now().Micros(),
+		Migrations:       st.Migrations,
+		Negotiations:     st.Negotiations,
+		Defragmentations: st.Defragmentations,
+		NetworkMessages:  st.Net.Messages,
+		NetworkBytes:     st.Net.Bytes,
+	}
+	var sum, max simtime.Time
+	for _, l := range st.MigrationLatencies {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	if len(st.MigrationLatencies) > 0 {
+		out.AvgMigrationMicros = (sum / simtime.Time(len(st.MigrationLatencies))).Micros()
+		out.MaxMigrationMicros = max.Micros()
+	}
+	sum = 0
+	for _, l := range st.NegotiationLatencies {
+		sum += l
+	}
+	if len(st.NegotiationLatencies) > 0 {
+		out.AvgNegotiationMicros = (sum / simtime.Time(len(st.NegotiationLatencies))).Micros()
+	}
+	return out
+}
+
+// AllocationSample is one recorded allocation (Config.RecordAllocations).
+type AllocationSample struct {
+	Node          int
+	Size          uint32
+	Isomalloc     bool
+	LatencyMicros float64
+	OK            bool
+}
+
+// Allocations returns the recorded allocation samples.
+func (c *Cluster) Allocations() []AllocationSample {
+	in := c.inner.AllocSamples()
+	out := make([]AllocationSample, len(in))
+	for i, s := range in {
+		out[i] = AllocationSample{
+			Node:          s.Node,
+			Size:          s.Size,
+			Isomalloc:     s.Iso,
+			LatencyMicros: s.Latency.Micros(),
+			OK:            s.OK,
+		}
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package pm2
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	sys := NewSystem()
+	sys.RegisterExamples()
+	cl := sys.Boot(Config{Nodes: 2})
+	cl.Spawn(0, "p4", 150)
+	cl.Run()
+	out := cl.Output()
+	if len(out) != 153 {
+		t.Fatalf("output lines = %d", len(out))
+	}
+	if !strings.Contains(cl.OutputString(), "Arrived at node 1") {
+		t.Fatal("missing migration arrival line")
+	}
+	st := cl.Stats()
+	if st.Migrations != 1 || st.AvgMigrationMicros <= 0 || st.VirtualMicros <= 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := cl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterCustomProgram(t *testing.T) {
+	sys := NewSystem()
+	sys.MustRegister(`
+.program hello
+.string hi "hello from node %d\n"
+main:
+    callb self_node
+    mov   r2, r0
+    loadi r1, hi
+    callb printf
+    halt
+`)
+	cl := sys.Boot(Config{Nodes: 1})
+	cl.Spawn(0, "hello", 0)
+	cl.Run()
+	if got := cl.OutputString(); got != "[node0] hello from node 0" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	sys := NewSystem()
+	if err := sys.Register("garbage"); err == nil {
+		t.Fatal("bad program must fail")
+	}
+}
+
+func TestParseDistribution(t *testing.T) {
+	for _, ok := range []string{"", "rr", "round-robin", "partition", "block-cyclic:16"} {
+		if _, err := ParseDistribution(ok); err != nil {
+			t.Errorf("%q: %v", ok, err)
+		}
+	}
+	for _, bad := range []string{"nope", "block-cyclic:x", "block-cyclic:0"} {
+		if _, err := ParseDistribution(bad); err == nil {
+			t.Errorf("%q should fail", bad)
+		}
+	}
+}
+
+func TestMigrateThreadAndLocate(t *testing.T) {
+	sys := NewSystem()
+	sys.RegisterExamples()
+	cl := sys.Boot(Config{Nodes: 3})
+	tid := cl.SpawnWait(0, "worker", 200_000)
+	if got := cl.Locate(tid); got != 0 {
+		t.Fatalf("Locate = %d", got)
+	}
+	cl.RunForMicros(1000)
+	if !cl.MigrateThread(0, tid, 2) {
+		t.Fatal("MigrateThread failed")
+	}
+	cl.RunForMicros(5000)
+	if got := cl.Locate(tid); got != 2 {
+		t.Fatalf("after migration Locate = %d", got)
+	}
+	cl.Run()
+	if cl.Locate(tid) != -1 {
+		t.Fatal("finished thread still located")
+	}
+	if cl.ThreadsOn(0)+cl.ThreadsOn(1)+cl.ThreadsOn(2) != 0 {
+		t.Fatal("threads remain")
+	}
+}
+
+func TestRelocationPolicyConfig(t *testing.T) {
+	sys := NewSystem()
+	sys.RegisterExamples()
+	cl := sys.Boot(Config{Nodes: 2, RelocationPolicy: true})
+	cl.Spawn(0, "p2", 0)
+	cl.Run()
+	if !strings.Contains(cl.OutputString(), "Segmentation fault") {
+		t.Fatalf("relocation policy should break p2:\n%s", cl.OutputString())
+	}
+}
+
+func TestRecordAllocations(t *testing.T) {
+	sys := NewSystem()
+	sys.RegisterExamples()
+	cl := sys.Boot(Config{Nodes: 2, RecordAllocations: true})
+	cl.Spawn(0, "p4", 110)
+	cl.Run()
+	allocs := cl.Allocations()
+	if len(allocs) != 110 {
+		t.Fatalf("allocation samples = %d", len(allocs))
+	}
+	for _, a := range allocs {
+		if !a.Isomalloc || !a.OK || a.Size != 8 {
+			t.Fatalf("sample = %+v", a)
+		}
+	}
+}
+
+func TestNoCacheConfig(t *testing.T) {
+	sys := NewSystem()
+	sys.RegisterExamples()
+	cl := sys.Boot(Config{Nodes: 2, SlotCache: -1})
+	cl.Spawn(0, "pingpong", 10)
+	cl.Run()
+	if cl.Stats().Migrations != 10 {
+		t.Fatalf("stats = %+v", cl.Stats())
+	}
+	if got := cl.Internal().Node(0).Slots().CachedSlots(); got != 0 {
+		t.Fatalf("cache disabled but %d slots cached", got)
+	}
+}
+
+func TestDefragmentFacade(t *testing.T) {
+	sys := NewSystem()
+	sys.RegisterExamples()
+	cl := sys.Boot(Config{Nodes: 4, PreBuySlots: 4})
+	cl.Defragment()
+	st := cl.Stats()
+	if st.Defragmentations != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := cl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The Figure 7 workload still runs cleanly on the restructured map.
+	cl.Spawn(0, "p4", 120)
+	cl.Run()
+	if len(cl.Output()) != 123 {
+		t.Fatalf("output lines = %d", len(cl.Output()))
+	}
+}
