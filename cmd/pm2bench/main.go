@@ -13,6 +13,8 @@
 //	pm2bench -fig 5            # Figure 5: the memory layout
 //	pm2bench -fig create       # thread creation cost
 //	pm2bench -fig ablations    # slot cache / pack mode / distribution / pointers
+//	pm2bench -fig scenarios    # placement-policy × workload matrix
+//	pm2bench -fig scenarios -policy work-stealing
 package main
 
 import (
@@ -24,11 +26,15 @@ import (
 	"repro/internal/core"
 	"repro/internal/layout"
 	"repro/internal/pm2"
+	"repro/internal/policy"
+	"repro/internal/scenario"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "which experiment to regenerate")
 	trials := flag.Int("trials", 3, "trials per Figure 11 point")
+	pol := flag.String("policy", "", "restrict -fig scenarios to one placement policy")
+	seed := flag.Uint64("seed", 1, "workload seed for -fig scenarios")
 	flag.Parse()
 
 	switch *fig {
@@ -40,6 +46,7 @@ func main() {
 		negotiation()
 		create()
 		ablations()
+		scenarios(*pol, *seed)
 	case "5":
 		layoutFig()
 	case "11a":
@@ -54,6 +61,8 @@ func main() {
 		create()
 	case "ablations":
 		ablations()
+	case "scenarios":
+		scenarios(*pol, *seed)
 	default:
 		fmt.Fprintf(os.Stderr, "pm2bench: unknown figure %q\n", *fig)
 		os.Exit(2)
@@ -203,4 +212,38 @@ func ablations() {
 	for _, r := range bench.RegisteredPointerAblation([]int{0, 8, 32, 128, 512}, 10) {
 		fmt.Printf("%10d %14.1f %18.1f\n", r.Pointers, r.IsoMicros, r.RelocMicros)
 	}
+}
+
+// scenarios prints the placement-policy comparison: every deterministic
+// workload generator under every (or one) policy, 4 nodes.
+func scenarios(only string, seed uint64) {
+	pols := policy.Names()
+	if only != "" {
+		canon, err := policy.Parse(only)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pm2bench: %v\n", err)
+			os.Exit(2)
+		}
+		pols = []string{canon.Name()}
+	}
+	header("Scenario harness: placement policy × workload (4 nodes, deterministic)")
+	fmt.Printf("%-10s %-14s %12s %12s %12s %14s %14s\n",
+		"scenario", "policy", "virtual µs", "migrations", "balmoves", "avg mig µs", "wire bytes")
+	for _, g := range scenario.GeneratorNames() {
+		for _, p := range pols {
+			res, err := scenario.Run(scenario.Spec{Scenario: g, Policy: p, Seed: seed})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pm2bench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := res.Verify(); err != nil {
+				fmt.Fprintf(os.Stderr, "pm2bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-10s %-14s %12.1f %12d %12d %14.1f %14d\n",
+				g, p, res.VirtualMicros, res.Stats.Migrations, res.BalancerMoves,
+				res.Stats.AvgMigrationMicros(), res.Stats.Net.Bytes)
+		}
+	}
+	fmt.Println("\n(same seed + policy ⇒ byte-identical trace; see internal/scenario/testdata)")
 }

@@ -11,9 +11,15 @@
 //
 // Examples:
 //
-//	pm2load p4 1000                    # Figure 7/8
-//	pm2load -policy relocate p2        # Figure 2
-//	pm2load -warm-heap 65536 p4m 300   # Figure 9
+//	pm2load p4 1000                          # Figure 7/8
+//	pm2load -mech relocate p2                # Figure 2
+//	pm2load -warm-heap 65536 p4m 300         # Figure 9
+//	pm2load -policy round-robin -balance 2000 -nodes 4 p4 1000
+//
+// -policy selects the placement policy (negotiation | round-robin |
+// work-stealing); -mech selects the migration mechanism (iso |
+// relocate). For compatibility, -policy also accepts the legacy values
+// "iso" and "relocate" and treats them as -mech.
 package main
 
 import (
@@ -21,19 +27,43 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 
 	"repro/pm2"
 )
 
 func main() {
 	nodes := flag.Int("nodes", 2, "cluster size")
-	policy := flag.String("policy", "iso", `migration policy: "iso" or "relocate"`)
+	policy := flag.String("policy", "", "placement policy: "+strings.Join(pm2.PolicyNames(), " | "))
+	mech := flag.String("mech", "iso", `migration mechanism: "iso" or "relocate"`)
+	balance := flag.Int64("balance", 0, "attach a load balancer with this period in virtual µs (0 = off)")
 	dist := flag.String("dist", "round-robin", `slot distribution: round-robin | block-cyclic:K | partition`)
 	node := flag.Int("node", 0, "node to start the program on")
 	srcFile := flag.String("src", "", "assemble and register an extra program from this file")
 	warmHeap := flag.Int("warm-heap", 0, "fill every other node's heap with N bytes of junk first (Figure 9)")
 	stats := flag.Bool("stats", true, "print run statistics after the trace")
 	flag.Parse()
+
+	// Legacy spelling: -policy iso|relocate named the mechanism.
+	if *policy == "iso" || *policy == "relocate" {
+		mechSet := false
+		flag.Visit(func(f *flag.Flag) { mechSet = mechSet || f.Name == "mech" })
+		if mechSet && *mech != *policy {
+			fmt.Fprintf(os.Stderr, "pm2load: -policy %s conflicts with -mech %s (use -mech for the mechanism, -policy for placement)\n", *policy, *mech)
+			os.Exit(2)
+		}
+		*mech = *policy
+		*policy = ""
+	}
+	polName, err := pm2.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pm2load: %v\n", err)
+		os.Exit(2)
+	}
+	if *mech != "iso" && *mech != "relocate" {
+		fmt.Fprintf(os.Stderr, "pm2load: unknown mechanism %q (want iso or relocate)\n", *mech)
+		os.Exit(2)
+	}
 
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: pm2load [flags] <program> [arg]")
@@ -68,8 +98,12 @@ func main() {
 	cl := sys.Boot(pm2.Config{
 		Nodes:            *nodes,
 		Distribution:     *dist,
-		RelocationPolicy: *policy == "relocate",
+		RelocationPolicy: *mech == "relocate",
+		Policy:           polName,
 	})
+	if *balance > 0 {
+		cl.AttachBalancer(*balance)
+	}
 
 	if *warmHeap > 0 {
 		for i := 0; i < *nodes; i++ {
@@ -88,7 +122,7 @@ func main() {
 	}
 	if *stats {
 		st := cl.Stats()
-		fmt.Fprintf(os.Stderr, "\n-- %d node(s), policy %s, dist %s\n", *nodes, *policy, *dist)
+		fmt.Fprintf(os.Stderr, "\n-- %d node(s), policy %s, mech %s, dist %s\n", *nodes, polName, *mech, *dist)
 		fmt.Fprintf(os.Stderr, "-- virtual time %.1fµs, %d migration(s) (avg %.1fµs), %d negotiation(s)\n",
 			st.VirtualMicros, st.Migrations, st.AvgMigrationMicros, st.Negotiations)
 	}

@@ -1,0 +1,172 @@
+package loadbal
+
+import (
+	"testing"
+
+	"repro/internal/pm2"
+	"repro/internal/policy"
+	"repro/internal/progs"
+	"repro/internal/simtime"
+)
+
+// TestBalancerEmptyClusterAllPolicies: a balancer over a cluster that
+// never hosts a thread must run a round, decide nothing, and let the
+// engine drain — under every policy.
+func TestBalancerEmptyClusterAllPolicies(t *testing.T) {
+	for _, name := range policy.Names() {
+		pol, err := policy.Parse(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := pm2.New(pm2.Config{Nodes: 3}, progs.NewImage())
+		b := Attach(c, Config{Period: 1 * simtime.Millisecond, Policy: pol})
+		c.Run(10_000)
+		if c.Engine().Pending() != 0 {
+			t.Fatalf("%s: events still pending on an empty cluster", name)
+		}
+		if b.Rounds() != 1 || b.Moves() != 0 {
+			t.Fatalf("%s: rounds=%d moves=%d, want 1/0", name, b.Rounds(), b.Moves())
+		}
+	}
+}
+
+// TestBalancerSingleNode: with one node there is nowhere to migrate to;
+// no policy may request a move.
+func TestBalancerSingleNode(t *testing.T) {
+	for _, name := range policy.Names() {
+		pol, err := policy.Parse(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := pm2.New(pm2.Config{Nodes: 1}, progs.NewImage())
+		for i := 0; i < 5; i++ {
+			c.SpawnSync(0, "worker", 5_000)
+		}
+		b := Attach(c, Config{Period: 1 * simtime.Millisecond, Policy: pol})
+		c.Run(0)
+		if b.Moves() != 0 {
+			t.Fatalf("%s: %d moves on a single-node cluster", name, b.Moves())
+		}
+		if got := c.Stats().Migrations; got != 0 {
+			t.Fatalf("%s: %d migrations on a single-node cluster", name, got)
+		}
+	}
+}
+
+// TestBalancerAllNodesSaturated: a perfectly even, heavily loaded
+// cluster gives no policy a reason to move anything — negotiation sees
+// no imbalance, round-robin sees everyone at the ceiling, work stealing
+// sees no starving node.
+func TestBalancerAllNodesSaturated(t *testing.T) {
+	for _, name := range policy.Names() {
+		pol, err := policy.Parse(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := pm2.New(pm2.Config{Nodes: 4}, progs.NewImage())
+		for node := 0; node < 4; node++ {
+			for i := 0; i < 3; i++ {
+				c.SpawnSync(node, "worker", 20_000)
+			}
+		}
+		b := Attach(c, Config{Period: 1 * simtime.Millisecond, Policy: pol})
+		c.RunFor(6 * simtime.Millisecond)
+		if b.Moves() != 0 {
+			t.Fatalf("%s: moved %d threads across a saturated, balanced cluster", name, b.Moves())
+		}
+		c.Run(0)
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestBalancerStaleReports: nodes whose load report has expired are
+// ineligible as sources and destinations. The balancer refreshes every
+// node each round, so staleness is injected directly through its engine.
+func TestBalancerStaleReports(t *testing.T) {
+	c := pm2.New(pm2.Config{Nodes: 3}, progs.NewImage())
+	b := Attach(c, Config{
+		Period:     1 * simtime.Millisecond,
+		StaleAfter: 2 * simtime.Millisecond,
+	})
+	b.Stop() // decide by hand below
+	e := b.Engine()
+	if e.StaleAfter != 2*simtime.Millisecond {
+		t.Fatalf("StaleAfter not plumbed: %v", e.StaleAfter)
+	}
+	now := 10 * simtime.Millisecond
+	e.Report(policy.LoadReport{Node: 0, Resident: 6, Runnable: 6, Time: now})
+	e.Report(policy.LoadReport{Node: 1, Resident: 0, Runnable: 0, Time: now - 5*simtime.Millisecond})
+	e.Report(policy.LoadReport{Node: 2, Resident: 1, Runnable: 1, Time: now})
+	moves := e.Decide(now)
+	if len(moves) != 1 || moves[0].Dst != 2 {
+		t.Fatalf("Decide = %v, want one move to the fresh node 2", moves)
+	}
+	// Only stale peers left: the imbalance is invisible, nothing moves.
+	e.Report(policy.LoadReport{Node: 2, Resident: 1, Runnable: 1, Time: now - 5*simtime.Millisecond})
+	if moves := e.Decide(now); len(moves) != 0 {
+		t.Fatalf("Decide with only stale peers = %v", moves)
+	}
+}
+
+// TestAttachPreservesClusterTuning: attaching with a zero Config must
+// not clobber tuning already present on the cluster's shared engine.
+func TestAttachPreservesClusterTuning(t *testing.T) {
+	pol := policy.NewNegotiation()
+	pol.Threshold = 5
+	pol.MaxMoves = 3
+	c := pm2.New(pm2.Config{Nodes: 2, Placement: pol}, progs.NewImage())
+	c.Placement().StaleAfter = 7 * simtime.Millisecond
+	b := Attach(c, Config{Period: 1 * simtime.Millisecond})
+	if pol.Threshold != 5 || pol.MaxMoves != 3 {
+		t.Fatalf("Attach clobbered policy tuning: threshold=%d maxMoves=%d", pol.Threshold, pol.MaxMoves)
+	}
+	if b.Engine().StaleAfter != 7*simtime.Millisecond {
+		t.Fatalf("Attach clobbered StaleAfter: %v", b.Engine().StaleAfter)
+	}
+	// Explicit knobs still win.
+	Attach(c, Config{Period: 1 * simtime.Millisecond, Threshold: 4, StaleAfter: simtime.Millisecond})
+	if pol.Threshold != 4 || b.Engine().StaleAfter != simtime.Millisecond {
+		t.Fatalf("explicit knobs not applied: threshold=%d stale=%v", pol.Threshold, b.Engine().StaleAfter)
+	}
+}
+
+// TestBalancerKeepAlive: with KeepAliveUntil set, an idle lull between
+// workload waves does not kill the balancer; without it, the first idle
+// round does (the seed's drain behavior).
+func TestBalancerKeepAlive(t *testing.T) {
+	c := pm2.New(pm2.Config{Nodes: 2}, progs.NewImage())
+	// A wave of work arriving at t=10ms, long after the first round.
+	c.Engine().At(10*simtime.Millisecond, func() {
+		for i := 0; i < 4; i++ {
+			c.Spawn(0, "worker", 8_000)
+		}
+	})
+	b := Attach(c, Config{
+		Period:         1 * simtime.Millisecond,
+		Threshold:      2,
+		KeepAliveUntil: 12 * simtime.Millisecond,
+	})
+	c.Run(0)
+	if b.Moves() == 0 {
+		t.Fatal("kept-alive balancer never balanced the late wave")
+	}
+	if c.Engine().Pending() != 0 {
+		t.Fatal("engine did not drain after the keep-alive horizon")
+	}
+
+	// Control: without keep-alive the balancer dies at the first idle
+	// round and the late wave goes unbalanced.
+	c2 := pm2.New(pm2.Config{Nodes: 2}, progs.NewImage())
+	c2.Engine().At(10*simtime.Millisecond, func() {
+		for i := 0; i < 4; i++ {
+			c2.Spawn(0, "worker", 8_000)
+		}
+	})
+	b2 := Attach(c2, Config{Period: 1 * simtime.Millisecond, Threshold: 2})
+	c2.Run(0)
+	if b2.Moves() != 0 {
+		t.Fatalf("drain-on-idle balancer still moved %d threads", b2.Moves())
+	}
+}

@@ -5,14 +5,20 @@
 // irrespective of their location."
 //
 // The balancer runs as a periodic virtual-time activity: it samples each
-// node's resident thread count and preemptively migrates threads from the
-// most loaded node to the least loaded one. It uses only the public
-// migration mechanism — no cooperation from the threads.
+// node's resident thread count into the cluster's policy engine
+// (internal/policy) and executes whatever migrations the policy decides.
+// With the default negotiation policy this is exactly the seed behavior —
+// preemptively migrate from the most loaded node to the least loaded one
+// past a threshold — but any policy (round-robin spread, work stealing)
+// plugs in through Config.Policy or the cluster's own Config.Placement.
+// It uses only the public migration mechanism — no cooperation from the
+// threads.
 package loadbal
 
 import (
 	"repro/internal/marcel"
 	"repro/internal/pm2"
+	"repro/internal/policy"
 	"repro/internal/simtime"
 )
 
@@ -21,16 +27,36 @@ type Config struct {
 	// Period between balancing rounds (default 5 ms of virtual time).
 	Period simtime.Time
 	// Threshold is the minimum load imbalance (max - min resident
-	// threads) that triggers a migration (default 2).
+	// threads) that triggers a migration. Applied, only when set, to
+	// the threshold/negotiation scheme (which defaults to 2 itself);
+	// it is ignored when the deciding policy is anything else,
+	// including a wrapped/decorated threshold policy.
 	Threshold int
-	// MaxMovesPerRound bounds migrations per round (default 1).
+	// MaxMovesPerRound bounds migrations per round, with the same
+	// set-only, negotiation-only semantics (the policy defaults to 1).
 	MaxMovesPerRound int
+	// Policy overrides the cluster's placement policy for balancing
+	// decisions. Default nil: share the cluster's policy engine, so
+	// spawn placement and balancing see the same state.
+	Policy policy.Policy
+	// StaleAfter, when set, marks load reports older than this as
+	// stale, making their nodes ineligible as migration sources or
+	// destinations (0 = leave the engine's current window unchanged).
+	// The balancer refreshes every node each round, so this matters
+	// for externally fed reports.
+	StaleAfter simtime.Time
+	// KeepAliveUntil keeps rounds scheduled through this virtual time
+	// even when the cluster is momentarily idle, for workloads that
+	// spawn in waves. Zero preserves the drain-on-idle behavior: the
+	// first round that sees an empty cluster stops rescheduling.
+	KeepAliveUntil simtime.Time
 }
 
 // Balancer periodically redistributes threads over a cluster.
 type Balancer struct {
 	c       *pm2.Cluster
 	cfg     Config
+	eng     *policy.Engine
 	stopped bool
 	moves   int
 	rounds  int
@@ -43,16 +69,31 @@ func Attach(c *pm2.Cluster, cfg Config) *Balancer {
 	if cfg.Period <= 0 {
 		cfg.Period = 5 * simtime.Millisecond
 	}
-	if cfg.Threshold <= 0 {
-		cfg.Threshold = 2
-	}
-	if cfg.MaxMovesPerRound <= 0 {
-		cfg.MaxMovesPerRound = 1
-	}
 	b := &Balancer{c: c, cfg: cfg}
+	if cfg.Policy != nil {
+		b.eng = policy.NewEngine(cfg.Policy, c.Nodes())
+	} else {
+		b.eng = c.Placement()
+	}
+	// Apply only knobs the caller actually set: the engine may be the
+	// cluster's shared one, whose existing tuning must survive Attach.
+	if cfg.StaleAfter > 0 {
+		b.eng.StaleAfter = cfg.StaleAfter
+	}
+	if neg, ok := b.eng.Policy().(*policy.Negotiation); ok {
+		if cfg.Threshold > 0 {
+			neg.Threshold = cfg.Threshold
+		}
+		if cfg.MaxMovesPerRound > 0 {
+			neg.MaxMoves = cfg.MaxMovesPerRound
+		}
+	}
 	b.schedule()
 	return b
 }
+
+// Engine returns the policy engine driving this balancer's decisions.
+func (b *Balancer) Engine() *policy.Engine { return b.eng }
 
 // Moves returns the number of migrations the balancer has requested.
 func (b *Balancer) Moves() int { return b.moves }
@@ -72,49 +113,52 @@ func (b *Balancer) round() {
 		return
 	}
 	b.rounds++
-	// Sample loads. Reading counts is a control-plane observation; the
-	// migration requests go through the owning node's actor.
-	busiest, idlest := -1, -1
-	maxLoad, minLoad := -1, 1<<30
+	// Sample loads into the engine. Reading counts is a control-plane
+	// observation; the migration requests go through the owning node's
+	// actor.
+	now := b.c.Engine().Now()
 	totalThreads := 0
 	for i := 0; i < b.c.Nodes(); i++ {
-		load := b.c.Node(i).Scheduler().Threads()
-		totalThreads += load
-		if load > maxLoad {
-			maxLoad, busiest = load, i
+		sched := b.c.Node(i).Scheduler()
+		r := policy.LoadReport{
+			Node:     i,
+			Resident: sched.Threads(),
+			Runnable: sched.Runnable(),
+			Time:     now,
 		}
-		if load < minLoad {
-			minLoad, idlest = load, i
-		}
+		b.eng.Report(r)
+		totalThreads += r.Resident
 	}
 	if totalThreads == 0 {
 		// Nothing left to balance; stop rescheduling so the engine
-		// can drain.
+		// can drain — unless a wave workload asked us to outlive the
+		// lull.
+		if now < b.cfg.KeepAliveUntil {
+			b.schedule()
+		}
 		return
 	}
-	if maxLoad-minLoad >= b.cfg.Threshold && busiest != idlest {
-		moves := b.cfg.MaxMovesPerRound
-		if d := (maxLoad - minLoad) / 2; d < moves {
-			moves = d
-		}
-		if moves < 1 {
-			moves = 1
-		}
-		src, dst := busiest, idlest
-		b.c.At(src, func(n *pm2.Node) {
-			moved := 0
-			for _, t := range n.Scheduler().Snapshot() {
-				if moved == moves {
-					break
-				}
-				if b.migratable(t) && n.Scheduler().RequestMigration(t.TID, dst) {
-					moved++
-					b.moves++
-				}
-			}
-		})
+	for _, mv := range b.eng.Decide(now) {
+		b.execute(mv)
 	}
 	b.schedule()
+}
+
+// execute requests mv.Count preemptive migrations from mv.Src to mv.Dst,
+// picking runnable threads in TID order.
+func (b *Balancer) execute(mv policy.Move) {
+	b.c.At(mv.Src, func(n *pm2.Node) {
+		moved := 0
+		for _, t := range n.Scheduler().Snapshot() {
+			if moved == mv.Count {
+				break
+			}
+			if b.migratable(t) && n.Scheduler().RequestMigration(t.TID, mv.Dst) {
+				moved++
+				b.moves++
+			}
+		}
+	})
 }
 
 // migratable filters out threads that should not move: blocked threads

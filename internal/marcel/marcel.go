@@ -136,6 +136,8 @@ type Scheduler struct {
 	joiners map[uint32][]*Thread
 	exited  map[uint32]bool
 	nextSeq uint32
+	// nBlocked counts resident threads with blocked set (Runnable).
+	nBlocked int
 	// stats
 	created, finished, faulted, dispatches uint64
 	instrs                                 uint64
@@ -182,6 +184,42 @@ func (s *Scheduler) Ready() bool { return len(s.runq) > 0 }
 
 // Threads returns the number of resident threads.
 func (s *Scheduler) Threads() int { return len(s.threads) }
+
+// Runnable returns the number of resident threads that are not blocked
+// (the load signal placement policies use to spot starving nodes). The
+// count is maintained incrementally so load sampling stays O(1) per
+// node; CheckCounters cross-checks it against a full walk.
+func (s *Scheduler) Runnable() int { return len(s.threads) - s.nBlocked }
+
+// setBlocked flips a thread's blocked flag, keeping the counter exact
+// even when a transition is signalled twice (Block followed by the
+// dispatcher observing vm.Blocked).
+func (s *Scheduler) setBlocked(t *Thread, blocked bool) {
+	if t.blocked == blocked {
+		return
+	}
+	t.blocked = blocked
+	if blocked {
+		s.nBlocked++
+	} else {
+		s.nBlocked--
+	}
+}
+
+// CheckCounters validates the incremental runnable accounting against a
+// full thread walk.
+func (s *Scheduler) CheckCounters() error {
+	walked := 0
+	for _, t := range s.threads {
+		if t.blocked {
+			walked++
+		}
+	}
+	if walked != s.nBlocked {
+		return fmt.Errorf("marcel: blocked counter %d, walk found %d", s.nBlocked, walked)
+	}
+	return nil
+}
 
 // Lookup finds a resident thread by id.
 func (s *Scheduler) Lookup(tid uint32) (*Thread, bool) {
@@ -260,7 +298,7 @@ func (s *Scheduler) enqueue(t *Thread) {
 		panic(fmt.Sprintf("marcel: thread %#x enqueued twice", t.TID))
 	}
 	t.ready = true
-	t.blocked = false
+	s.setBlocked(t, false)
 	s.runq = append(s.runq, t)
 }
 
@@ -364,7 +402,7 @@ func (s *Scheduler) Detach(t *Thread) {
 
 // Block marks the current thread as waiting; the runtime wakes it later.
 func (s *Scheduler) Block(t *Thread) {
-	t.blocked = true
+	s.setBlocked(t, true)
 }
 
 // Wake makes a blocked thread runnable again with r0 = ret.
@@ -443,7 +481,7 @@ func (s *Scheduler) dispatch(t *Thread) {
 		}
 		s.enqueue(t)
 	case vm.Blocked:
-		t.blocked = true
+		s.setBlocked(t, true)
 	case vm.Exited:
 		s.finished++
 		if err := s.reap(t); err != nil {

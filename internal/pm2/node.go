@@ -156,8 +156,12 @@ func (n *Node) onFault(t *marcel.Thread, err error) {
 	delete(n.regPtrs, t.TID)
 }
 
-// checkThreads runs the arena invariant checker over every resident thread.
+// checkThreads runs the arena invariant checker over every resident
+// thread, plus the scheduler's load-accounting self-check.
 func (n *Node) checkThreads() error {
+	if err := n.sched.CheckCounters(); err != nil {
+		return fmt.Errorf("node %d: %w", n.id, err)
+	}
 	for _, t := range n.sched.Snapshot() {
 		if err := core.CheckArena(n.space, t.HeadAddr()); err != nil {
 			return fmt.Errorf("node %d thread %#x: %w", n.id, t.TID, err)

@@ -19,6 +19,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/isa"
 	"repro/internal/layout"
+	"repro/internal/policy"
 	"repro/internal/simtime"
 	"repro/internal/trace"
 )
@@ -90,6 +91,11 @@ type Config struct {
 	// foreseeable large allocation requests" (§4.4). Falls back to the
 	// exact request when no larger run exists.
 	PreBuySlots int
+	// Placement is the thread-placement policy: Spawn preferences route
+	// through it, and an attached load balancer (internal/loadbal)
+	// shares its state. Default policy.NewNegotiation(), which never
+	// reroutes a spawn — the seed's behavior.
+	Placement policy.Policy
 }
 
 // AllocSample is one recorded allocation.
@@ -100,6 +106,19 @@ type AllocSample struct {
 	Latency simtime.Time
 	// OK reports whether the allocation succeeded.
 	OK bool
+}
+
+// avgMicros averages a latency series in simtime then converts, so
+// every consumer reports the same figure.
+func avgMicros(ls []simtime.Time) float64 {
+	if len(ls) == 0 {
+		return 0
+	}
+	var sum simtime.Time
+	for _, l := range ls {
+		sum += l
+	}
+	return (sum / simtime.Time(len(ls))).Micros()
 }
 
 // Stats aggregates cluster-wide measurements.
@@ -118,6 +137,12 @@ type Stats struct {
 	Net bip.Stats
 }
 
+// AvgMigrationMicros returns the mean end-to-end migration latency.
+func (s Stats) AvgMigrationMicros() float64 { return avgMicros(s.MigrationLatencies) }
+
+// AvgNegotiationMicros returns the mean negotiation latency.
+func (s Stats) AvgNegotiationMicros() float64 { return avgMicros(s.NegotiationLatencies) }
+
 // Cluster is a running PM2 configuration: the replicated program image and
 // one node per configured rank, in one deterministic virtual-time world.
 type Cluster struct {
@@ -127,6 +152,7 @@ type Cluster struct {
 	nw    *bip.Network
 	nodes []*Node
 	log   *trace.Log
+	pol   *policy.Engine
 	stats Stats
 	// allocSamples records allocation latencies when cfg.RecordAllocs.
 	allocSamples []AllocSample
@@ -152,6 +178,9 @@ func New(cfg Config, im *isa.Image) *Cluster {
 	if cfg.NoCache {
 		cfg.CacheCap = 0
 	}
+	if cfg.Placement == nil {
+		cfg.Placement = policy.NewNegotiation()
+	}
 	im.Seal()
 	c := &Cluster{
 		cfg: cfg,
@@ -159,12 +188,32 @@ func New(cfg Config, im *isa.Image) *Cluster {
 		im:  im,
 		log: trace.New(),
 	}
+	c.pol = policy.NewEngine(cfg.Placement, cfg.Nodes)
 	c.nw = bip.NewNetwork(c.eng, cfg.Model, cfg.Nodes)
 	c.nodes = make([]*Node, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
 		c.nodes[i] = newNode(c, i)
 	}
 	return c
+}
+
+// Placement returns the cluster's policy engine. Attached balancers use
+// it so balancing rounds and spawn placement share one policy state.
+func (c *Cluster) Placement() *policy.Engine { return c.pol }
+
+// ReportLoads feeds every node's current load into the policy engine as
+// a fresh sample. Spawn placement calls it implicitly; balancers call it
+// once per round.
+func (c *Cluster) ReportLoads() {
+	now := c.eng.Now()
+	for i, n := range c.nodes {
+		c.pol.Report(policy.LoadReport{
+			Node:     i,
+			Resident: n.sched.Threads(),
+			Runnable: n.sched.Runnable(),
+			Time:     now,
+		})
+	}
 }
 
 // Engine exposes the discrete-event engine (for time-based test driving).
@@ -205,13 +254,19 @@ func (c *Cluster) At(i int, fn func(n *Node)) {
 	n.actor.Post(c.eng.Now(), func() { fn(n) })
 }
 
-// Spawn schedules the creation of a thread on node i running program prog
-// (by name) with argument arg. If the node has run out of slots, one is
-// bought through the negotiation protocol first (§4.4).
+// Spawn schedules the creation of a thread running program prog (by
+// name) with argument arg. Node i is the caller's preference; the
+// placement policy has the final word (the default negotiation policy
+// always honors the preference). If the chosen node has run out of
+// slots, one is bought through the negotiation protocol first (§4.4).
 func (c *Cluster) Spawn(i int, prog string, arg uint32) {
 	entry, ok := c.im.EntryOf(prog)
 	if !ok {
 		panic(fmt.Sprintf("pm2: unknown program %q", prog))
+	}
+	if policy.Reroutes(c.cfg.Placement) {
+		c.ReportLoads()
+		i = c.pol.PlaceSpawn(i, c.eng.Now())
 	}
 	c.At(i, func(n *Node) {
 		if _, err := n.sched.Create(entry, arg); err == nil {
@@ -228,7 +283,8 @@ func (c *Cluster) Spawn(i int, prog string, arg uint32) {
 }
 
 // SpawnSync creates the thread and drives the engine until creation has
-// executed, returning the thread id. Intended for test and benchmark setup.
+// executed, returning the thread id. Intended for test and benchmark
+// setup; it pins the thread to node i, bypassing the placement policy.
 func (c *Cluster) SpawnSync(i int, prog string, arg uint32) uint32 {
 	entry, ok := c.im.EntryOf(prog)
 	if !ok {

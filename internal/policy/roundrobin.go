@@ -1,0 +1,116 @@
+package policy
+
+// RoundRobinSpread places work round-robin across the cluster at spawn
+// time and, each balancing round, shaves load off over-average nodes
+// onto under-average ones, cycling the destination cursor so no single
+// node becomes the permanent dumping ground. It is the "spread early"
+// counterpoint to the paper's "negotiate late" default: cheap placement
+// decisions up front instead of reactive migration.
+type RoundRobinSpread struct {
+	// MaxMoves bounds migrations per round (default 2).
+	MaxMoves int
+
+	// spawnCursor rotates spawn placement; moveCursor rotates the
+	// destination scan between rounds.
+	spawnCursor int
+	moveCursor  int
+}
+
+// NewRoundRobinSpread returns the default-tuned spread policy.
+func NewRoundRobinSpread() *RoundRobinSpread { return &RoundRobinSpread{MaxMoves: 2} }
+
+// Name implements Policy.
+func (p *RoundRobinSpread) Name() string { return "round-robin" }
+
+// OnLoadReport implements Policy; spreading is memoryless.
+func (p *RoundRobinSpread) OnLoadReport(LoadReport) {}
+
+// ShouldMigrate implements Policy: act when some fresh pair of nodes is
+// more than one thread apart (a difference of one would only ping-pong).
+func (p *RoundRobinSpread) ShouldMigrate(v View) bool {
+	busiest, idlest, max, min := extremes(v)
+	return busiest >= 0 && idlest >= 0 && busiest != idlest && max-min >= 2
+}
+
+// PickTarget implements Policy: walk nodes above the ceiling of the
+// average load and ship their excess to below-average nodes, scanning
+// destinations from a cursor that advances every round.
+func (p *RoundRobinSpread) PickTarget(v View) []Move {
+	n := len(v.Reports)
+	if n == 0 {
+		return nil
+	}
+	total, fresh := 0, 0
+	for _, r := range v.Reports {
+		if !r.Stale {
+			total += r.Resident
+			fresh++
+		}
+	}
+	if fresh < 2 {
+		return nil
+	}
+	ceil := (total + fresh - 1) / fresh
+	loads := make([]int, n)
+	for i, r := range v.Reports {
+		loads[i] = r.Resident
+	}
+	cursor := p.moveCursor
+	p.moveCursor = (p.moveCursor + 1) % n
+	budget := p.maxMoves()
+	var out []Move
+	for src := 0; src < n && budget > 0; src++ {
+		if v.Reports[src].Stale || loads[src] <= ceil {
+			continue
+		}
+		for k := 0; k < n && loads[src] > ceil && budget > 0; k++ {
+			dst := (cursor + k) % n
+			if dst == src || v.Reports[dst].Stale || loads[dst] >= ceil {
+				continue
+			}
+			count := loads[src] - ceil
+			if room := ceil - loads[dst]; room < count {
+				count = room
+			}
+			if count > budget {
+				count = budget
+			}
+			loads[src] -= count
+			loads[dst] += count
+			budget -= count
+			out = append(out, Move{Src: src, Dst: dst, Count: count})
+		}
+	}
+	return out
+}
+
+// ReroutesSpawns implements SpawnRerouter: spawn placement is where the
+// spread happens.
+func (p *RoundRobinSpread) ReroutesSpawns() bool { return true }
+
+// PickSpawn implements Policy: ignore the preference and rotate over the
+// cluster, skipping stale nodes when fresh ones exist.
+func (p *RoundRobinSpread) PickSpawn(pref int, v View) int {
+	n := len(v.Reports)
+	if n == 0 {
+		return pref
+	}
+	for k := 0; k < n; k++ {
+		cand := (p.spawnCursor + k) % n
+		if !v.Reports[cand].Stale {
+			p.spawnCursor = (cand + 1) % n
+			return cand
+		}
+	}
+	// Everything is stale (e.g. no reports yet): rotate blindly.
+	cand := p.spawnCursor % n
+	p.spawnCursor = (cand + 1) % n
+	return cand
+}
+
+func (p *RoundRobinSpread) maxMoves() int {
+	if p.MaxMoves <= 0 {
+		return 2
+	}
+	return p.MaxMoves
+}

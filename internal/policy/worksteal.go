@@ -1,0 +1,97 @@
+package policy
+
+// WorkStealing is a pull model: starving nodes (no runnable threads)
+// steal half the imbalance from the currently richest node. Spawns stay
+// where the caller put them — locality is preserved until a node
+// actually runs dry, which suits workloads with bursty, self-draining
+// queues.
+type WorkStealing struct {
+	// MinVictim is the minimum resident count a node must have to be
+	// robbed (default 2: never steal a node's last thread).
+	MinVictim int
+	// MaxSteal bounds the batch one thief takes per round (default 2).
+	MaxSteal int
+}
+
+// NewWorkStealing returns the default-tuned stealing policy.
+func NewWorkStealing() *WorkStealing { return &WorkStealing{MinVictim: 2, MaxSteal: 2} }
+
+// Name implements Policy.
+func (p *WorkStealing) Name() string { return "work-stealing" }
+
+// OnLoadReport implements Policy; stealing is memoryless.
+func (p *WorkStealing) OnLoadReport(LoadReport) {}
+
+// ShouldMigrate implements Policy: act only when some fresh node is
+// starving — nothing runnable, even if blocked threads still reside
+// there — while another has threads to spare.
+func (p *WorkStealing) ShouldMigrate(v View) bool {
+	starving, rich := false, false
+	for _, r := range v.Reports {
+		if r.Stale {
+			continue
+		}
+		if r.Runnable == 0 {
+			starving = true
+		}
+		if r.Resident >= p.minVictim() {
+			rich = true
+		}
+	}
+	return starving && rich
+}
+
+// PickTarget implements Policy: each starving node, in rank order, robs
+// the currently richest node; a working copy of the loads keeps multiple
+// thieves in one round from mugging the same victim blind.
+func (p *WorkStealing) PickTarget(v View) []Move {
+	loads := make([]int, len(v.Reports))
+	for i, r := range v.Reports {
+		loads[i] = r.Resident
+	}
+	var out []Move
+	for _, thief := range v.Reports {
+		if thief.Stale || thief.Runnable != 0 {
+			continue
+		}
+		victim, max := -1, p.minVictim()-1
+		for _, r := range v.Reports {
+			if !r.Stale && r.Node != thief.Node && loads[r.Node] > max {
+				max, victim = loads[r.Node], r.Node
+			}
+		}
+		// Only rob a victim that is actually richer than the thief's
+		// resident count (blocked threads still occupy the thief).
+		if victim < 0 || loads[victim] <= loads[thief.Node] {
+			continue
+		}
+		count := (loads[victim] - loads[thief.Node]) / 2
+		if count > p.maxSteal() {
+			count = p.maxSteal()
+		}
+		if count < 1 {
+			count = 1
+		}
+		loads[victim] -= count
+		loads[thief.Node] += count
+		out = append(out, Move{Src: victim, Dst: thief.Node, Count: count})
+	}
+	return out
+}
+
+// PickSpawn implements Policy: spawns keep their locality.
+func (p *WorkStealing) PickSpawn(pref int, _ View) int { return pref }
+
+func (p *WorkStealing) minVictim() int {
+	if p.MinVictim <= 0 {
+		return 2
+	}
+	return p.MinVictim
+}
+
+func (p *WorkStealing) maxSteal() int {
+	if p.MaxSteal <= 0 {
+		return 2
+	}
+	return p.MaxSteal
+}

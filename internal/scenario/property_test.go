@@ -1,0 +1,58 @@
+package scenario
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/policy"
+)
+
+// TestIsoAddressInvariantsUnderAllPolicies is the harness's property
+// test: for every generator × policy × a handful of seeds, the run must
+// (a) drain, (b) keep the cluster-wide iso-address invariants (single
+// slot ownership, no double mapping, arena integrity — checked inside
+// Run), and (c) produce exactly the output the generator promised:
+// every worker's isomalloc'd accumulator stayed reachable through its
+// pointer across every preemptive migration, and every chain thread
+// unwound a deep frame chain to the correct sum after migrating at
+// maximum stack depth. Pointers survive migration under every policy,
+// not just the paper's default.
+func TestIsoAddressInvariantsUnderAllPolicies(t *testing.T) {
+	for _, g := range Generators() {
+		for _, p := range policy.Names() {
+			for _, seed := range []uint64{1, 2, 3} {
+				name := fmt.Sprintf("%s/%s/seed%d", g.Name, p, seed)
+				res, err := Run(Spec{Scenario: g.Name, Policy: p, Seed: seed})
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if err := res.Verify(); err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				// Every thread exited; nothing is stranded mid-migration.
+				for i, left := range res.ThreadsLeft {
+					if left != 0 {
+						t.Fatalf("%s: %d thread(s) stranded on node %d", name, left, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScenariosScaleWithClusterSize re-runs one scenario per generator
+// on a larger cluster: placement must stay within range and the
+// invariants must hold when there are more nodes than the default.
+func TestScenariosScaleWithClusterSize(t *testing.T) {
+	for _, g := range Generators() {
+		for _, p := range policy.Names() {
+			res, err := Run(Spec{Scenario: g.Name, Policy: p, Nodes: 7, Seed: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Verify(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}

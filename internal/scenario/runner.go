@@ -1,0 +1,169 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/loadbal"
+	ipm2 "repro/internal/pm2"
+	"repro/internal/policy"
+	"repro/internal/simtime"
+)
+
+// balancePeriod is the harness's balancing cadence: short enough that
+// every scenario sees multiple rounds, long enough that threads make
+// progress between them.
+const balancePeriod = 2 * simtime.Millisecond
+
+// maxSteps bounds a run; a drained engine well under the bound is the
+// expected outcome, hitting it means a scenario ran away.
+const maxSteps = 10_000_000
+
+// Result is one completed harness run.
+type Result struct {
+	Spec Spec
+	// Trace is the canonical event trace: header, time-stamped
+	// placement and migration decisions, end summary, program output.
+	// Byte-identical across runs of the same Spec.
+	Trace []string
+	// Output is the cluster's pm2_printf trace.
+	Output []string
+	// Stats is the cluster's aggregate measurements.
+	Stats ipm2.Stats
+	// BalancerMoves counts migrations the balancer requested.
+	BalancerMoves int
+	// ThreadsLeft is the per-node resident count at the end of the run
+	// (all zeros when every thread exited).
+	ThreadsLeft []int
+	// VirtualMicros is the total virtual time consumed.
+	VirtualMicros float64
+
+	expects []expectation
+}
+
+// TraceString renders the canonical trace, one line each, newline
+// terminated.
+func (r *Result) TraceString() string { return strings.Join(r.Trace, "\n") + "\n" }
+
+// Verify checks the run produced exactly the output the generator
+// promised: every spawned worker finished, every chain unwound to the
+// correct sum. Together with the cluster invariant check this is the
+// "pointers survive migration" property, policy-independent.
+func (r *Result) Verify() error {
+	for _, e := range r.expects {
+		got := 0
+		for _, l := range r.Output {
+			if strings.Contains(l, e.substr) {
+				got++
+			}
+		}
+		if got != e.count {
+			return fmt.Errorf("scenario %s/%s: output lines containing %q = %d, want %d",
+				r.Spec.Scenario, r.Spec.Policy, e.substr, got, e.count)
+		}
+	}
+	return nil
+}
+
+// Run executes one scenario under one policy and returns its result.
+func Run(spec Spec) (*Result, error) {
+	spec = spec.withDefaults()
+	gen, ok := LookupGenerator(spec.Scenario)
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown generator %q (have %v)", spec.Scenario, GeneratorNames())
+	}
+	pol, err := policy.Parse(spec.Policy)
+	if err != nil {
+		return nil, err
+	}
+	spec.Policy = pol.Name()
+
+	rec := &recorder{}
+	cl := ipm2.New(ipm2.Config{
+		Nodes:     spec.Nodes,
+		Placement: &recordingPolicy{inner: pol, rec: rec},
+	}, Image())
+
+	rec.logf("scenario=%s policy=%s nodes=%d seed=%d", spec.Scenario, spec.Policy, spec.Nodes, spec.Seed)
+	d := &Driver{spec: spec, cl: cl, r: NewRand(spec.Seed), rec: rec}
+	gen.Plan(d)
+
+	bal := loadbal.Attach(cl, loadbal.Config{
+		Period:         balancePeriod,
+		KeepAliveUntil: d.horizon + 2*balancePeriod,
+	})
+
+	cl.Run(maxSteps)
+	if cl.Engine().Pending() > 0 {
+		return nil, fmt.Errorf("scenario %s/%s: engine not drained after %d steps", spec.Scenario, spec.Policy, maxSteps)
+	}
+	if err := cl.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("scenario %s/%s: %w", spec.Scenario, spec.Policy, err)
+	}
+
+	res := &Result{
+		Spec:          spec,
+		Output:        cl.Trace().Lines(),
+		Stats:         cl.Stats(),
+		BalancerMoves: bal.Moves(),
+		VirtualMicros: cl.Now().Micros(),
+		expects:       d.expects,
+	}
+	threads := make([]string, spec.Nodes)
+	res.ThreadsLeft = make([]int, spec.Nodes)
+	for i := 0; i < spec.Nodes; i++ {
+		res.ThreadsLeft[i] = cl.Node(i).Scheduler().Threads()
+		threads[i] = fmt.Sprint(res.ThreadsLeft[i])
+	}
+	rec.logf("end virtual=%.3fus migrations=%d negotiations=%d balmoves=%d threads=[%s]",
+		res.VirtualMicros, res.Stats.Migrations, res.Stats.Negotiations,
+		res.BalancerMoves, strings.Join(threads, " "))
+	rec.lines = append(rec.lines, "-- output --")
+	rec.lines = append(rec.lines, res.Output...)
+	res.Trace = rec.lines
+	return res, nil
+}
+
+// recorder accumulates the canonical trace. The cluster's event loop is
+// single-threaded, so appends happen in deterministic event order.
+type recorder struct {
+	lines []string
+}
+
+func (r *recorder) logf(format string, args ...any) {
+	r.lines = append(r.lines, fmt.Sprintf(format, args...))
+}
+
+// recordingPolicy wraps the policy under test, logging every placement
+// and migration decision into the canonical trace.
+type recordingPolicy struct {
+	inner policy.Policy
+	rec   *recorder
+}
+
+// ReroutesSpawns keeps the runtime consulting PickSpawn for every
+// policy under test, so every trace records spawn placement — even for
+// policies that never reroute.
+func (p *recordingPolicy) ReroutesSpawns() bool { return true }
+
+func (p *recordingPolicy) Name() string                     { return p.inner.Name() }
+func (p *recordingPolicy) OnLoadReport(r policy.LoadReport) { p.inner.OnLoadReport(r) }
+func (p *recordingPolicy) ShouldMigrate(v policy.View) bool { return p.inner.ShouldMigrate(v) }
+
+func (p *recordingPolicy) PickTarget(v policy.View) []policy.Move {
+	moves := p.inner.PickTarget(v)
+	if len(moves) > 0 {
+		strs := make([]string, len(moves))
+		for i, m := range moves {
+			strs[i] = m.String()
+		}
+		p.rec.logf("t=%.3f moves %s", v.Now.Micros(), strings.Join(strs, " "))
+	}
+	return moves
+}
+
+func (p *recordingPolicy) PickSpawn(pref int, v policy.View) int {
+	n := p.inner.PickSpawn(pref, v)
+	p.rec.logf("t=%.3f place pref=%d node=%d", v.Now.Micros(), pref, n)
+	return n
+}

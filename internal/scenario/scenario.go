@@ -1,0 +1,253 @@
+// Package scenario is the deterministic workload harness for the
+// migration-policy engine (internal/policy): parameterized generators —
+// burst spawn, skewed hotspot, churn, deep-stack chains — drive the
+// virtual-time cluster under a chosen policy and emit comparable
+// per-policy stats plus a canonical event trace.
+//
+// Everything is deterministic: the generators draw from a seeded
+// splitmix64 stream, the cluster runs in discrete virtual time, and the
+// policies are deterministic by contract. The same (scenario, policy,
+// nodes, seed) tuple therefore produces a byte-identical trace, which is
+// what the golden-trace regression tests pin down.
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	ipm2 "repro/internal/pm2"
+	"repro/internal/progs"
+	"repro/internal/simtime"
+)
+
+// Spec names one harness run.
+type Spec struct {
+	// Scenario is the generator name (see Generators).
+	Scenario string
+	// Policy is the placement-policy name (see policy.Parse); empty
+	// selects the default negotiation scheme.
+	Policy string
+	// Nodes is the cluster size (default 4).
+	Nodes int
+	// Seed feeds the workload PRNG (default 1).
+	Seed uint64
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Nodes <= 0 {
+		s.Nodes = 4
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// Generator is one parameterized workload shape.
+type Generator struct {
+	// Name identifies the generator in Specs and trace headers.
+	Name string
+	// Plan schedules the workload onto the driver's cluster.
+	Plan func(d *Driver)
+}
+
+// Generators lists every workload generator, in canonical order.
+func Generators() []Generator {
+	return []Generator{burstGen, hotspotGen, churnGen, deepChainGen}
+}
+
+// LookupGenerator resolves a generator by name.
+func LookupGenerator(name string) (Generator, bool) {
+	for _, g := range Generators() {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return Generator{}, false
+}
+
+// GeneratorNames lists the generator names, in canonical order.
+func GeneratorNames() []string {
+	var out []string
+	for _, g := range Generators() {
+		out = append(out, g.Name)
+	}
+	return out
+}
+
+// Driver is what a generator plans against: it schedules spawns at
+// absolute virtual times, draws randomness from the scenario stream, and
+// records what output the run must produce to be considered correct.
+type Driver struct {
+	spec    Spec
+	cl      *ipm2.Cluster
+	r       *Rand
+	rec     *recorder
+	horizon simtime.Time
+	expects []expectation
+}
+
+type expectation struct {
+	substr string
+	count  int
+}
+
+// Nodes returns the cluster size.
+func (d *Driver) Nodes() int { return d.spec.Nodes }
+
+// Rand returns the scenario's deterministic random stream.
+func (d *Driver) Rand() *Rand { return d.r }
+
+// SpawnAt schedules program prog with argument arg at virtual time at,
+// preferring node pref; the placement policy has the final word.
+func (d *Driver) SpawnAt(at simtime.Time, pref int, prog string, arg uint32) {
+	if at > d.horizon {
+		d.horizon = at
+	}
+	d.cl.Engine().At(at, func() {
+		d.rec.logf("t=%.3f spawn %s/%d pref=%d", at.Micros(), prog, arg, pref)
+		d.cl.Spawn(pref, prog, arg)
+	})
+}
+
+// Expect records that the run's output must contain a line with substr,
+// once per call.
+func (d *Driver) Expect(substr string) {
+	for i := range d.expects {
+		if d.expects[i].substr == substr {
+			d.expects[i].count++
+			return
+		}
+	}
+	d.expects = append(d.expects, expectation{substr: substr, count: 1})
+}
+
+// The generators.
+
+// burstGen models an irregular application phase: a burst of workers all
+// created on one node in the same instant — the worst case for the
+// negotiation policy's reactive balancing and the best for spread/steal.
+var burstGen = Generator{
+	Name: "burst",
+	Plan: func(d *Driver) {
+		r := d.Rand()
+		for i := 0; i < 10; i++ {
+			d.SpawnAt(0, 0, "worker", uint32(r.Range(8_000, 16_000)))
+			d.Expect(" finished on node ")
+		}
+	},
+}
+
+// hotspotGen models a skewed arrival stream: spawns trickle in over time
+// and most of them prefer node 0.
+var hotspotGen = Generator{
+	Name: "hotspot",
+	Plan: func(d *Driver) {
+		r := d.Rand()
+		at := simtime.Time(0)
+		for i := 0; i < 12; i++ {
+			at += simtime.Time(r.Range(200, 1_200)) * simtime.Microsecond
+			pref := 0
+			if d.Nodes() > 1 && r.Intn(4) == 0 {
+				pref = r.Range(1, d.Nodes()-1)
+			}
+			d.SpawnAt(at, pref, "worker", uint32(r.Range(4_000, 10_000)))
+			d.Expect(" finished on node ")
+		}
+	},
+}
+
+// churnGen models arrival/departure churn: waves of short-lived workers
+// landing on rotating nodes, with idle gaps between waves that the
+// balancer must survive.
+var churnGen = Generator{
+	Name: "churn",
+	Plan: func(d *Driver) {
+		r := d.Rand()
+		for wave := 0; wave < 5; wave++ {
+			at := simtime.Time(wave) * 3 * simtime.Millisecond
+			pref := r.Intn(d.Nodes()) // the whole wave lands on one node
+			for j, k := 0, r.Range(2, 4); j < k; j++ {
+				d.SpawnAt(at, pref, "worker", uint32(r.Range(5_000, 12_000)))
+				d.Expect(" finished on node ")
+			}
+		}
+	},
+}
+
+// deepChainGen mixes deep-stack chain threads — which migrate at maximum
+// recursion depth, the paper's central stress on the frame chain — with
+// background workers the balancer shuffles around them.
+var deepChainGen = Generator{
+	Name: "deepchain",
+	Plan: func(d *Driver) {
+		r := d.Rand()
+		for i := 0; i < 3; i++ {
+			d.SpawnAt(0, 0, "worker", uint32(r.Range(6_000, 9_000)))
+			d.Expect(" finished on node ")
+		}
+		for i := 0; i < 5; i++ {
+			at := simtime.Time(i) * 1_500 * simtime.Microsecond
+			depth := r.Range(12, 40)
+			d.SpawnAt(at, r.Intn(d.Nodes()), "chain", uint32(depth))
+			d.Expect(fmt.Sprintf("chain sum = %d on node", depth*(depth+1)/2))
+		}
+	},
+}
+
+// chainSrc is the deep-stack chain program: recurse to depth r1, hop to
+// the next node at the deepest point, then unwind summing 1..n — every
+// return address and saved frame pointer must survive the mid-recursion
+// migration (and any preemptive migrations the balancer adds on top).
+const chainSrc = `
+.program chain
+.string fmt_sum "chain sum = %d on node %d\n"
+main:
+    enter 4
+    store [fp-4], r1      ; depth
+    push  r1
+    call  crec
+    addi  sp, sp, 4
+    mov   r2, r0
+    callb self_node
+    mov   r3, r0
+    loadi r1, fmt_sum
+    callb printf
+    leave
+    halt
+
+crec:                     ; arg n at [fp+8]; returns sum 1..n; hops at n<=1
+    enter 4
+    load  r1, [fp+8]
+    loadi r2, 2
+    bge   r1, r2, cdeeper
+    callb self_node
+    addi  r1, r0, 1
+    callb node_count
+    mov   r2, r0
+    mod   r1, r1, r2
+    callb migrate         ; to (self+1) mod nodes, at maximum stack depth
+    load  r0, [fp+8]
+    leave
+    ret
+cdeeper:
+    load  r1, [fp+8]
+    store [fp-4], r1
+    addi  r1, r1, -1
+    push  r1
+    call  crec
+    addi  sp, sp, 4
+    load  r1, [fp-4]
+    add   r0, r0, r1
+    leave
+    ret
+`
+
+// Image returns the harness program image: every example program plus
+// the chain workload.
+func Image() *isa.Image {
+	im := progs.NewImage()
+	asm.MustAssemble(im, chainSrc)
+	return im
+}

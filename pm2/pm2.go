@@ -18,6 +18,33 @@
 //	cl.Run()
 //	fmt.Println(cl.OutputString())    // [node0] Element 0 = 1 ...
 //	fmt.Printf("%+v\n", cl.Stats())
+//
+// # Placement policies
+//
+// Where threads are created and when they migrate is decided by a
+// pluggable placement policy (internal/policy), selected by name through
+// Config.Policy and driven by the load balancer that AttachBalancer
+// starts:
+//
+//	cl := sys.Boot(pm2.Config{Nodes: 4, Policy: "work-stealing"})
+//	stop := cl.AttachBalancer(2000)   // balance every 2 ms of virtual time
+//
+// Three policies ship: "negotiation" (the paper's threshold scheme, the
+// default), "round-robin" (spread spawns and excess load), and
+// "work-stealing" (starving nodes pull work). A policy implements
+// PickSpawn / ShouldMigrate / PickTarget / OnLoadReport over sanitized
+// load reports; to add one, implement policy.Policy deterministically,
+// register it in policy.Parse, and the scenario harness picks it up.
+//
+// # Scenarios
+//
+// internal/scenario runs deterministic workload generators (burst,
+// hotspot, churn, deepchain) under each policy and emits comparable
+// stats plus a canonical event trace; golden-trace tests pin the exact
+// decision sequence. From the command line:
+//
+//	pm2bench -fig scenarios           # the policy × scenario matrix
+//	pm2load -policy round-robin -balance 2000 p4 1000
 package pm2
 
 import (
@@ -28,7 +55,9 @@ import (
 	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/loadbal"
 	ipm2 "repro/internal/pm2"
+	"repro/internal/policy"
 	"repro/internal/progs"
 	"repro/internal/simtime"
 )
@@ -58,6 +87,14 @@ type Config struct {
 	// PreBuySlots makes every negotiation over-purchase this many extra
 	// contiguous slots, anticipating future large requests (§4.4).
 	PreBuySlots int
+	// Policy selects the thread-placement policy: "negotiation"
+	// (default — the paper's scheme: spawns stay where asked, balancing
+	// is threshold-driven), "round-robin" (spread spawns and excess
+	// load across the cluster), or "work-stealing" (starving nodes pull
+	// work from the richest). See ParsePolicy for the accepted aliases.
+	// Orthogonal to RelocationPolicy, which picks the migration
+	// *mechanism*; this picks the placement *decisions*.
+	Policy string
 }
 
 func (c Config) toInternal() ipm2.Config {
@@ -86,8 +123,27 @@ func (c Config) toInternal() ipm2.Config {
 		panic(err)
 	}
 	cfg.Dist = dist
+	pol, err := policy.Parse(c.Policy)
+	if err != nil {
+		panic(err)
+	}
+	cfg.Placement = pol
 	return cfg
 }
+
+// ParsePolicy validates a placement-policy name and returns its
+// canonical form. Accepted: "negotiation" ("threshold", ""),
+// "round-robin" ("rr", "spread"), "work-stealing" ("steal", "ws").
+func ParsePolicy(s string) (string, error) {
+	p, err := policy.Parse(s)
+	if err != nil {
+		return "", err
+	}
+	return p.Name(), nil
+}
+
+// PolicyNames lists the canonical placement-policy names.
+func PolicyNames() []string { return policy.Names() }
 
 // ParseDistribution resolves a distribution name. Empty means round-robin.
 func ParseDistribution(s string) (core.Distribution, error) {
@@ -206,6 +262,17 @@ func (c *Cluster) Locate(tid uint32) int {
 	return -1
 }
 
+// AttachBalancer starts the generic external load balancer (§2): every
+// periodMicros of virtual time it samples node loads into the cluster's
+// policy engine and executes the placement policy's migration decisions.
+// The returned stop function disables further rounds.
+func (c *Cluster) AttachBalancer(periodMicros int64) (stop func()) {
+	b := loadbal.Attach(c.inner, loadbal.Config{
+		Period: simtime.Time(periodMicros) * simtime.Microsecond,
+	})
+	return b.Stop
+}
+
 // Defragment triggers the paper's §4.4 global restructuring: every node
 // surrenders its free slots to node 0, which redistributes them as per-node
 // contiguous ranges, maximizing the contiguity available to multi-slot
@@ -246,24 +313,15 @@ func (c *Cluster) Stats() Stats {
 		NetworkMessages:  st.Net.Messages,
 		NetworkBytes:     st.Net.Bytes,
 	}
-	var sum, max simtime.Time
+	out.AvgMigrationMicros = st.AvgMigrationMicros()
+	out.AvgNegotiationMicros = st.AvgNegotiationMicros()
+	var max simtime.Time
 	for _, l := range st.MigrationLatencies {
-		sum += l
 		if l > max {
 			max = l
 		}
 	}
-	if len(st.MigrationLatencies) > 0 {
-		out.AvgMigrationMicros = (sum / simtime.Time(len(st.MigrationLatencies))).Micros()
-		out.MaxMigrationMicros = max.Micros()
-	}
-	sum = 0
-	for _, l := range st.NegotiationLatencies {
-		sum += l
-	}
-	if len(st.NegotiationLatencies) > 0 {
-		out.AvgNegotiationMicros = (sum / simtime.Time(len(st.NegotiationLatencies))).Micros()
-	}
+	out.MaxMigrationMicros = max.Micros()
 	return out
 }
 

@@ -1,0 +1,87 @@
+package pm2
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePolicy(t *testing.T) {
+	for in, want := range map[string]string{
+		"":              "negotiation",
+		"negotiation":   "negotiation",
+		"rr":            "round-robin",
+		"work-stealing": "work-stealing",
+	} {
+		got, err := ParsePolicy(in)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", in, err)
+		}
+		if got != want {
+			t.Fatalf("ParsePolicy(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Fatal("ParsePolicy accepted an unknown name")
+	}
+	if len(PolicyNames()) != 3 {
+		t.Fatalf("PolicyNames() = %v", PolicyNames())
+	}
+}
+
+// TestPolicyConfigAndBalancer boots a cluster per policy, dumps a burst
+// of workers on node 0, balances, and checks every worker finishes with
+// the iso-address invariants intact. Under the spreading policies some
+// workers must finish away from node 0.
+func TestPolicyConfigAndBalancer(t *testing.T) {
+	for _, pol := range PolicyNames() {
+		sys := NewSystem()
+		sys.RegisterExamples()
+		cl := sys.Boot(Config{Nodes: 4, Policy: pol})
+		stop := cl.AttachBalancer(2_000)
+		for i := 0; i < 8; i++ {
+			cl.Spawn(0, "worker", 10_000)
+		}
+		cl.Run()
+		stop()
+		lines := cl.Output()
+		if len(lines) != 8 {
+			t.Fatalf("%s: finished = %d, want 8:\n%s", pol, len(lines), cl.OutputString())
+		}
+		if err := cl.Validate(); err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		away := 0
+		for _, l := range lines {
+			if !strings.HasSuffix(l, "on node 0") {
+				away++
+			}
+		}
+		if pol != "negotiation" && away == 0 {
+			t.Fatalf("%s: no worker left node 0", pol)
+		}
+	}
+}
+
+// TestDefaultPolicyPreservesPlacement: without a balancer, the default
+// policy never reroutes a spawn — the seed's behavior, which the figure
+// tests depend on.
+func TestDefaultPolicyPreservesPlacement(t *testing.T) {
+	sys := NewSystem()
+	sys.RegisterExamples()
+	cl := sys.Boot(Config{Nodes: 3})
+	for node := 0; node < 3; node++ {
+		cl.Spawn(node, "worker", 2_000)
+	}
+	cl.Run()
+	for node := 0; node < 3; node++ {
+		found := false
+		for _, l := range cl.Output() {
+			if strings.Contains(l, "finished on node "+string(rune('0'+node))) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no worker finished on its spawn node %d:\n%s", node, cl.OutputString())
+		}
+	}
+}
