@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/pm2"
 	"repro/internal/policy"
 	"repro/internal/scenario"
+	pm2pub "repro/pm2"
 )
 
 func main() {
@@ -35,7 +37,15 @@ func main() {
 	trials := flag.Int("trials", 3, "trials per Figure 11 point")
 	pol := flag.String("policy", "", "restrict -fig scenarios to one placement policy")
 	seed := flag.Uint64("seed", 1, "workload seed for -fig scenarios")
+	nodes := flag.Int("nodes", 4, "cluster size for -fig scenarios (e.g. 4, 16, 64)")
+	gather := flag.String("gather", "", "gather strategy for -fig scenarios: "+strings.Join(pm2pub.GatherNames(), " | "))
 	flag.Parse()
+
+	gatherName, err := pm2pub.ParseGather(*gather)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pm2bench: %v\n", err)
+		os.Exit(2)
+	}
 
 	switch *fig {
 	case "all":
@@ -46,7 +56,7 @@ func main() {
 		negotiation()
 		create()
 		ablations()
-		scenarios(*pol, *seed)
+		scenarios(*pol, *seed, *nodes, gatherName)
 	case "5":
 		layoutFig()
 	case "11a":
@@ -62,7 +72,7 @@ func main() {
 	case "ablations":
 		ablations()
 	case "scenarios":
-		scenarios(*pol, *seed)
+		scenarios(*pol, *seed, *nodes, gatherName)
 	default:
 		fmt.Fprintf(os.Stderr, "pm2bench: unknown figure %q\n", *fig)
 		os.Exit(2)
@@ -173,6 +183,28 @@ func negotiation() {
 		prev, prevNodes = r.Micros, r.Nodes
 	}
 	fmt.Println("\n(paper: 255 µs in a 2-node configuration, +165 µs per extra node)")
+
+	header("Extension: gather strategy vs cluster size (same negotiation)")
+	counts := []int{4, 8, 16, 32, 64}
+	modes := []pm2.GatherMode{pm2.GatherSequential, pm2.GatherBatched, pm2.GatherTree}
+	costs := make(map[pm2.GatherMode][]bench.NegotiationRow, len(modes))
+	for _, m := range modes {
+		costs[m] = bench.NegotiationScalingGather(counts, m)
+	}
+	fmt.Printf("%8s %16s %16s %16s\n", "nodes", "sequential (µs)", "batched (µs)", "tree (µs)")
+	for i, p := range counts {
+		fmt.Printf("%8d %16.1f %16.1f %16.1f\n", p,
+			costs[pm2.GatherSequential][i].Micros,
+			costs[pm2.GatherBatched][i].Micros,
+			costs[pm2.GatherTree][i].Micros)
+	}
+	fmt.Printf("\n%-12s", "slope µs/node:")
+	for _, m := range modes {
+		fmt.Printf("  %s %.1f", m, bench.SlopeMicrosPerNode(costs[m]))
+	}
+	fmt.Println()
+	fmt.Println("(batched overlaps the reply wire time; the tree also cuts the messages the")
+	fmt.Println(" initiator handles to O(log n) at the price of a range-style purchase)")
 }
 
 func create() {
@@ -215,8 +247,8 @@ func ablations() {
 }
 
 // scenarios prints the placement-policy comparison: every deterministic
-// workload generator under every (or one) policy, 4 nodes.
-func scenarios(only string, seed uint64) {
+// workload generator under every (or one) policy.
+func scenarios(only string, seed uint64, nodes int, gather string) {
 	pols := policy.Names()
 	if only != "" {
 		canon, err := policy.Parse(only)
@@ -226,12 +258,12 @@ func scenarios(only string, seed uint64) {
 		}
 		pols = []string{canon.Name()}
 	}
-	header("Scenario harness: placement policy × workload (4 nodes, deterministic)")
-	fmt.Printf("%-10s %-14s %12s %12s %12s %14s %14s\n",
-		"scenario", "policy", "virtual µs", "migrations", "balmoves", "avg mig µs", "wire bytes")
+	header(fmt.Sprintf("Scenario harness: placement policy × workload (%d nodes, %s gather, deterministic)", nodes, gather))
+	fmt.Printf("%-10s %-14s %12s %10s %8s %6s %10s %10s %10s %12s\n",
+		"scenario", "policy", "virtual µs", "migrations", "balmoves", "negos", "neg p50µs", "neg p95µs", "neg p99µs", "wire bytes")
 	for _, g := range scenario.GeneratorNames() {
 		for _, p := range pols {
-			res, err := scenario.Run(scenario.Spec{Scenario: g, Policy: p, Seed: seed})
+			res, err := scenario.Run(scenario.Spec{Scenario: g, Policy: p, Seed: seed, Nodes: nodes, Gather: gather})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "pm2bench: %v\n", err)
 				os.Exit(1)
@@ -240,9 +272,10 @@ func scenarios(only string, seed uint64) {
 				fmt.Fprintf(os.Stderr, "pm2bench: %v\n", err)
 				os.Exit(1)
 			}
-			fmt.Printf("%-10s %-14s %12.1f %12d %12d %14.1f %14d\n",
+			neg := res.NegotiationPercentiles()
+			fmt.Printf("%-10s %-14s %12.1f %10d %8d %6d %10.1f %10.1f %10.1f %12d\n",
 				g, p, res.VirtualMicros, res.Stats.Migrations, res.BalancerMoves,
-				res.Stats.AvgMigrationMicros(), res.Stats.Net.Bytes)
+				res.Stats.Negotiations, neg.P50, neg.P95, neg.P99, res.Stats.Net.Bytes)
 		}
 	}
 	fmt.Println("\n(same seed + policy ⇒ byte-identical trace; see internal/scenario/testdata)")

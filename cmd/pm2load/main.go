@@ -37,6 +37,7 @@ func main() {
 	policy := flag.String("policy", "", "placement policy: "+strings.Join(pm2.PolicyNames(), " | "))
 	mech := flag.String("mech", "iso", `migration mechanism: "iso" or "relocate"`)
 	balance := flag.Int64("balance", 0, "attach a load balancer with this period in virtual µs (0 = off)")
+	gather := flag.String("gather", "", "negotiation bitmap-gather strategy: "+strings.Join(pm2.GatherNames(), " | "))
 	dist := flag.String("dist", "round-robin", `slot distribution: round-robin | block-cyclic:K | partition`)
 	node := flag.Int("node", 0, "node to start the program on")
 	srcFile := flag.String("src", "", "assemble and register an extra program from this file")
@@ -62,6 +63,11 @@ func main() {
 	}
 	if *mech != "iso" && *mech != "relocate" {
 		fmt.Fprintf(os.Stderr, "pm2load: unknown mechanism %q (want iso or relocate)\n", *mech)
+		os.Exit(2)
+	}
+	gatherName, err := pm2.ParseGather(*gather)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pm2load: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -100,6 +106,7 @@ func main() {
 		Distribution:     *dist,
 		RelocationPolicy: *mech == "relocate",
 		Policy:           polName,
+		Gather:           gatherName,
 	})
 	if *balance > 0 {
 		cl.AttachBalancer(*balance)
@@ -122,7 +129,7 @@ func main() {
 	}
 	if *stats {
 		st := cl.Stats()
-		fmt.Fprintf(os.Stderr, "\n-- %d node(s), policy %s, mech %s, dist %s\n", *nodes, polName, *mech, *dist)
+		fmt.Fprintf(os.Stderr, "\n-- %d node(s), policy %s, mech %s, dist %s, gather %s\n", *nodes, polName, *mech, *dist, gatherName)
 		fmt.Fprintf(os.Stderr, "-- virtual time %.1fµs, %d migration(s) (avg %.1fµs), %d negotiation(s)\n",
 			st.VirtualMicros, st.Migrations, st.AvgMigrationMicros, st.Negotiations)
 	}

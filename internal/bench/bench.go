@@ -161,11 +161,18 @@ type NegotiationRow struct {
 
 // NegotiationScaling measures the negotiation protocol cost for each
 // cluster size: one multi-slot allocation on node 0 under round-robin slots
-// (which guarantees the negotiation, §5).
+// (which guarantees the negotiation, §5), with the paper's sequential
+// bitmap gather.
 func NegotiationScaling(nodeCounts []int) []NegotiationRow {
+	return NegotiationScalingGather(nodeCounts, pm2.GatherSequential)
+}
+
+// NegotiationScalingGather is NegotiationScaling under a chosen §4.4
+// gather strategy, for the per-strategy slope comparison.
+func NegotiationScalingGather(nodeCounts []int, gather pm2.GatherMode) []NegotiationRow {
 	rows := make([]NegotiationRow, 0, len(nodeCounts))
 	for _, p := range nodeCounts {
-		c := pm2.New(pm2.Config{Nodes: p}, progs.NewImage())
+		c := pm2.New(pm2.Config{Nodes: p, Gather: gather}, progs.NewImage())
 		spawnWithRegs(c, "allocone", 100_000, 0, 0)
 		c.Run(0)
 		st := c.Stats()
@@ -175,6 +182,25 @@ func NegotiationScaling(nodeCounts []int) []NegotiationRow {
 		rows = append(rows, NegotiationRow{Nodes: p, Micros: st.NegotiationLatencies[0].Micros()})
 	}
 	return rows
+}
+
+// SlopeMicrosPerNode least-squares-fits cost against cluster size over
+// the measured rows: the per-extra-node cost of the gather strategy (the
+// paper's "+165 µs per extra node" for the sequential gather).
+func SlopeMicrosPerNode(rows []NegotiationRow) float64 {
+	if len(rows) < 2 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	for _, r := range rows {
+		x, y := float64(r.Nodes), r.Micros
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	n := float64(len(rows))
+	return (n*sxy - sx*sy) / (n*sxx - sx*sx)
 }
 
 // ThreadCreate measures the average virtual cost of creating (and

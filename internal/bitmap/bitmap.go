@@ -148,6 +148,39 @@ func (b *Bitmap) FindRunFrom(from, n int) int {
 	}
 }
 
+// LongestRun returns the length of the longest run of consecutive set
+// bits — the free-run summary a node publishes as a negotiation hint: a
+// node whose longest run is zero owns no free slots and cannot contribute
+// to any purchase.
+func (b *Bitmap) LongestRun() int {
+	best, run := 0, 0
+	for wi, w := range b.words {
+		if w == 0 {
+			run = 0
+			continue
+		}
+		if w == ^uint64(0) {
+			run += wordBits
+			if run > best {
+				best = run
+			}
+			continue
+		}
+		base := wi * wordBits
+		for i := 0; i < wordBits && base+i < b.n; i++ {
+			if w&(1<<uint(i)) != 0 {
+				run++
+				if run > best {
+					best = run
+				}
+			} else {
+				run = 0
+			}
+		}
+	}
+	return best
+}
+
 // Or sets b to the bitwise OR of b and other. The maps must have equal size.
 func (b *Bitmap) Or(other *Bitmap) {
 	if b.n != other.n {
@@ -209,6 +242,21 @@ func (b *Bitmap) Bytes() []byte {
 		out[i] = byte(b.words[i/8] >> (uint(i%8) * 8))
 	}
 	return out
+}
+
+// OrBytes merges the serialization produced by Bytes into b without
+// allocating an intermediate Bitmap — the combining step of a tree
+// gather, where interior nodes fold each child's map into their own. It
+// returns an error if the payload is the wrong length for b.
+func (b *Bitmap) OrBytes(data []byte) error {
+	want := (b.n + 7) / 8
+	if len(data) != want {
+		return fmt.Errorf("bitmap: payload is %d bytes, want %d for %d bits", len(data), want, b.n)
+	}
+	for i, by := range data {
+		b.words[i/8] |= uint64(by) << (uint(i%8) * 8)
+	}
+	return nil
 }
 
 // FromBytes reconstructs an n-bit bitmap from the serialization produced by

@@ -263,3 +263,46 @@ func TestStringForms(t *testing.T) {
 		t.Errorf("big String() = %q", got)
 	}
 }
+
+func TestLongestRun(t *testing.T) {
+	cases := []struct {
+		n    int
+		runs [][2]int // (start, len) runs to set
+		want int
+	}{
+		{50, nil, 0},
+		{50, [][2]int{{0, 1}}, 1},
+		{50, [][2]int{{3, 7}, {20, 4}}, 7},
+		{200, [][2]int{{60, 10}}, 10},   // straddles a word boundary
+		{200, [][2]int{{0, 200}}, 200},  // everything set
+		{200, [][2]int{{0, 64}, {65, 100}}, 100}, // full word then longer run
+	}
+	for _, c := range cases {
+		b := New(c.n)
+		for _, r := range c.runs {
+			b.SetRun(r[0], r[1])
+		}
+		if got := b.LongestRun(); got != c.want {
+			t.Errorf("LongestRun(%v over %d bits) = %d, want %d", c.runs, c.n, got, c.want)
+		}
+	}
+}
+
+func TestOrBytes(t *testing.T) {
+	a := New(200)
+	a.SetRun(3, 5)
+	b := New(200)
+	b.SetRun(100, 20)
+	merged := a.Clone()
+	if err := merged.OrBytes(b.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	want := a.Clone()
+	want.Or(b)
+	if !merged.Equal(want) {
+		t.Fatalf("OrBytes = %s, want %s", merged, want)
+	}
+	if err := merged.OrBytes(make([]byte, 3)); err == nil {
+		t.Fatal("OrBytes accepted a wrong-length payload")
+	}
+}

@@ -31,19 +31,22 @@ type Purchase struct {
 
 // PlanPurchase computes a global OR of the gathered per-node bitmaps,
 // first-fit searches it for n contiguous free slots, and splits the chosen
-// run into per-owner shares. maps[i] must be node i's bitmap; requester
-// identifies the initiating node. ok is false when no run exists anywhere —
-// the allocation fails (out of iso-address memory).
+// run into per-owner shares. maps[i] must be node i's bitmap, or nil for a
+// node that was not gathered (a hint-skipped peer known to own nothing);
+// requester identifies the initiating node. ok is false when no run exists
+// anywhere — the allocation fails (out of iso-address memory).
 func PlanPurchase(maps []*bitmap.Bitmap, n, requester int) (Purchase, bool) {
 	if n <= 0 {
 		panic("core: PlanPurchase with non-positive run")
 	}
-	if requester < 0 || requester >= len(maps) {
+	if requester < 0 || requester >= len(maps) || maps[requester] == nil {
 		panic(fmt.Sprintf("core: requester %d out of range", requester))
 	}
 	global := bitmap.New(layout.SlotCount)
 	for _, m := range maps {
-		global.Or(m)
+		if m != nil {
+			global.Or(m)
+		}
 	}
 	start := global.FindRun(n)
 	if start < 0 {
@@ -69,7 +72,7 @@ func PlanPurchase(maps []*bitmap.Bitmap, n, requester int) (Purchase, bool) {
 func ownerOf(maps []*bitmap.Bitmap, i int) int {
 	owner := -1
 	for node, m := range maps {
-		if m.Test(i) {
+		if m != nil && m.Test(i) {
 			if owner >= 0 {
 				panic(fmt.Sprintf("core: slot %d owned by both node %d and node %d", i, owner, node))
 			}

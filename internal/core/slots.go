@@ -130,6 +130,10 @@ type NodeSlots struct {
 	cached     map[int]bool
 	cacheOrder []int
 	stats      SlotStats
+	// onChange, when set, runs after every mutation of the ownership
+	// bitmap. The runtime uses it to invalidate the node's published
+	// free-run summary hint.
+	onChange func()
 }
 
 // NewNodeSlots builds the slot layer for one node, populating the bitmap
@@ -161,6 +165,15 @@ func NewNodeSlots(space *vmem.Space, ch Charger, cfg NodeConfig) *NodeSlots {
 
 // Stats returns a copy of the counters.
 func (ns *NodeSlots) Stats() SlotStats { return ns.stats }
+
+// SetOnChange registers fn to run after every ownership-bitmap mutation.
+func (ns *NodeSlots) SetOnChange(fn func()) { ns.onChange = fn }
+
+func (ns *NodeSlots) changed() {
+	if ns.onChange != nil {
+		ns.onChange()
+	}
+}
 
 // Bitmap exposes the node's private slot bitmap (used by the negotiation
 // protocol, which gathers and rewrites bitmaps).
@@ -214,6 +227,7 @@ func (ns *NodeSlots) AcquireOne() (int, error) {
 		ns.cacheOrder = ns.cacheOrder[:len(ns.cacheOrder)-1]
 		delete(ns.cached, idx)
 		ns.bm.Clear(idx)
+		ns.changed()
 		ns.stats.Acquired++
 		ns.stats.CacheHits++
 		ns.ch.Charge(ns.cfg.Model.Probes(1))
@@ -228,6 +242,7 @@ func (ns *NodeSlots) AcquireOne() (int, error) {
 		return 0, ErrNoSlots
 	}
 	ns.bm.Clear(idx)
+	ns.changed()
 	ns.stats.Acquired++
 	if err := ns.mmapSlots(idx, 1); err != nil {
 		return 0, err
@@ -256,6 +271,7 @@ func (ns *NodeSlots) AcquireRun(n int) (int, error) {
 // takeRun clears bits and maps the slots of a run known to be owned+free.
 func (ns *NodeSlots) takeRun(start, n int) {
 	ns.bm.ClearRun(start, n)
+	ns.changed()
 	ns.stats.Acquired += uint64(n)
 	// Map the uncached stretches; consume cached mappings in place.
 	i := start
@@ -295,6 +311,7 @@ func (ns *NodeSlots) Release(start, n int) error {
 		return fmt.Errorf("core: Release [%d,%d): slot already free", start, start+n)
 	}
 	ns.bm.SetRun(start, n)
+	ns.changed()
 	ns.stats.Released += uint64(n)
 	if n == 1 && len(ns.cacheOrder) < ns.cfg.CacheCap {
 		ns.cached[start] = true
@@ -335,7 +352,40 @@ func (ns *NodeSlots) SellRun(start, n int) error {
 		}
 	}
 	ns.bm.ClearRun(start, n)
+	ns.changed()
 	return nil
+}
+
+// SellIntersection sells every owned free slot inside [start,start+n) —
+// the range-purchase used after a tree gather, where the buyer knows the
+// chosen run but not who owns each slot. It returns the maximal sub-runs
+// actually sold (possibly none), each cleared from the bitmap exactly as
+// SellRun would.
+func (ns *NodeSlots) SellIntersection(start, n int) ([][2]int, error) {
+	var sold [][2]int
+	i := start
+	for i < start+n {
+		if !ns.bm.Test(i) {
+			i++
+			continue
+		}
+		j := i
+		for j < start+n && ns.bm.Test(j) {
+			j++
+		}
+		if err := ns.SellRun(i, j-i); err != nil {
+			return sold, err
+		}
+		sold = append(sold, [2]int{i, j - i})
+		i = j
+	}
+	return sold, nil
+}
+
+// CanBuyRun reports whether BuyRun of [start,start+n) would succeed: no
+// slot in the run is already owned by this node.
+func (ns *NodeSlots) CanBuyRun(start, n int) bool {
+	return !ns.bm.Intersects(runMask(start, n))
 }
 
 // BuyRun marks [start,start+n) as owned+free after purchasing the slots
@@ -345,6 +395,7 @@ func (ns *NodeSlots) BuyRun(start, n int) error {
 		return fmt.Errorf("core: BuyRun [%d,%d): overlap with owned slots", start, start+n)
 	}
 	ns.bm.SetRun(start, n)
+	ns.changed()
 	return nil
 }
 
@@ -363,6 +414,7 @@ func (ns *NodeSlots) SurrenderAll() *bitmap.Bitmap {
 	ns.DropCache()
 	out := ns.bm
 	ns.bm = bitmap.New(layout.SlotCount)
+	ns.changed()
 	return out
 }
 
@@ -384,6 +436,7 @@ func (ns *NodeSlots) ReplaceBitmap(bm *bitmap.Bitmap) error {
 		}
 	}
 	ns.bm = bm.Clone()
+	ns.changed()
 	return nil
 }
 

@@ -1,0 +1,132 @@
+package pm2
+
+import (
+	"fmt"
+)
+
+// The §4.4 bitmap gather is the dominant term of the negotiation cost:
+// the paper's sequential one-peer-at-a-time protocol is what produces the
+// "+165 µs per extra node" slope. This file holds the pluggable gather
+// strategies (Config.Gather) and the free-run summary hints that let an
+// initiator skip peers known to own nothing.
+
+// GatherMode selects how a negotiation initiator collects the other
+// nodes' slot bitmaps (paper §4.4, step 2b).
+type GatherMode int
+
+const (
+	// GatherSequential is the paper-faithful default: one bitmap Call
+	// per peer, each waiting for the previous reply. Cost grows with
+	// the sum of the per-peer round trips.
+	GatherSequential GatherMode = iota
+	// GatherBatched fires one round of concurrent bitmap Calls: the
+	// wire time of the replies overlaps, so the latency is dominated by
+	// the slowest peer plus the initiator's per-reply merge work.
+	GatherBatched
+	// GatherTree routes the gather through a binomial combining tree
+	// rooted at the initiator: interior nodes OR their children's
+	// bitmaps into their own before forwarding one merged map up, so
+	// the initiator receives O(log n) messages. The merged map loses
+	// per-slot ownership, so the purchase becomes a range buy: every
+	// peer is asked to sell its intersection with the chosen run.
+	GatherTree
+)
+
+func (g GatherMode) String() string {
+	switch g {
+	case GatherBatched:
+		return "batched"
+	case GatherTree:
+		return "tree"
+	}
+	return "sequential"
+}
+
+// ParseGatherMode resolves a gather strategy name. Empty selects the
+// paper-faithful sequential gather.
+func ParseGatherMode(s string) (GatherMode, error) {
+	switch s {
+	case "", "sequential", "seq":
+		return GatherSequential, nil
+	case "batched", "batch":
+		return GatherBatched, nil
+	case "tree":
+		return GatherTree, nil
+	}
+	return GatherSequential, fmt.Errorf("pm2: unknown gather strategy %q (have %v)", s, GatherModeNames())
+}
+
+// GatherModeNames lists the canonical gather strategy names.
+func GatherModeNames() []string { return []string{"sequential", "batched", "tree"} }
+
+// treeChildren returns the ranks node self fans out to in the binomial
+// combining tree rooted at root, in an n-node cluster. Ranks are
+// relabeled rel = (self-root) mod n; rel's children are rel+2^j for every
+// 2^j below rel's lowest set bit (all powers of two below n for the
+// root), clipped to the cluster. The root therefore has ceil(log2(n))
+// children, and every node appears in exactly one subtree.
+func treeChildren(self, root, n int) []int {
+	rel := ((self-root)%n + n) % n
+	limit := rel & -rel
+	if rel == 0 {
+		limit = n
+	}
+	var out []int
+	for bit := 1; bit < limit && rel+bit < n; bit <<= 1 {
+		out = append(out, (rel+bit+root)%n)
+	}
+	return out
+}
+
+// subtreeRanks returns every rank in the binomial subtree rooted at node
+// self (inclusive), for the tree rooted at root. Relabeled, the subtree
+// of rel covers [rel, rel+lowbit(rel)), clipped to the cluster.
+func subtreeRanks(self, root, n int) []int {
+	rel := ((self-root)%n + n) % n
+	size := rel & -rel
+	if rel == 0 {
+		size = n
+	}
+	if rel+size > n {
+		size = n - rel
+	}
+	out := make([]int, 0, size)
+	for i := 0; i < size; i++ {
+		out = append(out, (rel+i+root)%n)
+	}
+	return out
+}
+
+// gatherHint is one node's published free-run summary: the length of the
+// longest run of contiguous free slots it owns. Hints piggyback on the
+// control-plane load reports (Cluster.ReportLoads) and on served bitmap
+// gathers, and are invalidated the moment the node's ownership bitmap
+// changes — so a known hint is always current, and skipping a peer whose
+// known longest run is zero can never lose slots the cluster still has.
+type gatherHint struct {
+	known  bool
+	maxRun int
+}
+
+// refreshHint publishes node i's current free-run summary. Pure
+// control-plane metadata: no virtual time is charged and no events are
+// scheduled. The sequential gather never consults hints, so under it the
+// whole mechanism stays off — no bitmap scans on the load-report path.
+func (c *Cluster) refreshHint(i int) {
+	if c.cfg.Gather == GatherSequential {
+		return
+	}
+	c.hints[i] = gatherHint{known: true, maxRun: c.nodes[i].slots.Bitmap().LongestRun()}
+}
+
+// invalidateHint forgets node i's summary after a bitmap mutation.
+func (c *Cluster) invalidateHint(i int) {
+	c.hints[i].known = false
+}
+
+// hintEmpty reports whether node i is known to own no free slots at all —
+// the only condition under which skipping it from a gather is safe: a
+// peer with any free slot could still contribute to a multi-owner run.
+func (c *Cluster) hintEmpty(i int) bool {
+	return c.hints[i].known && c.hints[i].maxRun == 0
+}

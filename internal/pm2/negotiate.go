@@ -13,7 +13,7 @@ import (
 // a multi-slot allocation from its own bitmap, it:
 //
 //	(a) enters a system-wide critical section (lock manager on node 0);
-//	(b) gathers the bitmaps of all other nodes, one by one;
+//	(b) gathers the bitmaps of all other nodes;
 //	(c) computes a global OR and first-fit searches it for the run;
 //	(d) buys the non-local slots from their owners;
 //	(e) the owners' bitmaps are updated by the purchase; the requester
@@ -21,12 +21,26 @@ import (
 //	(f) exits the critical section.
 //
 // The per-node gather of the 7 KB bitmap dominates the cost, which is how
-// the paper's "+165 µs per extra node" arises. Because other nodes keep
-// allocating slots locally while the section is held (the paper permits
-// block allocation; we also allow slot allocation and handle the race), a
-// purchase can be declined — the initiator then re-gathers and retries.
+// the paper's "+165 µs per extra node" arises: the paper performs step (b)
+// one peer at a time. Config.Gather makes the gather topology pluggable —
+// sequential (paper-faithful), batched (one round of concurrent Calls), or
+// a binomial combining tree (interior nodes OR their children's maps
+// before forwarding one merged map up) — see gather.go.
+//
+// Because other nodes keep allocating slots locally while the section is
+// held (the paper permits block allocation; we also allow slot allocation
+// and handle the race), a purchase can be declined — the initiator then
+// gives secured shares back, waits for every give-back to be acknowledged,
+// and re-gathers with fresh bitmaps.
 
 const maxNegotiationRounds = 8
+
+// Purchase-channel operations (first word of every chBuy message).
+const (
+	opPurchase uint32 = 0 // buy explicit slot runs from their owner
+	opGiveBack uint32 = 1 // return secured runs after a failed round
+	opRangeBuy uint32 = 2 // buy the owner's intersection with a run
+)
 
 // negotiate acquires n contiguous slots into this node's bitmap and calls
 // done(true), or done(false) if the cluster is out of contiguous space.
@@ -45,16 +59,35 @@ func (n *Node) negotiate(k int, done func(bool)) {
 	})
 }
 
-// negotiateRound runs one gather/plan/buy attempt.
+// negotiateRound runs one gather/plan/buy attempt under the configured
+// gather strategy.
 func (n *Node) negotiateRound(k, round int, done func(bool)) {
+	if n.pendingGiveBacks > 0 {
+		// A round must see every give-back acknowledged, or its gather
+		// could observe slots still marked sold at their sellers.
+		panic(fmt.Sprintf("pm2: node %d started a negotiation round with %d give-backs in flight", n.id, n.pendingGiveBacks))
+	}
 	if round >= maxNegotiationRounds {
 		done(false)
 		return
 	}
+	switch n.c.cfg.Gather {
+	case GatherBatched:
+		n.gatherBatched(k, round, done)
+	case GatherTree:
+		n.gatherTree(k, round, done)
+	default:
+		n.gatherSequential(k, round, done)
+	}
+}
+
+// gatherSequential is the paper's step 2b verbatim: one bitmap Call per
+// peer, each waiting for the previous reply. No hint is consulted, so the
+// event sequence (and every golden trace) is byte-identical to the seed.
+func (n *Node) gatherSequential(k, round int, done func(bool)) {
 	maps := make([]*bitmap.Bitmap, n.c.Nodes())
 	maps[n.id] = n.slots.Bitmap().Clone()
 
-	// Gather the other nodes' bitmaps sequentially (paper step 2b).
 	order := make([]int, 0, n.c.Nodes()-1)
 	for i := 0; i < n.c.Nodes(); i++ {
 		if i != n.id {
@@ -69,12 +102,7 @@ func (n *Node) negotiateRound(k, round int, done func(bool)) {
 		}
 		peer := order[i]
 		n.ep.Call(peer, chBitmap, nil, func(reply *madeleine.Buffer) {
-			raw := reply.BytesSection()
-			bm, err := bitmap.FromBytes(layout.SlotCount, raw)
-			if err != nil {
-				panic(fmt.Sprintf("pm2: bad bitmap from node %d: %v", peer, err))
-			}
-			maps[peer] = bm
+			maps[peer] = n.unpackBitmap(peer, reply)
 			// Merging this bitmap into the global OR (step 2c is
 			// incremental).
 			n.actor.Charge(n.c.cfg.Model.BitmapScan(layout.BitmapBytes))
@@ -82,6 +110,129 @@ func (n *Node) negotiateRound(k, round int, done func(bool)) {
 		})
 	}
 	gatherNext(0)
+}
+
+// gatherBatched fires the whole gather as one round of concurrent Calls:
+// the replies' wire time overlaps, so the round costs roughly the slowest
+// peer plus the initiator's per-reply merge work, instead of the sum of
+// all round trips. Peers whose published free-run summary proves they own
+// nothing are skipped outright.
+func (n *Node) gatherBatched(k, round int, done func(bool)) {
+	maps := make([]*bitmap.Bitmap, n.c.Nodes())
+	maps[n.id] = n.slots.Bitmap().Clone()
+
+	peers := make([]int, 0, n.c.Nodes()-1)
+	for i := 0; i < n.c.Nodes(); i++ {
+		if i != n.id && !n.c.hintEmpty(i) {
+			peers = append(peers, i)
+		}
+	}
+	if len(peers) == 0 {
+		n.planAndBuy(k, round, maps, done)
+		return
+	}
+	outstanding := len(peers)
+	for _, peer := range peers {
+		p := peer
+		n.ep.Call(p, chBitmap, nil, func(reply *madeleine.Buffer) {
+			maps[p] = n.unpackBitmap(p, reply)
+			n.actor.Charge(n.c.cfg.Model.BitmapScan(layout.BitmapBytes))
+			outstanding--
+			if outstanding == 0 {
+				n.planAndBuy(k, round, maps, done)
+			}
+		})
+	}
+}
+
+// gatherTree routes the gather through the binomial combining tree rooted
+// at this node: each child returns the OR of its whole subtree, so the
+// initiator receives O(log n) messages. Subtrees in which every member is
+// known to own nothing are pruned. The merged map has no per-slot
+// ownership, so the purchase proceeds as a range buy (planAndBuyRange).
+func (n *Node) gatherTree(k, round int, done func(bool)) {
+	global := n.slots.Bitmap().Clone()
+	children := treeChildren(n.id, n.id, n.c.Nodes())
+
+	// Prune children whose entire subtree is known to be empty.
+	live := children[:0]
+	for _, child := range children {
+		empty := true
+		for _, r := range subtreeRanks(child, n.id, n.c.Nodes()) {
+			if !n.c.hintEmpty(r) {
+				empty = false
+				break
+			}
+		}
+		if !empty {
+			live = append(live, child)
+		}
+	}
+	if len(live) == 0 {
+		n.planAndBuyRange(k, round, global, done)
+		return
+	}
+	outstanding := len(live)
+	for _, child := range live {
+		n.ep.Call(child, chGatherTree, func(b *madeleine.Buffer) {
+			b.PackU32(uint32(n.id)) // tree root
+		}, func(reply *madeleine.Buffer) {
+			if err := global.OrBytes(reply.BytesSection()); err != nil {
+				panic(fmt.Sprintf("pm2: bad subtree bitmap: %v", err))
+			}
+			n.actor.Charge(n.c.cfg.Model.BitmapScan(layout.BitmapBytes))
+			outstanding--
+			if outstanding == 0 {
+				n.planAndBuyRange(k, round, global, done)
+			}
+		})
+	}
+}
+
+// onGatherTreeCall serves an interior (or leaf) position of a combining
+// tree: gather the children's subtree maps, OR them into our own bitmap,
+// and forward one merged map up.
+func (n *Node) onGatherTreeCall(src int, req *madeleine.Call) {
+	root := int(req.Msg.U32())
+	if req.Msg.Err() != nil || root < 0 || root >= n.c.Nodes() {
+		panic("pm2: corrupt tree-gather request")
+	}
+	merged := n.slots.Bitmap().Clone()
+	n.c.refreshHint(n.id) // serving a gather publishes a fresh summary
+	reply := func() {
+		raw := merged.Bytes()
+		n.actor.Charge(n.c.cfg.Model.Memcpy(len(raw)))
+		req.Reply(func(b *madeleine.Buffer) { b.PackBytes(raw) })
+	}
+	children := treeChildren(n.id, root, n.c.Nodes())
+	if len(children) == 0 {
+		reply()
+		return
+	}
+	outstanding := len(children)
+	for _, child := range children {
+		n.ep.Call(child, chGatherTree, func(b *madeleine.Buffer) {
+			b.PackU32(uint32(root))
+		}, func(sub *madeleine.Buffer) {
+			if err := merged.OrBytes(sub.BytesSection()); err != nil {
+				panic(fmt.Sprintf("pm2: bad subtree bitmap: %v", err))
+			}
+			n.actor.Charge(n.c.cfg.Model.BitmapScan(layout.BitmapBytes))
+			outstanding--
+			if outstanding == 0 {
+				reply()
+			}
+		})
+	}
+}
+
+// unpackBitmap decodes a gathered bitmap reply.
+func (n *Node) unpackBitmap(peer int, reply *madeleine.Buffer) *bitmap.Bitmap {
+	bm, err := bitmap.FromBytes(layout.SlotCount, reply.BytesSection())
+	if err != nil {
+		panic(fmt.Sprintf("pm2: bad bitmap from node %d: %v", peer, err))
+	}
+	return bm
 }
 
 // planAndBuy computes the purchase and executes it (paper steps 2c–2e).
@@ -117,9 +268,21 @@ func (n *Node) planAndBuy(k, round int, maps []*bitmap.Bitmap, done func(bool)) 
 	var buyNext func(i int)
 	buyNext = func(i int) {
 		if i == len(order) {
-			// All shares secured: mark the bought slots ours
-			// (paper 2d: "mark these slots with 1 in the bitmap of
-			// the requesting node").
+			// All shares secured. Re-validate our own contribution to
+			// the run before recording it: a racing local allocation
+			// may have consumed one of our slots during the gather, in
+			// which case the run is broken — give every secured share
+			// back and retry with fresh bitmaps.
+			if !n.ownShareIntact(plan) {
+				var returns []pendingReturn
+				for _, seller := range order {
+					returns = append(returns, pendingReturn{seller: seller, shares: byNode[seller]})
+				}
+				n.retryAfterReturns(k, round, returns, done)
+				return
+			}
+			// Mark the bought slots ours (paper 2d: "mark these slots
+			// with 1 in the bitmap of the requesting node").
 			for _, sh := range plan.Sellers {
 				if err := n.slots.BuyRun(sh.Start, sh.N); err != nil {
 					panic(fmt.Sprintf("pm2: recording purchase: %v", err))
@@ -131,7 +294,7 @@ func (n *Node) planAndBuy(k, round int, maps []*bitmap.Bitmap, done func(bool)) 
 		seller := order[i]
 		shares := byNode[seller]
 		n.ep.Call(seller, chBuy, func(b *madeleine.Buffer) {
-			b.PackU32(0) // purchase
+			b.PackU32(opPurchase)
 			packShares(b, shares)
 		}, func(reply *madeleine.Buffer) {
 			if reply.U32() == 1 {
@@ -139,15 +302,151 @@ func (n *Node) planAndBuy(k, round int, maps []*bitmap.Bitmap, done func(bool)) 
 				return
 			}
 			// The owner allocated some of those slots since the
-			// gather: give already-secured shares straight back
-			// to their sellers and retry with fresh bitmaps.
+			// gather: give already-secured shares straight back to
+			// their sellers, and only once every give-back has been
+			// acknowledged retry with fresh bitmaps — re-gathering
+			// earlier could observe the returned slots at neither
+			// party.
+			var returns []pendingReturn
 			for j := 0; j < i; j++ {
-				n.returnSlots(order[j], byNode[order[j]])
+				returns = append(returns, pendingReturn{seller: order[j], shares: byNode[order[j]]})
 			}
-			n.negotiateRound(k, round+1, done)
+			n.retryAfterReturns(k, round, returns, done)
 		})
 	}
 	buyNext(0)
+}
+
+// ownShareIntact reports whether every slot of the planned run that the
+// plan attributed to this node (rather than to a seller) is still
+// owned+free here — the initiator-side half of the purchase race check.
+func (n *Node) ownShareIntact(plan core.Purchase) bool {
+	for s := plan.Start; s < plan.Start+plan.N; s++ {
+		sold := false
+		for _, sh := range plan.Sellers {
+			if s >= sh.Start && s < sh.Start+sh.N {
+				sold = true
+				break
+			}
+		}
+		if !sold && !n.slots.Bitmap().Test(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// pendingReturn is one seller's worth of secured shares to give back.
+type pendingReturn struct {
+	seller int
+	shares []core.SellerShare
+}
+
+// retryAfterReturns gives every secured share back and re-runs the round
+// only after all give-back replies arrived (the §4.4 retry/give-back
+// ordering fix).
+func (n *Node) retryAfterReturns(k, round int, returns []pendingReturn, done func(bool)) {
+	n.c.stats.NegotiationRetries++
+	if len(returns) == 0 {
+		n.negotiateRound(k, round+1, done)
+		return
+	}
+	outstanding := len(returns)
+	for _, r := range returns {
+		n.returnSlots(r.seller, r.shares, func() {
+			outstanding--
+			if outstanding == 0 {
+				n.negotiateRound(k, round+1, done)
+			}
+		})
+	}
+}
+
+// planAndBuyRange is the purchase step after a tree gather: the merged
+// map names the run but not its owners, so every peer that may own slots
+// is asked to sell its intersection with the chosen run. If the sold
+// pieces plus our own free slots cover the run, the purchase stands;
+// otherwise everything sold is given back and the round retries.
+func (n *Node) planAndBuyRange(k, round int, global *bitmap.Bitmap, done func(bool)) {
+	n.actor.Charge(n.c.cfg.Model.BitmapScan(layout.BitmapBytes))
+	size := 0
+	start := -1
+	if pre := n.c.cfg.PreBuySlots; pre > 0 {
+		if s := global.FindRun(k + pre); s >= 0 {
+			start, size = s, k+pre
+		}
+	}
+	if start < 0 {
+		if s := global.FindRun(k); s >= 0 {
+			start, size = s, k
+		}
+	}
+	if start < 0 {
+		done(false)
+		return
+	}
+
+	peers := make([]int, 0, n.c.Nodes()-1)
+	for i := 0; i < n.c.Nodes(); i++ {
+		if i != n.id && !n.c.hintEmpty(i) {
+			peers = append(peers, i)
+		}
+	}
+	sold := make(map[int][]core.SellerShare)
+	complete := func() {
+		// Coverage check: our own free slots plus everything sold
+		// must tile the whole run.
+		covered := n.slots.Bitmap().Clone()
+		for _, shares := range sold {
+			for _, sh := range shares {
+				covered.SetRun(sh.Start, sh.N)
+			}
+		}
+		n.actor.Charge(n.c.cfg.Model.BitmapScan(layout.BitmapBytes))
+		if covered.TestRun(start, size) {
+			for _, peer := range peers {
+				for _, sh := range sold[peer] {
+					if err := n.slots.BuyRun(sh.Start, sh.N); err != nil {
+						panic(fmt.Sprintf("pm2: recording range purchase: %v", err))
+					}
+				}
+			}
+			done(true)
+			return
+		}
+		// Some owner allocated part of the run since the gather: give
+		// everything back and retry with a fresh gather.
+		var returns []pendingReturn
+		for _, peer := range peers {
+			if len(sold[peer]) > 0 {
+				returns = append(returns, pendingReturn{seller: peer, shares: sold[peer]})
+			}
+		}
+		n.retryAfterReturns(k, round, returns, done)
+	}
+	if len(peers) == 0 {
+		complete()
+		return
+	}
+	outstanding := len(peers)
+	for _, peer := range peers {
+		p := peer
+		n.ep.Call(p, chBuy, func(b *madeleine.Buffer) {
+			b.PackU32(opRangeBuy)
+			b.PackU32(uint32(start)).PackU32(uint32(size))
+		}, func(reply *madeleine.Buffer) {
+			count := int(reply.U32())
+			for i := 0; i < count; i++ {
+				s := int(reply.U32())
+				c := int(reply.U32())
+				sold[p] = append(sold[p], core.SellerShare{Node: p, Start: s, N: c})
+			}
+			outstanding--
+			if outstanding == 0 {
+				complete()
+			}
+		})
+	}
 }
 
 func packShares(b *madeleine.Buffer, shares []core.SellerShare) {
@@ -158,26 +457,70 @@ func packShares(b *madeleine.Buffer, shares []core.SellerShare) {
 }
 
 // returnSlots gives secured (but not yet recorded) shares back to their
-// original owner after a failed round.
-func (n *Node) returnSlots(seller int, shares []core.SellerShare) {
+// original owner after a failed round; done runs when the owner has
+// acknowledged. If the owner declines the give-back (it re-acquired some
+// of those slots in the meantime), we simply drop our claim: the owner
+// keeps whatever it holds, and claiming the rest ourselves could
+// double-own the collided slots. A declined give-back can park the
+// non-collided slots out of circulation until the next defragmentation —
+// a bounded loss in an already-pathological race, and strictly better
+// than the crash it replaces.
+func (n *Node) returnSlots(seller int, shares []core.SellerShare, done func()) {
+	n.pendingGiveBacks++
 	n.ep.Call(seller, chBuy, func(b *madeleine.Buffer) {
-		b.PackU32(1) // give-back
+		b.PackU32(opGiveBack)
 		packShares(b, shares)
-	}, func(*madeleine.Buffer) {})
+	}, func(reply *madeleine.Buffer) {
+		_ = reply.U32()
+		n.pendingGiveBacks--
+		done()
+	})
 }
 
 // onBitmapCall serves a gather request: serialize and return our bitmap.
 func (n *Node) onBitmapCall(src int, req *madeleine.Call) {
-	raw := n.slots.Bitmap().Bytes()
+	bm := n.slots.Bitmap()
+	n.c.refreshHint(n.id) // serving a gather publishes a fresh summary
+	raw := bm.Bytes()
 	n.actor.Charge(n.c.cfg.Model.Memcpy(len(raw)))
 	req.Reply(func(b *madeleine.Buffer) { b.PackBytes(raw) })
 }
 
-// onBuyCall serves a purchase (or give-back) of a batch of slot runs. A
-// purchase is atomic: either every requested run is still owned free and
-// all are sold, or the whole batch is declined.
+// onBuyCall serves a purchase, give-back, or range purchase of slot runs.
+// A purchase is atomic: either every requested run is still owned free
+// and all are sold, or the whole batch is declined. A give-back is
+// likewise atomic: if any returned run collides with slots we re-acquired
+// in the meantime, the whole batch is declined (the giver keeps it) —
+// a racing re-allocation must not crash the node.
 func (n *Node) onBuyCall(src int, req *madeleine.Call) {
-	giveBack := req.Msg.U32() == 1
+	op := req.Msg.U32()
+	// The test seam runs before any branch so races can be injected
+	// into every purchase flavor; a 0 reply reads as "declined" for a
+	// purchase or give-back and as "zero runs sold" for a range buy.
+	if n.buyHook != nil && n.buyHook(src, op == opGiveBack) {
+		req.Reply(func(b *madeleine.Buffer) { b.PackU32(0) })
+		return
+	}
+	if op == opRangeBuy {
+		start := int(req.Msg.U32())
+		k := int(req.Msg.U32())
+		if req.Msg.Err() != nil || start < 0 || k <= 0 || start+k > layout.SlotCount {
+			panic("pm2: corrupt range-purchase message")
+		}
+		n.actor.Charge(n.c.cfg.Model.BitmapScan(layout.BitmapBytes))
+		sold, err := n.slots.SellIntersection(start, k)
+		if err != nil {
+			panic(fmt.Sprintf("pm2: node %d selling range [%d,+%d): %v", n.id, start, k, err))
+		}
+		req.Reply(func(b *madeleine.Buffer) {
+			b.PackU32(uint32(len(sold)))
+			for _, r := range sold {
+				b.PackU32(uint32(r[0])).PackU32(uint32(r[1]))
+			}
+		})
+		return
+	}
+	giveBack := op == opGiveBack
 	count := int(req.Msg.U32())
 	type run struct{ start, k int }
 	runs := make([]run, count)
@@ -187,13 +530,25 @@ func (n *Node) onBuyCall(src int, req *madeleine.Call) {
 	if req.Msg.Err() != nil {
 		panic("pm2: corrupt purchase message")
 	}
+	decline := func() {
+		req.Reply(func(b *madeleine.Buffer) { b.PackU32(0) })
+	}
 	// Updating the bitmap for the batch costs one scan, like installing
 	// the returned bitmap of the paper's step 2e.
 	n.actor.Charge(n.c.cfg.Model.BitmapScan(layout.BitmapBytes))
 	if giveBack {
 		for _, r := range runs {
+			if !n.slots.CanBuyRun(r.start, r.k) {
+				// We re-acquired some of those slots since selling
+				// them (a racing purchase of our own): decline the
+				// whole batch, the giver keeps the slots.
+				decline()
+				return
+			}
+		}
+		for _, r := range runs {
 			if err := n.slots.BuyRun(r.start, r.k); err != nil {
-				panic(fmt.Sprintf("pm2: node %d taking back [%d,+%d): %v", n.id, r.start, r.k, err))
+				panic(fmt.Sprintf("pm2: node %d taking back checked [%d,+%d): %v", n.id, r.start, r.k, err))
 			}
 		}
 		req.Reply(func(b *madeleine.Buffer) { b.PackU32(1) })
@@ -203,7 +558,7 @@ func (n *Node) onBuyCall(src int, req *madeleine.Call) {
 		if !n.slots.Bitmap().TestRun(r.start, r.k) {
 			// We no longer own (all of) those slots: decline the
 			// whole batch.
-			req.Reply(func(b *madeleine.Buffer) { b.PackU32(0) })
+			decline()
 			return
 		}
 	}

@@ -26,6 +26,8 @@ const (
 	chUnlock  uint32 = 4 // one-way to node 0
 	chBitmap  uint32 = 5 // call: gather a node's slot bitmap
 	chBuy     uint32 = 6 // call: purchase a slot run from its owner
+
+	chGatherTree uint32 = 10 // call: OR-merge and return a binomial subtree's bitmaps
 )
 
 // Node is one PM2 node: a heavy container process with its own simulated
@@ -51,6 +53,17 @@ type Node struct {
 	// lock manager state (only used on node 0).
 	lockHeld  bool
 	lockQueue []*madeleine.Call
+
+	// pendingGiveBacks counts give-back Calls whose reply has not yet
+	// arrived; a new negotiation round must never start before it drops
+	// to zero (see negotiateRound).
+	pendingGiveBacks int
+
+	// buyHook, when non-nil, runs before onBuyCall processes a request;
+	// returning true declines the batch outright. Test-only seam for
+	// deterministically interleaving racing allocations with the
+	// negotiation retry path.
+	buyHook func(src int, giveBack bool) (decline bool)
 }
 
 func newNode(c *Cluster, id int) *Node {
@@ -81,6 +94,13 @@ func newNode(c *Cluster, id int) *Node {
 		Migrate: n.migrateOut,
 	})
 	n.heap = heap.New(n.space, n.actor, c.cfg.Model)
+	// Any ownership change invalidates the node's published free-run
+	// summary until the next load report or served gather refreshes it.
+	// The sequential gather never reads hints, so it skips the
+	// bookkeeping entirely.
+	if c.cfg.Gather != GatherSequential {
+		n.slots.SetOnChange(func() { c.invalidateHint(id) })
+	}
 
 	// Map the replicated static data segment at the same address on
 	// every node (paper rule 1).
@@ -101,6 +121,7 @@ func newNode(c *Cluster, id int) *Node {
 	n.ep.Handle(chUnlock, n.onUnlockMsg)
 	n.ep.HandleCall(chBitmap, n.onBitmapCall)
 	n.ep.HandleCall(chBuy, n.onBuyCall)
+	n.ep.HandleCall(chGatherTree, n.onGatherTreeCall)
 	n.ep.HandleCall(chSurrender, n.onSurrenderCall)
 	n.ep.HandleCall(chInstall, n.onInstallCall)
 	return n

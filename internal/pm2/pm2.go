@@ -91,6 +91,10 @@ type Config struct {
 	// foreseeable large allocation requests" (§4.4). Falls back to the
 	// exact request when no larger run exists.
 	PreBuySlots int
+	// Gather selects the §4.4 bitmap-gather strategy: GatherSequential
+	// (the paper's one-peer-at-a-time default), GatherBatched (one round
+	// of concurrent Calls) or GatherTree (binomial combining tree).
+	Gather GatherMode
 	// Placement is the thread-placement policy: Spawn preferences route
 	// through it, and an attached load balancer (internal/loadbal)
 	// shares its state. Default policy.NewNegotiation(), which never
@@ -131,6 +135,9 @@ type Stats struct {
 	// latencies (critical-section entry to exit).
 	Negotiations         int
 	NegotiationLatencies []simtime.Time
+	// NegotiationRetries counts declined purchase rounds: the initiator
+	// gave secured shares back and re-gathered with fresh bitmaps.
+	NegotiationRetries int
 	// Defragmentations counts completed global restructurings (§4.4).
 	Defragmentations int
 	// Net mirrors the BIP traffic counters.
@@ -154,6 +161,8 @@ type Cluster struct {
 	log   *trace.Log
 	pol   *policy.Engine
 	stats Stats
+	// hints holds each node's published free-run summary (see gather.go).
+	hints []gatherHint
 	// allocSamples records allocation latencies when cfg.RecordAllocs.
 	allocSamples []AllocSample
 }
@@ -190,6 +199,7 @@ func New(cfg Config, im *isa.Image) *Cluster {
 	}
 	c.pol = policy.NewEngine(cfg.Placement, cfg.Nodes)
 	c.nw = bip.NewNetwork(c.eng, cfg.Model, cfg.Nodes)
+	c.hints = make([]gatherHint, cfg.Nodes)
 	c.nodes = make([]*Node, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
 		c.nodes[i] = newNode(c, i)
@@ -213,6 +223,8 @@ func (c *Cluster) ReportLoads() {
 			Runnable: n.sched.Runnable(),
 			Time:     now,
 		})
+		// Piggyback the node's free-run summary hint on the report.
+		c.refreshHint(i)
 	}
 }
 

@@ -168,7 +168,10 @@ func (e *Engine) View(now simtime.Time) View {
 
 // Decide runs one balancing decision: gate on ShouldMigrate, then return
 // PickTarget's moves with invalid entries (bad ranks, self-moves,
-// non-positive counts, stale endpoints) dropped.
+// non-positive counts, stale endpoints) dropped and over-asking counts
+// clamped to the source's fresh resident population — a buggy policy
+// must not request more threads than exist, or the balancer's Moves()
+// accounting would misstate what was actually possible.
 func (e *Engine) Decide(now simtime.Time) []Move {
 	v := e.View(now)
 	if !e.pol.ShouldMigrate(v) {
@@ -183,6 +186,12 @@ func (e *Engine) Decide(now simtime.Time) []Move {
 			continue
 		}
 		if v.Reports[m.Src].Stale || v.Reports[m.Dst].Stale {
+			continue
+		}
+		if r := v.Reports[m.Src].Resident; m.Count > r {
+			m.Count = r
+		}
+		if m.Count <= 0 {
 			continue
 		}
 		out = append(out, m)

@@ -151,6 +151,20 @@ func TestEngineSanitizesMoves(t *testing.T) {
 	}
 }
 
+func TestEngineClampsOverAskingCounts(t *testing.T) {
+	over := &scriptedPolicy{moves: []Move{
+		{Src: 0, Dst: 1, Count: 99}, // more threads than node 0 hosts
+		{Src: 1, Dst: 0, Count: 5},  // source hosts nothing at all
+	}}
+	e := NewEngine(over, 2)
+	e.Report(LoadReport{Node: 0, Resident: 3, Time: 0})
+	e.Report(LoadReport{Node: 1, Resident: 0, Time: 0})
+	got := e.Decide(0)
+	if !reflect.DeepEqual(got, []Move{{Src: 0, Dst: 1, Count: 3}}) {
+		t.Fatalf("Decide = %v, want count clamped to resident 3 and the empty-source move dropped", got)
+	}
+}
+
 func TestEngineStaleness(t *testing.T) {
 	pol := NewNegotiation()
 	e := NewEngine(pol, 3)

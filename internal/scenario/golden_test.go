@@ -45,6 +45,42 @@ func TestGoldenTraces(t *testing.T) {
 	}
 }
 
+// TestGoldenTracesAtScale pins the negotiation-heavy workload at the
+// larger cluster sizes (16 and 64 nodes) under every policy: the §4.4
+// protocol must stay deterministic when the gather spans dozens of peers
+// and initiators queue on the lock manager.
+func TestGoldenTracesAtScale(t *testing.T) {
+	for _, nodes := range []int{16, 64} {
+		for _, p := range policy.Names() {
+			name := fmt.Sprintf("negostress_%s_n%d", p, nodes)
+			t.Run(name, func(t *testing.T) {
+				res, err := Run(Spec{Scenario: "negostress", Policy: p, Nodes: nodes})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := res.Verify(); err != nil {
+					t.Fatal(err)
+				}
+				got := res.TraceString()
+				path := filepath.Join("testdata", name+".golden")
+				if *update {
+					if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden trace (run with -update): %v", err)
+				}
+				if got != string(want) {
+					t.Fatalf("trace deviates from %s.golden — negotiation behavior changed at scale.\nGot:\n%s", name, got)
+				}
+			})
+		}
+	}
+}
+
 // TestTraceDeterminism runs the same spec twice in-process and demands
 // byte-identical traces — policies with hidden nondeterminism (map
 // iteration, real time, shared global state) fail here even before the

@@ -56,3 +56,42 @@ func TestScenariosScaleWithClusterSize(t *testing.T) {
 		}
 	}
 }
+
+// TestNegoStressAcrossGatherStrategies runs the negotiation-heavy
+// workload under every gather strategy at 4, 16 and 64 nodes and every
+// policy: each run must drain, keep the iso-address invariants, prove
+// pointer integrity, and be byte-identically reproducible. The batched
+// and tree gathers must not change *what* the protocol achieves — only
+// what it costs.
+func TestNegoStressAcrossGatherStrategies(t *testing.T) {
+	for _, gather := range []string{"batched", "tree"} {
+		for _, nodes := range []int{4, 16, 64} {
+			for _, p := range policy.Names() {
+				name := fmt.Sprintf("%s/%d/%s", gather, nodes, p)
+				spec := Spec{Scenario: "negostress", Policy: p, Nodes: nodes, Gather: gather}
+				a, err := Run(spec)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if err := a.Verify(); err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if a.Stats.Negotiations == 0 {
+					t.Fatalf("%s: the stress workload negotiated zero times", name)
+				}
+				for i, left := range a.ThreadsLeft {
+					if left != 0 {
+						t.Fatalf("%s: %d thread(s) stranded on node %d", name, left, i)
+					}
+				}
+				b, err := Run(spec)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if a.TraceString() != b.TraceString() {
+					t.Fatalf("%s: two identical runs produced different traces", name)
+				}
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/loadbal"
@@ -41,6 +42,42 @@ type Result struct {
 	expects []expectation
 }
 
+// Percentiles summarizes a latency distribution in microseconds.
+type Percentiles struct {
+	P50, P95, P99 float64
+}
+
+// percentiles computes nearest-rank percentiles over a latency series
+// (zero-valued when the series is empty).
+func percentiles(ls []simtime.Time) Percentiles {
+	if len(ls) == 0 {
+		return Percentiles{}
+	}
+	sorted := append([]simtime.Time(nil), ls...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(p float64) float64 {
+		i := int(p*float64(len(sorted))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i].Micros()
+	}
+	return Percentiles{P50: at(0.50), P95: at(0.95), P99: at(0.99)}
+}
+
+// NegotiationPercentiles summarizes the run's negotiation latencies.
+func (r *Result) NegotiationPercentiles() Percentiles {
+	return percentiles(r.Stats.NegotiationLatencies)
+}
+
+// MigrationPercentiles summarizes the run's migration latencies.
+func (r *Result) MigrationPercentiles() Percentiles {
+	return percentiles(r.Stats.MigrationLatencies)
+}
+
 // TraceString renders the canonical trace, one line each, newline
 // terminated.
 func (r *Result) TraceString() string { return strings.Join(r.Trace, "\n") + "\n" }
@@ -77,10 +114,16 @@ func Run(spec Spec) (*Result, error) {
 		return nil, err
 	}
 	spec.Policy = pol.Name()
+	gather, err := ipm2.ParseGatherMode(spec.Gather)
+	if err != nil {
+		return nil, err
+	}
+	spec.Gather = gather.String()
 
 	rec := &recorder{}
 	cl := ipm2.New(ipm2.Config{
 		Nodes:     spec.Nodes,
+		Gather:    gather,
 		Placement: &recordingPolicy{inner: pol, rec: rec},
 	}, Image())
 

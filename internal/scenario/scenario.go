@@ -28,10 +28,15 @@ type Spec struct {
 	// Policy is the placement-policy name (see policy.Parse); empty
 	// selects the default negotiation scheme.
 	Policy string
-	// Nodes is the cluster size (default 4).
+	// Nodes is the cluster size (default 4; the harness is routinely
+	// exercised at 16 and 64).
 	Nodes int
 	// Seed feeds the workload PRNG (default 1).
 	Seed uint64
+	// Gather is the §4.4 bitmap-gather strategy (see
+	// pm2.ParseGatherMode); empty selects the paper-faithful sequential
+	// gather, which is what every golden trace pins.
+	Gather string
 }
 
 func (s Spec) withDefaults() Spec {
@@ -54,7 +59,7 @@ type Generator struct {
 
 // Generators lists every workload generator, in canonical order.
 func Generators() []Generator {
-	return []Generator{burstGen, hotspotGen, churnGen, deepChainGen}
+	return []Generator{burstGen, hotspotGen, churnGen, deepChainGen, negoStressGen}
 }
 
 // LookupGenerator resolves a generator by name.
@@ -196,6 +201,72 @@ var deepChainGen = Generator{
 	},
 }
 
+// negoStressGen is the allocation-heavy workload: every thread isomallocs
+// a multi-slot block (130–250 KB, 3–4 slots), which under the default
+// round-robin distribution always fails locally and negotiates — so the
+// §4.4 protocol runs under load, with concurrent initiators queueing on
+// the node-0 lock manager while the balancer migrates threads around
+// them. The worst case for the sequential gather and the workload the
+// gather-strategy comparison is measured on.
+var negoStressGen = Generator{
+	Name: "negostress",
+	Plan: func(d *Driver) {
+		r := d.Rand()
+		at := simtime.Time(0)
+		for i := 0; i < 8; i++ {
+			at += simtime.Time(r.Range(50, 400)) * simtime.Microsecond
+			size := uint32(r.Range(130_000, 250_000))
+			d.SpawnAt(at, r.Intn(d.Nodes()), "negostress", size)
+			d.Expect(" freed on node ")
+		}
+	},
+}
+
+// negoStressSrc allocates a multi-slot iso-address block of r1 bytes,
+// writes a marker through the pointer, yields (inviting a preemptive
+// migration), reads the marker back — pointer integrity across the
+// negotiation-bought slots — and frees the block where it ended up.
+const negoStressSrc = `
+.program negostress
+.string fmt_done "negostress %u freed on node %d\n"
+.string fmt_bad  "negostress BAD marker %d\n"
+main:
+    enter 8
+    store [fp-4], r1        ; size
+    callb isomalloc         ; multi-slot: negotiates under round-robin
+    store [fp-8], r0
+    loadi r2, 0
+    beq   r0, r2, fail
+    loadi r3, 4051
+    store [r0], r3          ; marker through the iso pointer
+    callb yield             ; let the balancer move us mid-lifetime
+    load  r4, [fp-8]
+    load  r5, [r4]          ; read back after any migration
+    loadi r3, 4051
+    beq   r5, r3, good
+    mov   r2, r5
+    loadi r1, fmt_bad
+    callb printf
+    br    out
+good:
+    load  r1, [fp-8]
+    callb isofree           ; released on whatever node we reached
+    callb self_node
+    mov   r3, r0
+    load  r2, [fp-4]
+    loadi r1, fmt_done
+    callb printf
+out:
+    leave
+    halt
+fail:
+    loadi r2, 0
+    loadi r1, fmt_bad
+    callb printf
+    leave
+    halt
+`
+
 // chainSrc is the deep-stack chain program: recurse to depth r1, hop to
 // the next node at the deepest point, then unwind summing 1..n — every
 // return address and saved frame pointer must survive the mid-recursion
@@ -245,9 +316,10 @@ cdeeper:
 `
 
 // Image returns the harness program image: every example program plus
-// the chain workload.
+// the chain and negotiation-stress workloads.
 func Image() *isa.Image {
 	im := progs.NewImage()
 	asm.MustAssemble(im, chainSrc)
+	asm.MustAssemble(im, negoStressSrc)
 	return im
 }

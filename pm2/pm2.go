@@ -95,6 +95,12 @@ type Config struct {
 	// Orthogonal to RelocationPolicy, which picks the migration
 	// *mechanism*; this picks the placement *decisions*.
 	Policy string
+	// Gather selects the §4.4 bitmap-gather strategy used by slot
+	// negotiations: "sequential" (default — the paper's one-peer-at-a-
+	// time gather), "batched" (one round of concurrent bitmap calls) or
+	// "tree" (binomial combining tree; the initiator receives O(log n)
+	// merged maps). See ParseGather for the accepted aliases.
+	Gather string
 }
 
 func (c Config) toInternal() ipm2.Config {
@@ -128,8 +134,26 @@ func (c Config) toInternal() ipm2.Config {
 		panic(err)
 	}
 	cfg.Placement = pol
+	gather, err := ipm2.ParseGatherMode(c.Gather)
+	if err != nil {
+		panic(err)
+	}
+	cfg.Gather = gather
 	return cfg
 }
+
+// ParseGather validates a gather-strategy name and returns its canonical
+// form. Accepted: "sequential" ("seq", ""), "batched" ("batch"), "tree".
+func ParseGather(s string) (string, error) {
+	g, err := ipm2.ParseGatherMode(s)
+	if err != nil {
+		return "", err
+	}
+	return g.String(), nil
+}
+
+// GatherNames lists the canonical gather-strategy names.
+func GatherNames() []string { return ipm2.GatherModeNames() }
 
 // ParsePolicy validates a placement-policy name and returns its
 // canonical form. Accepted: "negotiation" ("threshold", ""),
