@@ -184,19 +184,20 @@ func negotiation() {
 	}
 	fmt.Println("\n(paper: 255 µs in a 2-node configuration, +165 µs per extra node)")
 
-	header("Extension: gather strategy vs cluster size (same negotiation)")
+	header("Extension: gather strategy vs cluster size (same negotiation, cold)")
 	counts := []int{4, 8, 16, 32, 64}
-	modes := []pm2.GatherMode{pm2.GatherSequential, pm2.GatherBatched, pm2.GatherTree}
+	modes := []pm2.GatherMode{pm2.GatherSequential, pm2.GatherBatched, pm2.GatherTree, pm2.GatherDelta}
 	costs := make(map[pm2.GatherMode][]bench.NegotiationRow, len(modes))
 	for _, m := range modes {
 		costs[m] = bench.NegotiationScalingGather(counts, m)
 	}
-	fmt.Printf("%8s %16s %16s %16s\n", "nodes", "sequential (µs)", "batched (µs)", "tree (µs)")
+	fmt.Printf("%8s %16s %16s %16s %16s\n", "nodes", "sequential (µs)", "batched (µs)", "tree (µs)", "delta (µs)")
 	for i, p := range counts {
-		fmt.Printf("%8d %16.1f %16.1f %16.1f\n", p,
+		fmt.Printf("%8d %16.1f %16.1f %16.1f %16.1f\n", p,
 			costs[pm2.GatherSequential][i].Micros,
 			costs[pm2.GatherBatched][i].Micros,
-			costs[pm2.GatherTree][i].Micros)
+			costs[pm2.GatherTree][i].Micros,
+			costs[pm2.GatherDelta][i].Micros)
 	}
 	fmt.Printf("\n%-12s", "slope µs/node:")
 	for _, m := range modes {
@@ -204,7 +205,40 @@ func negotiation() {
 	}
 	fmt.Println()
 	fmt.Println("(batched overlaps the reply wire time; the tree also cuts the messages the")
-	fmt.Println(" initiator handles to O(log n) at the price of a range-style purchase)")
+	fmt.Println(" initiator handles to O(log n) at the price of a range-style purchase; a cold")
+	fmt.Println(" delta gather is first contact everywhere, so it ships full maps like batched)")
+
+	header("Extension: steady state — second negotiation by the same initiator")
+	warm := make(map[pm2.GatherMode][]bench.NegotiationRow, len(modes))
+	for _, m := range modes {
+		warm[m] = bench.NegotiationScalingGatherWarm(counts, m)
+	}
+	fmt.Printf("%8s %16s %16s %16s %16s\n", "nodes", "sequential (µs)", "batched (µs)", "tree (µs)", "delta (µs)")
+	for i, p := range counts {
+		fmt.Printf("%8d %16.1f %16.1f %16.1f %16.1f\n", p,
+			warm[pm2.GatherSequential][i].Micros,
+			warm[pm2.GatherBatched][i].Micros,
+			warm[pm2.GatherTree][i].Micros,
+			warm[pm2.GatherDelta][i].Micros)
+	}
+	fmt.Printf("\n%-12s", "slope µs/node:")
+	for _, m := range modes {
+		fmt.Printf("  %s %.1f", m, bench.SlopeMicrosPerNode(warm[m]))
+	}
+	fmt.Println()
+	last := len(counts) - 1
+	batBytes := warm[pm2.GatherBatched][last].MergedBytes
+	delBytes := warm[pm2.GatherDelta][last].MergedBytes
+	// The first delta negotiation is first contact everywhere: exactly one
+	// full map per peer. Everything beyond that is what the warm round cost.
+	delWarm := delBytes - uint64((counts[last]-1)*layout.BitmapBytes)
+	fmt.Printf("merged bytes over both negotiations at %d nodes: batched %d, delta %d (%.1f%% less)\n",
+		counts[last], batBytes, delBytes, 100*(1-float64(delBytes)/float64(batBytes)))
+	fmt.Printf("warm round alone at %d nodes: batched %d bytes, delta %d bytes\n",
+		counts[last], batBytes/2, delWarm)
+	fmt.Println("(the delta gather caches each peer's map + version and the global OR between")
+	fmt.Println(" rounds; warm rounds ship only the words that changed, so the merge term — a")
+	fmt.Println(" full 7 KB per peer per round under batched — drops to the delta bytes)")
 }
 
 func create() {

@@ -157,6 +157,11 @@ func migrationResult(c *pm2.Cluster, hops int) MigrationResult {
 type NegotiationRow struct {
 	Nodes  int
 	Micros float64
+	// MergedBytes is the bitmap payload the gather participants folded
+	// into global views during the measured negotiation(s) — 7 KB per
+	// peer per round for the full-map gathers, delta words only for the
+	// incremental gather.
+	MergedBytes uint64
 }
 
 // NegotiationScaling measures the negotiation protocol cost for each
@@ -179,7 +184,40 @@ func NegotiationScalingGather(nodeCounts []int, gather pm2.GatherMode) []Negotia
 		if st.Negotiations != 1 {
 			panic(fmt.Sprintf("bench: %d-node run negotiated %d times", p, st.Negotiations))
 		}
-		rows = append(rows, NegotiationRow{Nodes: p, Micros: st.NegotiationLatencies[0].Micros()})
+		rows = append(rows, NegotiationRow{
+			Nodes:       p,
+			Micros:      st.NegotiationLatencies[0].Micros(),
+			MergedBytes: st.GatherMergedBytes,
+		})
+	}
+	return rows
+}
+
+// NegotiationScalingGatherWarm measures the steady-state negotiation
+// cost: two successive multi-slot allocations by the same thread (the
+// remedy workload with two iterations), reporting the latency of the
+// second negotiation and the bytes merged across both. Under the
+// full-map gathers both negotiations cost the same; under the delta
+// gather the first pays full maps (first contact) and the second ships
+// only the words the first round dirtied — the per-node slope of this
+// measurement is the delta gather's headline.
+func NegotiationScalingGatherWarm(nodeCounts []int, gather pm2.GatherMode) []NegotiationRow {
+	rows := make([]NegotiationRow, 0, len(nodeCounts))
+	for _, p := range nodeCounts {
+		im := progs.NewImage()
+		asm.MustAssemble(im, remedySrc)
+		c := pm2.New(pm2.Config{Nodes: p, Gather: gather}, im)
+		c.Spawn(0, "remedyalloc", 2)
+		c.Run(0)
+		st := c.Stats()
+		if st.Negotiations != 2 || len(st.NegotiationLatencies) != 2 {
+			panic(fmt.Sprintf("bench: %d-node warm run negotiated %d times", p, st.Negotiations))
+		}
+		rows = append(rows, NegotiationRow{
+			Nodes:       p,
+			Micros:      st.NegotiationLatencies[1].Micros(),
+			MergedBytes: st.GatherMergedBytes,
+		})
 	}
 	return rows
 }

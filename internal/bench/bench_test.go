@@ -86,6 +86,28 @@ func TestNegotiationScalingBench(t *testing.T) {
 	}
 }
 
+// TestWarmDeltaSlopeBelowBatched pins the delta gather's headline: on
+// the steady-state measurement (second negotiation by the same
+// initiator) its per-node slope must sit strictly below the batched
+// gather's, and its warm rounds must merge only delta bytes instead of
+// a full map per peer.
+func TestWarmDeltaSlopeBelowBatched(t *testing.T) {
+	counts := []int{4, 8, 16}
+	bat := NegotiationScalingGatherWarm(counts, pm2.GatherBatched)
+	del := NegotiationScalingGatherWarm(counts, pm2.GatherDelta)
+	batSlope, delSlope := SlopeMicrosPerNode(bat), SlopeMicrosPerNode(del)
+	if delSlope <= 0 || delSlope >= batSlope {
+		t.Fatalf("warm delta slope %.1f µs/node not strictly below batched %.1f", delSlope, batSlope)
+	}
+	// Both negotiations under batched merge full maps; delta pays full
+	// maps once (first contact) and words after that.
+	last := len(counts) - 1
+	if del[last].MergedBytes >= bat[last].MergedBytes*3/4 {
+		t.Fatalf("delta merged %d bytes, not well below batched's %d",
+			del[last].MergedBytes, bat[last].MergedBytes)
+	}
+}
+
 func TestThreadCreateBench(t *testing.T) {
 	avg := ThreadCreate(50, pm2.Config{})
 	if avg <= 0 || avg > 200 {

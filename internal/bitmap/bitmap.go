@@ -181,6 +181,31 @@ func (b *Bitmap) LongestRun() int {
 	return best
 }
 
+// Words returns the number of 64-bit words backing the map.
+func (b *Bitmap) Words() int { return len(b.words) }
+
+// Word returns the i-th backing word. Together with SetWord it is the
+// unit of the delta exchange: a dirty-word journal names changed words,
+// and a delta payload carries their absolute values.
+func (b *Bitmap) Word(i int) uint64 {
+	if i < 0 || i >= len(b.words) {
+		panic(fmt.Sprintf("bitmap: word %d out of range [0,%d)", i, len(b.words)))
+	}
+	return b.words[i]
+}
+
+// SetWord overwrites the i-th backing word. Bits beyond the map length
+// are masked off, so a delta can never set a bit outside the map.
+func (b *Bitmap) SetWord(i int, w uint64) {
+	if i < 0 || i >= len(b.words) {
+		panic(fmt.Sprintf("bitmap: word %d out of range [0,%d)", i, len(b.words)))
+	}
+	if tail := b.n - i*wordBits; tail < wordBits {
+		w &= (1 << uint(tail)) - 1
+	}
+	b.words[i] = w
+}
+
 // Or sets b to the bitwise OR of b and other. The maps must have equal size.
 func (b *Bitmap) Or(other *Bitmap) {
 	if b.n != other.n {

@@ -1,0 +1,73 @@
+package bitmap
+
+import "sort"
+
+// Journal is the version stamp and bounded dirty-word journal of one
+// node's slot bitmap, the server half of the delta gather (§4.4
+// extension): every ownership mutation bumps the version and records
+// which 64-bit words it touched, so a peer that cached the map at
+// version v can be answered with just the words dirtied since v instead
+// of the full 7 KB map.
+//
+// The journal is bounded: once it tracks more than its capacity of
+// distinct dirty words, it truncates — the floor rises to the current
+// version and queries older than the floor fall back to a full map.
+// Truncation only ever costs bandwidth, never correctness.
+type Journal struct {
+	version uint64
+	// floor is the oldest version (exclusive lower bound) the journal
+	// can still answer incrementally; queries for versions below it
+	// need a full map.
+	floor uint64
+	// dirty maps a word index to the version at which it last changed.
+	dirty map[int]uint64
+	cap   int
+}
+
+// NewJournal returns an empty journal bounded to capWords distinct
+// dirty words (minimum 1).
+func NewJournal(capWords int) *Journal {
+	if capWords < 1 {
+		capWords = 1
+	}
+	return &Journal{dirty: make(map[int]uint64), cap: capWords}
+}
+
+// Version returns the current version stamp. Version 0 is the pristine
+// initial distribution; every mutation bumps it by one.
+func (j *Journal) Version() uint64 { return j.version }
+
+// NoteBits records a mutation of bits [start, start+n) under a new
+// version. When the dirty set outgrows the bound, the journal truncates:
+// the map empties and the floor rises, so older cached views re-fetch
+// the full map once and resync.
+func (j *Journal) NoteBits(start, n int) {
+	if n <= 0 {
+		return
+	}
+	j.version++
+	for w := start / wordBits; w <= (start+n-1)/wordBits; w++ {
+		j.dirty[w] = j.version
+	}
+	if len(j.dirty) > j.cap {
+		j.dirty = make(map[int]uint64)
+		j.floor = j.version
+	}
+}
+
+// WordsSince returns the indices of every word dirtied after version
+// since, sorted ascending (the deterministic wire order). ok is false
+// when the journal cannot answer — since predates the truncation floor
+// or lies in the future — and the caller must ship the full map.
+func (j *Journal) WordsSince(since uint64) (words []int, ok bool) {
+	if since < j.floor || since > j.version {
+		return nil, false
+	}
+	for w, v := range j.dirty {
+		if v > since {
+			words = append(words, w)
+		}
+	}
+	sort.Ints(words)
+	return words, true
+}

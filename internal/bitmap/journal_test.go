@@ -1,0 +1,123 @@
+package bitmap
+
+import "testing"
+
+func TestWordAccessors(t *testing.T) {
+	b := New(130) // 3 words, 2 valid bits in the last
+	b.Set(0)
+	b.Set(64)
+	b.Set(129)
+	if b.Word(0) != 1 || b.Word(1) != 1 || b.Word(2) != 2 {
+		t.Fatalf("words = %x %x %x", b.Word(0), b.Word(1), b.Word(2))
+	}
+	if b.Words() != 3 {
+		t.Fatalf("Words() = %d", b.Words())
+	}
+	b.SetWord(1, 0xff00)
+	if b.Word(1) != 0xff00 {
+		t.Fatalf("word 1 = %x after SetWord", b.Word(1))
+	}
+	// Tail bits beyond the map length are masked off.
+	b.SetWord(2, ^uint64(0))
+	if b.Word(2) != 3 {
+		t.Fatalf("tail word = %x, want masked 3", b.Word(2))
+	}
+	if b.Count() != 1+8+2 {
+		t.Fatalf("count = %d", b.Count())
+	}
+}
+
+// TestWordDeltaRoundTrip: replaying the dirty words of a mutated bitmap
+// onto a stale copy reconstructs the source exactly — the delta-apply
+// step of the gather.
+func TestWordDeltaRoundTrip(t *testing.T) {
+	src := New(1024)
+	for i := 0; i < 1024; i += 3 {
+		src.Set(i)
+	}
+	stale := src.Clone()
+	j := NewJournal(64)
+	base := j.Version()
+
+	mutate := func(start, n int, set bool) {
+		if set {
+			src.SetRun(start, n)
+		} else {
+			src.ClearRun(start, n)
+		}
+		j.NoteBits(start, n)
+	}
+	mutate(10, 5, false)
+	mutate(100, 130, true) // spans three words
+	mutate(1000, 20, false)
+
+	words, ok := j.WordsSince(base)
+	if !ok {
+		t.Fatal("journal truncated unexpectedly")
+	}
+	for _, w := range words {
+		stale.SetWord(w, src.Word(w))
+	}
+	if !stale.Equal(src) {
+		t.Fatal("delta replay did not reconstruct the source bitmap")
+	}
+}
+
+func TestJournalVersioningAndOrder(t *testing.T) {
+	j := NewJournal(32)
+	if j.Version() != 0 {
+		t.Fatalf("fresh journal version = %d", j.Version())
+	}
+	if words, ok := j.WordsSince(0); !ok || len(words) != 0 {
+		t.Fatalf("pristine journal: words=%v ok=%v", words, ok)
+	}
+	j.NoteBits(200, 1) // word 3
+	j.NoteBits(0, 1)   // word 0
+	j.NoteBits(70, 1)  // word 1
+	if j.Version() != 3 {
+		t.Fatalf("version = %d after 3 mutations", j.Version())
+	}
+	words, ok := j.WordsSince(0)
+	if !ok || len(words) != 3 || words[0] != 0 || words[1] != 1 || words[2] != 3 {
+		t.Fatalf("WordsSince(0) = %v ok=%v, want sorted [0 1 3]", words, ok)
+	}
+	// Mid-stream query sees only the later mutations.
+	words, ok = j.WordsSince(1)
+	if !ok || len(words) != 2 || words[0] != 0 || words[1] != 1 {
+		t.Fatalf("WordsSince(1) = %v ok=%v", words, ok)
+	}
+	// A re-dirtied word reports its latest version.
+	j.NoteBits(200, 1)
+	words, ok = j.WordsSince(3)
+	if !ok || len(words) != 1 || words[0] != 3 {
+		t.Fatalf("WordsSince(3) = %v ok=%v", words, ok)
+	}
+	// The future is unanswerable.
+	if _, ok := j.WordsSince(j.Version() + 1); ok {
+		t.Fatal("journal answered a future version")
+	}
+	// Zero-length mutations change nothing.
+	v := j.Version()
+	j.NoteBits(5, 0)
+	if j.Version() != v {
+		t.Fatal("empty NoteBits bumped the version")
+	}
+}
+
+func TestJournalTruncation(t *testing.T) {
+	j := NewJournal(4)
+	base := j.Version()
+	for i := 0; i < 5; i++ {
+		j.NoteBits(i*wordBits, 1) // 5 distinct words overflow cap 4
+	}
+	if _, ok := j.WordsSince(base); ok {
+		t.Fatal("truncated journal still answered a pre-truncation version")
+	}
+	// After truncation the journal resyncs from the current version.
+	now := j.Version()
+	j.NoteBits(0, 1)
+	words, ok := j.WordsSince(now)
+	if !ok || len(words) != 1 || words[0] != 0 {
+		t.Fatalf("post-truncation WordsSince = %v ok=%v", words, ok)
+	}
+}

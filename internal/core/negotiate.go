@@ -36,17 +36,31 @@ type Purchase struct {
 // requester identifies the initiating node. ok is false when no run exists
 // anywhere — the allocation fails (out of iso-address memory).
 func PlanPurchase(maps []*bitmap.Bitmap, n, requester int) (Purchase, bool) {
-	if n <= 0 {
-		panic("core: PlanPurchase with non-positive run")
-	}
-	if requester < 0 || requester >= len(maps) || maps[requester] == nil {
-		panic(fmt.Sprintf("core: requester %d out of range", requester))
-	}
+	return PlanPurchaseOn(GlobalOr(maps), maps, n, requester)
+}
+
+// GlobalOr returns the OR of the gathered per-node bitmaps (nil entries
+// are skipped) — the paper's step 2c as one explicit value, so a caller
+// that caches the global view between rounds (the delta gather) can
+// reuse it instead of recomputing the merge.
+func GlobalOr(maps []*bitmap.Bitmap) *bitmap.Bitmap {
 	global := bitmap.New(layout.SlotCount)
 	for _, m := range maps {
 		if m != nil {
 			global.Or(m)
 		}
+	}
+	return global
+}
+
+// PlanPurchaseOn is PlanPurchase searching a caller-provided global map,
+// which must be the OR of maps.
+func PlanPurchaseOn(global *bitmap.Bitmap, maps []*bitmap.Bitmap, n, requester int) (Purchase, bool) {
+	if n <= 0 {
+		panic("core: PlanPurchase with non-positive run")
+	}
+	if requester < 0 || requester >= len(maps) || maps[requester] == nil {
+		panic(fmt.Sprintf("core: requester %d out of range", requester))
 	}
 	start := global.FindRun(n)
 	if start < 0 {

@@ -131,9 +131,10 @@ type NodeSlots struct {
 	cacheOrder []int
 	stats      SlotStats
 	// onChange, when set, runs after every mutation of the ownership
-	// bitmap. The runtime uses it to invalidate the node's published
-	// free-run summary hint.
-	onChange func()
+	// bitmap with the bit range [start, start+n) that changed. The
+	// runtime uses it to invalidate the node's published free-run
+	// summary hint and to feed the delta-gather dirty-word journal.
+	onChange func(start, n int)
 }
 
 // NewNodeSlots builds the slot layer for one node, populating the bitmap
@@ -166,12 +167,13 @@ func NewNodeSlots(space *vmem.Space, ch Charger, cfg NodeConfig) *NodeSlots {
 // Stats returns a copy of the counters.
 func (ns *NodeSlots) Stats() SlotStats { return ns.stats }
 
-// SetOnChange registers fn to run after every ownership-bitmap mutation.
-func (ns *NodeSlots) SetOnChange(fn func()) { ns.onChange = fn }
+// SetOnChange registers fn to run after every ownership-bitmap mutation,
+// with the slot range [start, start+n) whose bits changed.
+func (ns *NodeSlots) SetOnChange(fn func(start, n int)) { ns.onChange = fn }
 
-func (ns *NodeSlots) changed() {
+func (ns *NodeSlots) changed(start, n int) {
 	if ns.onChange != nil {
-		ns.onChange()
+		ns.onChange(start, n)
 	}
 }
 
@@ -227,7 +229,7 @@ func (ns *NodeSlots) AcquireOne() (int, error) {
 		ns.cacheOrder = ns.cacheOrder[:len(ns.cacheOrder)-1]
 		delete(ns.cached, idx)
 		ns.bm.Clear(idx)
-		ns.changed()
+		ns.changed(idx, 1)
 		ns.stats.Acquired++
 		ns.stats.CacheHits++
 		ns.ch.Charge(ns.cfg.Model.Probes(1))
@@ -242,7 +244,7 @@ func (ns *NodeSlots) AcquireOne() (int, error) {
 		return 0, ErrNoSlots
 	}
 	ns.bm.Clear(idx)
-	ns.changed()
+	ns.changed(idx, 1)
 	ns.stats.Acquired++
 	if err := ns.mmapSlots(idx, 1); err != nil {
 		return 0, err
@@ -271,7 +273,7 @@ func (ns *NodeSlots) AcquireRun(n int) (int, error) {
 // takeRun clears bits and maps the slots of a run known to be owned+free.
 func (ns *NodeSlots) takeRun(start, n int) {
 	ns.bm.ClearRun(start, n)
-	ns.changed()
+	ns.changed(start, n)
 	ns.stats.Acquired += uint64(n)
 	// Map the uncached stretches; consume cached mappings in place.
 	i := start
@@ -311,7 +313,7 @@ func (ns *NodeSlots) Release(start, n int) error {
 		return fmt.Errorf("core: Release [%d,%d): slot already free", start, start+n)
 	}
 	ns.bm.SetRun(start, n)
-	ns.changed()
+	ns.changed(start, n)
 	ns.stats.Released += uint64(n)
 	if n == 1 && len(ns.cacheOrder) < ns.cfg.CacheCap {
 		ns.cached[start] = true
@@ -352,7 +354,7 @@ func (ns *NodeSlots) SellRun(start, n int) error {
 		}
 	}
 	ns.bm.ClearRun(start, n)
-	ns.changed()
+	ns.changed(start, n)
 	return nil
 }
 
@@ -395,7 +397,7 @@ func (ns *NodeSlots) BuyRun(start, n int) error {
 		return fmt.Errorf("core: BuyRun [%d,%d): overlap with owned slots", start, start+n)
 	}
 	ns.bm.SetRun(start, n)
-	ns.changed()
+	ns.changed(start, n)
 	return nil
 }
 
@@ -414,7 +416,7 @@ func (ns *NodeSlots) SurrenderAll() *bitmap.Bitmap {
 	ns.DropCache()
 	out := ns.bm
 	ns.bm = bitmap.New(layout.SlotCount)
-	ns.changed()
+	ns.changed(0, layout.SlotCount)
 	return out
 }
 
@@ -436,7 +438,7 @@ func (ns *NodeSlots) ReplaceBitmap(bm *bitmap.Bitmap) error {
 		}
 	}
 	ns.bm = bm.Clone()
-	ns.changed()
+	ns.changed(0, layout.SlotCount)
 	return nil
 }
 

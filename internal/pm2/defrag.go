@@ -56,6 +56,7 @@ func (n *Node) defragment(done func()) {
 	n.acquireLock(func() {
 		maps := make([]*bitmap.Bitmap, n.c.Nodes())
 		maps[n.id] = n.slots.SurrenderAll()
+		n.c.refreshHint(n.id)
 
 		order := make([]int, 0, n.c.Nodes()-1)
 		for i := 0; i < n.c.Nodes(); i++ {
@@ -92,6 +93,7 @@ func (n *Node) defragScatter(maps []*bitmap.Bitmap, done func()) {
 	if err := n.slots.ReplaceBitmap(newMaps[n.id]); err != nil {
 		panic(err)
 	}
+	n.c.refreshHint(n.id)
 	order := make([]int, 0, n.c.Nodes()-1)
 	for i := 0; i < n.c.Nodes(); i++ {
 		if i != n.id {
@@ -120,9 +122,13 @@ func (n *Node) defragScatter(maps []*bitmap.Bitmap, done func()) {
 	scatter(0)
 }
 
-// onSurrenderCall hands all free slots to a defrag coordinator.
+// onSurrenderCall hands all free slots to a defrag coordinator. Like the
+// chBitmap serve paths, it publishes a fresh free-run summary — the node
+// now owns nothing, and a gather running right after the defragmentation
+// may skip it instead of paying a round trip for an empty map.
 func (n *Node) onSurrenderCall(src int, req *madeleine.Call) {
 	given := n.slots.SurrenderAll()
+	n.c.refreshHint(n.id)
 	raw := given.Bytes()
 	n.actor.Charge(n.c.cfg.Model.Memcpy(len(raw)))
 	req.Reply(func(b *madeleine.Buffer) { b.PackBytes(raw) })
@@ -138,6 +144,10 @@ func (n *Node) onInstallCall(src int, req *madeleine.Call) {
 	if err := n.slots.ReplaceBitmap(bm); err != nil {
 		panic(err)
 	}
+	// The restructured distribution is known exactly: publish its
+	// summary so post-defrag gathers keep their pruning (a node handed
+	// no slots stays skippable without waiting for the next load report).
+	n.c.refreshHint(n.id)
 	// Threads that blocked on an empty bitmap can be retried now; they
 	// are woken by their negotiation callbacks, which serialize behind
 	// the same lock.

@@ -1,0 +1,170 @@
+package pm2
+
+import (
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/progs"
+	"repro/internal/simtime"
+)
+
+// TestDeltaGatherWarmRoundsShipDeltas is the point of the delta gather:
+// the first negotiation pays the batched price (full maps, first
+// contact), but from the second on the same initiator merges only the
+// words that changed — orders of magnitude fewer bytes, and measurably
+// less virtual time than a batched gather spends on the same workload.
+func TestDeltaGatherWarmRoundsShipDeltas(t *testing.T) {
+	run := func(gather GatherMode) (second simtime.Time, merged uint64) {
+		c := New(Config{Nodes: 8, Gather: gather}, progs.NewImage())
+		if !negotiateSync(t, c, 0, 3) {
+			t.Fatalf("%s: first negotiation failed", gather)
+		}
+		if !negotiateSync(t, c, 0, 3) {
+			t.Fatalf("%s: second negotiation failed", gather)
+		}
+		st := c.Stats()
+		if st.Negotiations != 2 || len(st.NegotiationLatencies) != 2 {
+			t.Fatalf("%s: stats %+v", gather, st)
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("%s: %v", gather, err)
+		}
+		return st.NegotiationLatencies[1], st.GatherMergedBytes
+	}
+	batSecond, batMerged := run(GatherBatched)
+	delSecond, delMerged := run(GatherDelta)
+
+	// Both negotiations under batched merge a full map per peer: 2×7×7 KB.
+	if want := uint64(2 * 7 * layout.BitmapBytes); batMerged != want {
+		t.Fatalf("batched merged %d bytes, want %d", batMerged, want)
+	}
+	// Delta pays full maps once (first contact), then only dirty words.
+	if delMerged >= batMerged*3/4 {
+		t.Fatalf("delta merged %d bytes, not well below batched's %d", delMerged, batMerged)
+	}
+	if warmDelta := delMerged - 7*uint64(layout.BitmapBytes); warmDelta > 7*4*deltaWordWireBytes {
+		t.Fatalf("warm delta round merged %d bytes — views are not incremental", warmDelta)
+	}
+	if delSecond >= batSecond {
+		t.Fatalf("warm delta negotiation (%v) not cheaper than batched (%v)", delSecond, batSecond)
+	}
+}
+
+// TestDeltaGatherTracksRemoteChanges: a peer whose bitmap changed
+// between two negotiations must not be claimed from its stale cached
+// view — the version bump forces a delta that removes the sold slots
+// before planning. Exercised through a racing local allocation at the
+// peer, which declines the purchase and must NOT decline again on the
+// retry (the retry re-gathers deltas, so the second plan sees the
+// truth).
+func TestDeltaGatherTracksRemoteChanges(t *testing.T) {
+	c := New(Config{Nodes: 4, Gather: GatherDelta}, progs.NewImage())
+	fired := false
+	n2 := c.Node(2)
+	n2.buyHook = func(src int, giveBack bool) bool {
+		if !giveBack && !fired {
+			fired = true
+			if err := n2.slots.AcquireAt(2, 1); err != nil {
+				t.Errorf("racing allocation: %v", err)
+			}
+		}
+		return false
+	}
+	if !negotiateSync(t, c, 0, 3) {
+		t.Fatal("negotiation failed after the declined round")
+	}
+	if !fired {
+		t.Fatal("the racing allocation never ran")
+	}
+	st := c.Stats()
+	if st.NegotiationRetries == 0 {
+		t.Fatal("the declined purchase did not register a retry")
+	}
+	if got := c.Node(0).pendingGiveBacks; got != 0 {
+		t.Fatalf("%d give-backs still pending after the negotiation", got)
+	}
+	if c.Node(0).Slots().Bitmap().FindRun(3) < 0 {
+		t.Fatal("initiator holds no contiguous 3-run after the retry")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeltaGatherJournalTruncationFallsBack: when a peer mutates more
+// distinct bitmap words than its journal holds between two contacts,
+// the journal truncates and the next request is served a full map — a
+// bandwidth fallback that must leave the outcome correct.
+func TestDeltaGatherJournalTruncationFallsBack(t *testing.T) {
+	c := New(Config{Nodes: 4, Gather: GatherDelta}, progs.NewImage())
+	if !negotiateSync(t, c, 0, 2) {
+		t.Fatal("first negotiation failed")
+	}
+	merged0 := c.Stats().GatherMergedBytes
+
+	// Overflow node 1's journal: dirty more distinct words than it can
+	// track (one slot every 64*4 bits spreads across > deltaJournalWords
+	// words), through real ownership mutations.
+	n1 := c.Node(1)
+	done := false
+	c.At(1, func(n *Node) {
+		for w := 0; w < deltaJournalWords+8; w++ {
+			// Slot w*256+5 is ≡1 mod 4 (node 1's under round-robin),
+			// beyond the run the first negotiation bought, and each
+			// iteration lands in a distinct bitmap word.
+			slot := w*256 + 5
+			if !n.slots.Bitmap().Test(slot) {
+				t.Errorf("setup: node 1 does not own slot %d", slot)
+			}
+			if err := n.slots.SellRun(slot, 1); err != nil {
+				t.Errorf("selling slot %d: %v", slot, err)
+			}
+			if err := n.slots.BuyRun(slot, 1); err != nil {
+				t.Errorf("re-buying slot %d: %v", slot, err)
+			}
+		}
+		done = true
+	})
+	c.Run(0)
+	if !done {
+		t.Fatal("journal overflow setup never ran")
+	}
+	if _, ok := n1.journal.WordsSince(0); ok {
+		t.Fatal("journal did not truncate under overflow")
+	}
+
+	if !negotiateSync(t, c, 0, 2) {
+		t.Fatal("negotiation after truncation failed")
+	}
+	// Node 1 must have served a full 7 KB map again; the other peers
+	// shipped deltas or nothing.
+	warm := c.Stats().GatherMergedBytes - merged0
+	if warm < uint64(layout.BitmapBytes) {
+		t.Fatalf("post-truncation round merged only %d bytes — no full-map fallback", warm)
+	}
+	if warm >= uint64(2*layout.BitmapBytes) {
+		t.Fatalf("post-truncation round merged %d bytes — more than one full map", warm)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeltaGatherSeesDefragInstalls: a defragmentation rewrites every
+// node's bitmap wholesale; the install bumps versions, so an initiator
+// holding pre-defrag cached views must resync (via deltas or full maps)
+// and plan on the restructured distribution without ever double-owning
+// a slot.
+func TestDeltaGatherSeesDefragInstalls(t *testing.T) {
+	c := New(Config{Nodes: 4, Gather: GatherDelta}, progs.NewImage())
+	if !negotiateSync(t, c, 0, 3) {
+		t.Fatal("pre-defrag negotiation failed")
+	}
+	c.DefragmentSync(1)
+	if !negotiateSync(t, c, 0, 3) {
+		t.Fatal("post-defrag negotiation failed")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

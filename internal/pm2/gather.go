@@ -30,6 +30,15 @@ const (
 	// per-slot ownership, so the purchase becomes a range buy: every
 	// peer is asked to sell its intersection with the chosen run.
 	GatherTree
+	// GatherDelta is the incremental gather: every node version-stamps
+	// its bitmap and journals the words each mutation dirtied; the
+	// initiator caches each peer's last-seen map plus version and asks
+	// only for the changes since then. Peers reply "unchanged", a
+	// word-indexed delta, or a full map (first contact, or the bounded
+	// journal truncated), and the initiator patches its cached global
+	// OR in place — so the per-peer merge is charged on delta bytes,
+	// not on the full 7 KB map.
+	GatherDelta
 )
 
 func (g GatherMode) String() string {
@@ -38,6 +47,8 @@ func (g GatherMode) String() string {
 		return "batched"
 	case GatherTree:
 		return "tree"
+	case GatherDelta:
+		return "delta"
 	}
 	return "sequential"
 }
@@ -52,12 +63,14 @@ func ParseGatherMode(s string) (GatherMode, error) {
 		return GatherBatched, nil
 	case "tree":
 		return GatherTree, nil
+	case "delta", "incremental":
+		return GatherDelta, nil
 	}
 	return GatherSequential, fmt.Errorf("pm2: unknown gather strategy %q (have %v)", s, GatherModeNames())
 }
 
 // GatherModeNames lists the canonical gather strategy names.
-func GatherModeNames() []string { return []string{"sequential", "batched", "tree"} }
+func GatherModeNames() []string { return []string{"sequential", "batched", "tree", "delta"} }
 
 // treeChildren returns the ranks node self fans out to in the binomial
 // combining tree rooted at root, in an n-node cluster. Ranks are
@@ -110,13 +123,16 @@ type gatherHint struct {
 
 // refreshHint publishes node i's current free-run summary. Pure
 // control-plane metadata: no virtual time is charged and no events are
-// scheduled. The sequential gather never consults hints, so under it the
-// whole mechanism stays off — no bitmap scans on the load-report path.
+// scheduled. Only the batched and tree gathers consult hints — the
+// sequential gather is paper-faithful and the delta gather prunes with
+// "unchanged" replies instead — so under the other modes the whole
+// mechanism stays off: no host-side bitmap scans on the load-report or
+// serve paths.
 func (c *Cluster) refreshHint(i int) {
-	if c.cfg.Gather == GatherSequential {
-		return
+	switch c.cfg.Gather {
+	case GatherBatched, GatherTree:
+		c.hints[i] = gatherHint{known: true, maxRun: c.nodes[i].slots.Bitmap().LongestRun()}
 	}
-	c.hints[i] = gatherHint{known: true, maxRun: c.nodes[i].slots.Bitmap().LongestRun()}
 }
 
 // invalidateHint forgets node i's summary after a bitmap mutation.

@@ -1,0 +1,76 @@
+package pm2
+
+import (
+	"testing"
+
+	"repro/internal/progs"
+)
+
+// TestDefragPublishesHints is the post-defragmentation hint regression:
+// serving a surrender or installing a replacement bitmap must publish a
+// fresh free-run summary, so a batched gather running right after
+// DefragmentSync skips the peers the restructuring emptied instead of
+// paying a round trip for an all-zero map.
+func TestDefragPublishesHints(t *testing.T) {
+	run := func(defrag bool) (msgs uint64, ok bool) {
+		c := New(Config{Nodes: 4, Gather: GatherBatched}, progs.NewImage())
+		// Node 3 surrenders everything up front: it brings no slots to
+		// the defragmentation pool, so the restructuring hands it none.
+		c.Node(3).Slots().SurrenderAll()
+		if defrag {
+			c.DefragmentSync(0)
+			if !c.hintEmpty(3) {
+				t.Fatal("emptied node not hinted empty right after defragmentation")
+			}
+		}
+		before := c.Stats().Net.Messages
+		ok = negotiateSync(t, c, 0, 2)
+		return c.Stats().Net.Messages - before, ok
+	}
+	withDefrag, ok1 := run(true)
+	withoutDefrag, ok2 := run(false)
+	if !ok1 || !ok2 {
+		t.Fatal("negotiation failed")
+	}
+	if withDefrag >= withoutDefrag {
+		t.Fatalf("post-defrag gather used %d messages, undefragged %d — the emptied peer was not skipped",
+			withDefrag, withoutDefrag)
+	}
+}
+
+// TestTreePartitionProperty is the exhaustive topology property: for
+// every cluster size 1..33 and every root, the root's child subtrees
+// plus the root itself partition the ranks — each rank in exactly one
+// subtree — and the root's fan-out is ceil(log2 n).
+func TestTreePartitionProperty(t *testing.T) {
+	ceilLog2 := func(n int) int {
+		k := 0
+		for 1<<k < n {
+			k++
+		}
+		return k
+	}
+	for n := 1; n <= 33; n++ {
+		for root := 0; root < n; root++ {
+			children := treeChildren(root, root, n)
+			if got, want := len(children), ceilLog2(n); got != want {
+				t.Fatalf("n=%d root=%d: fan-out %d, want ceil(log2 n) = %d", n, root, got, want)
+			}
+			seen := make([]int, n)
+			seen[root]++
+			for _, ch := range children {
+				for _, r := range subtreeRanks(ch, root, n) {
+					if r < 0 || r >= n {
+						t.Fatalf("n=%d root=%d: subtree of %d names rank %d", n, root, ch, r)
+					}
+					seen[r]++
+				}
+			}
+			for r, k := range seen {
+				if k != 1 {
+					t.Fatalf("n=%d root=%d: rank %d covered %d times — subtrees do not partition", n, root, r, k)
+				}
+			}
+		}
+	}
+}

@@ -100,6 +100,36 @@ func (n *Node) isoMigrateOut(t *marcel.Thread, dest int) {
 	})
 }
 
+// freshPageBytes returns how many bytes of the extent [lo, hi) lie in
+// pages not yet recorded in touched, and marks every page the extent
+// covers as touched. It is the first-touch accounting unit of migration
+// install: the portion of a span landing on already-touched pages costs
+// no zero-fill, because those pages were cleared when an earlier span
+// faulted them in. A page's clear is deliberately attributed to the
+// first-touching span's bytes rather than to the full PageSize: the
+// cost model's ZeroFill constant is calibrated byte-proportionally
+// (Figure 11, the §5 migration headline), and this keeps single-span
+// groups — every calibrated path — charged exactly as before while
+// removing the repeat charges for multi-span groups.
+func freshPageBytes(touched map[Addr]bool, lo, hi Addr) int {
+	fresh := 0
+	for page := layout.PageFloor(lo); page < hi; page += layout.PageSize {
+		if touched[page] {
+			continue
+		}
+		touched[page] = true
+		s, e := lo, hi
+		if page > s {
+			s = page
+		}
+		if page+layout.PageSize < e {
+			e = page + layout.PageSize
+		}
+		fresh += int(e - s)
+	}
+	return fresh
+}
+
 // onMigrateMsg is the destination half.
 func (n *Node) onMigrateMsg(src int, msg *madeleine.Buffer) {
 	inner := madeleine.FromBytes(msg.BytesSection())
@@ -123,6 +153,12 @@ func (n *Node) onMigrateMsg(src int, msg *madeleine.Buffer) {
 			panic(fmt.Sprintf("pm2: iso-address collision installing %#08x on node %d: %v", base, n.id, err))
 		}
 
+		// First-touch accounting is per page, not per span: the kernel
+		// clears a freshly installed page once, when the first span
+		// lands on it. Later spans of the same group that fall into an
+		// already-touched page pay only the copy — charging their bytes
+		// zero-fill again would double-charge the page's first touch.
+		touched := make(map[Addr]bool)
 		spans := make([]core.Span, 0, nSpans)
 		for si := 0; si < nSpans; si++ {
 			off := inner.U32()
@@ -134,7 +170,9 @@ func (n *Node) onMigrateMsg(src int, msg *madeleine.Buffer) {
 				panic(err)
 			}
 			n.actor.Charge(model.Memcpy(len(data)))
-			n.actor.Charge(model.ZeroFill(len(data))) // first touch of fresh pages
+			if fresh := freshPageBytes(touched, base+Addr(off), base+Addr(off)+Addr(len(data))); fresh > 0 {
+				n.actor.Charge(model.ZeroFill(fresh)) // first touch of fresh pages
+			}
 			spans = append(spans, core.Span{Off: off, Len: uint32(len(data))})
 		}
 		if mode == PackUsed && kind == core.KindData {

@@ -1,0 +1,101 @@
+package pm2
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/layout"
+	"repro/internal/progs"
+	"repro/internal/simtime"
+)
+
+func TestFreshPageBytes(t *testing.T) {
+	const pg = layout.PageSize
+	base := layout.SlotBase(0)
+	touched := make(map[Addr]bool)
+
+	// First span in a page charges its own bytes.
+	if got := freshPageBytes(touched, base+100, base+300); got != 200 {
+		t.Fatalf("first span charged %d bytes, want 200", got)
+	}
+	// A second span in the same page is free: the page was already
+	// faulted and cleared.
+	if got := freshPageBytes(touched, base+1000, base+1500); got != 0 {
+		t.Fatalf("same-page span charged %d bytes, want 0", got)
+	}
+	// A span crossing into a fresh page charges only the fresh part.
+	if got := freshPageBytes(touched, base+Addr(pg)-100, base+Addr(pg)+200); got != 200 {
+		t.Fatalf("boundary span charged %d bytes, want 200", got)
+	}
+	// A span covering several fresh pages charges all of its bytes.
+	if got := freshPageBytes(touched, base+Addr(2*pg), base+Addr(5*pg)); got != 3*pg {
+		t.Fatalf("multi-page span charged %d bytes, want %d", got, 3*pg)
+	}
+	// Replaying it charges nothing.
+	if got := freshPageBytes(touched, base+Addr(2*pg), base+Addr(5*pg)); got != 0 {
+		t.Fatalf("replayed span charged %d bytes, want 0", got)
+	}
+}
+
+// fragallocSrc builds a deliberately fragmented data group: r1 pairs of
+// 200-byte blocks, the first of each pair freed — so the used spans are
+// interleaved with gaps and many spans share a freshly-installed page —
+// then migrates to node 1.
+const fragallocSrc = `
+.program fragalloc
+main:
+    enter 8
+    store [fp-4], r1      ; pairs remaining
+ftop:
+    load  r2, [fp-4]
+    loadi r3, 0
+    beq   r2, r3, fmig
+    loadi r1, 200
+    callb isomalloc
+    store [fp-8], r0      ; a
+    loadi r1, 200
+    callb isomalloc       ; b survives
+    load  r1, [fp-8]
+    callb isofree         ; freeing a leaves a gap before b
+    load  r2, [fp-4]
+    addi  r2, r2, -1
+    store [fp-4], r2
+    br    ftop
+fmig:
+    loadi r1, 1
+    callb migrate
+    halt
+`
+
+// TestMultiSpanZeroFillNotDoubleCharged is the first-touch accounting
+// regression (charge zero-fill once per fresh page of each installed
+// group): on a thread whose data group is many gap-separated spans in
+// the same slot, used-blocks packing must migrate strictly cheaper than
+// whole-slot packing, and the spans sharing a page must not each pay the
+// page's first touch — so the fragmented group's install stays cheaper
+// than one contiguous span of the same byte total would be.
+func TestMultiSpanZeroFillNotDoubleCharged(t *testing.T) {
+	migrate := func(pack PackMode) (lat simtime.Time, wire uint64) {
+		im := progs.NewImage()
+		asm.MustAssemble(im, fragallocSrc)
+		c := New(Config{Nodes: 2, Pack: pack}, im)
+		c.Spawn(0, "fragalloc", 10)
+		c.Run(0)
+		st := c.Stats()
+		if st.Migrations != 1 {
+			t.Fatalf("%v: %d migrations, want 1", pack, st.Migrations)
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("%v: %v", pack, err)
+		}
+		return st.MigrationLatencies[0], st.Net.Bytes
+	}
+	used, usedWire := migrate(PackUsed)
+	whole, wholeWire := migrate(PackWhole)
+	if used >= whole {
+		t.Fatalf("multi-span used-blocks migration (%v) not below whole-slot (%v)", used, whole)
+	}
+	if usedWire >= wholeWire {
+		t.Fatalf("used-blocks wire bytes %d not below whole-slot %d", usedWire, wholeWire)
+	}
+}

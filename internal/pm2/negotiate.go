@@ -48,7 +48,15 @@ func (n *Node) negotiate(k int, done func(bool)) {
 	start := n.actor.Now()
 	finish := func(ok bool) {
 		n.c.stats.Negotiations++
-		n.c.stats.NegotiationLatencies = append(n.c.stats.NegotiationLatencies, n.actor.Now()-start)
+		if ok {
+			// Only successful negotiations enter the latency series the
+			// percentiles summarize; a failure (round exhaustion, cluster
+			// out of contiguous space) is counted on its own instead of
+			// skewing the p50/p95/p99 columns.
+			n.c.stats.NegotiationLatencies = append(n.c.stats.NegotiationLatencies, n.actor.Now()-start)
+		} else {
+			n.c.stats.NegotiationFailures++
+		}
 		done(ok)
 	}
 	n.acquireLock(func() {
@@ -76,6 +84,8 @@ func (n *Node) negotiateRound(k, round int, done func(bool)) {
 		n.gatherBatched(k, round, done)
 	case GatherTree:
 		n.gatherTree(k, round, done)
+	case GatherDelta:
+		n.gatherDelta(k, round, done)
 	default:
 		n.gatherSequential(k, round, done)
 	}
@@ -105,7 +115,7 @@ func (n *Node) gatherSequential(k, round int, done func(bool)) {
 			maps[peer] = n.unpackBitmap(peer, reply)
 			// Merging this bitmap into the global OR (step 2c is
 			// incremental).
-			n.actor.Charge(n.c.cfg.Model.BitmapScan(layout.BitmapBytes))
+			n.mergeCharge(layout.BitmapBytes)
 			gatherNext(i + 1)
 		})
 	}
@@ -136,7 +146,7 @@ func (n *Node) gatherBatched(k, round int, done func(bool)) {
 		p := peer
 		n.ep.Call(p, chBitmap, nil, func(reply *madeleine.Buffer) {
 			maps[p] = n.unpackBitmap(p, reply)
-			n.actor.Charge(n.c.cfg.Model.BitmapScan(layout.BitmapBytes))
+			n.mergeCharge(layout.BitmapBytes)
 			outstanding--
 			if outstanding == 0 {
 				n.planAndBuy(k, round, maps, done)
@@ -180,7 +190,7 @@ func (n *Node) gatherTree(k, round int, done func(bool)) {
 			if err := global.OrBytes(reply.BytesSection()); err != nil {
 				panic(fmt.Sprintf("pm2: bad subtree bitmap: %v", err))
 			}
-			n.actor.Charge(n.c.cfg.Model.BitmapScan(layout.BitmapBytes))
+			n.mergeCharge(layout.BitmapBytes)
 			outstanding--
 			if outstanding == 0 {
 				n.planAndBuyRange(k, round, global, done)
@@ -217,13 +227,21 @@ func (n *Node) onGatherTreeCall(src int, req *madeleine.Call) {
 			if err := merged.OrBytes(sub.BytesSection()); err != nil {
 				panic(fmt.Sprintf("pm2: bad subtree bitmap: %v", err))
 			}
-			n.actor.Charge(n.c.cfg.Model.BitmapScan(layout.BitmapBytes))
+			n.mergeCharge(layout.BitmapBytes)
 			outstanding--
 			if outstanding == 0 {
 				reply()
 			}
 		})
 	}
+}
+
+// mergeCharge charges the cost of folding bytes of gathered bitmap
+// payload into a global view and accounts them in
+// Stats.GatherMergedBytes — the merge term the delta gather attacks.
+func (n *Node) mergeCharge(bytes int) {
+	n.actor.Charge(n.c.cfg.Model.BitmapScan(bytes))
+	n.c.stats.GatherMergedBytes += uint64(bytes)
 }
 
 // unpackBitmap decodes a gathered bitmap reply.
@@ -252,7 +270,14 @@ func (n *Node) planAndBuy(k, round int, maps []*bitmap.Bitmap, done func(bool)) 
 		done(false)
 		return
 	}
+	n.executePurchase(k, round, plan, done)
+}
 
+// executePurchase carries out a planned purchase (paper step 2e): one
+// atomic purchase message per seller, the initiator-side race check, and
+// the give-back/retry path on any decline. Shared by the per-peer-map
+// gathers (sequential, batched, delta).
+func (n *Node) executePurchase(k, round int, plan core.Purchase, done func(bool)) {
 	// Group the shares by owner: one purchase message per seller node
 	// (paper 2e sends one updated bitmap back to each owner, not one
 	// message per slot run).

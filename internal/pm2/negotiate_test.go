@@ -29,7 +29,7 @@ func negotiateSync(t *testing.T, c *Cluster, id, k int) bool {
 // strategies change what the gather costs, never what it buys.
 func TestGatherStrategiesAgreeOnOutcome(t *testing.T) {
 	var want []string
-	for _, gather := range []GatherMode{GatherSequential, GatherBatched, GatherTree} {
+	for _, gather := range []GatherMode{GatherSequential, GatherBatched, GatherTree, GatherDelta} {
 		c := New(Config{Nodes: 4, Gather: gather}, progs.NewImage())
 		if !negotiateSync(t, c, 0, 3) {
 			t.Fatalf("%s: negotiation failed", gather)
@@ -75,6 +75,11 @@ func TestGatherStrategiesScaleBelowSequential(t *testing.T) {
 	}
 	if tree*2 >= seq {
 		t.Errorf("tree gather %v not well below sequential %v", tree, seq)
+	}
+	// A cold delta gather ships full maps (first contact), so it lands in
+	// batched territory — still far below sequential.
+	if delta := lat(GatherDelta); delta*2 >= seq {
+		t.Errorf("delta gather %v not well below sequential %v", delta, seq)
 	}
 }
 
@@ -312,8 +317,13 @@ func TestNegotiationRoundsExhausted(t *testing.T) {
 		t.Fatalf("declines = %d, want %d", declines, maxNegotiationRounds)
 	}
 	st := c.Stats()
-	if st.Negotiations != 1 || len(st.NegotiationLatencies) != 1 {
+	if st.Negotiations != 1 || st.NegotiationFailures != 1 {
 		t.Fatalf("stats not recorded: %+v", st)
+	}
+	// A failed attempt must not enter the latency series: the p50/p95/p99
+	// percentiles describe successful protocol runs only.
+	if len(st.NegotiationLatencies) != 0 {
+		t.Fatalf("failed negotiation leaked %d latencies into the percentile series", len(st.NegotiationLatencies))
 	}
 	if st.NegotiationRetries != maxNegotiationRounds {
 		t.Fatalf("retries = %d, want %d", st.NegotiationRetries, maxNegotiationRounds)

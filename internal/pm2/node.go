@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/bitmap"
 	"repro/internal/core"
 	"repro/internal/heap"
 	"repro/internal/isa"
@@ -27,7 +28,8 @@ const (
 	chBitmap  uint32 = 5 // call: gather a node's slot bitmap
 	chBuy     uint32 = 6 // call: purchase a slot run from its owner
 
-	chGatherTree uint32 = 10 // call: OR-merge and return a binomial subtree's bitmaps
+	chGatherTree  uint32 = 10 // call: OR-merge and return a binomial subtree's bitmaps
+	chBitmapDelta uint32 = 11 // call: bitmap changes since a cached version (delta gather)
 )
 
 // Node is one PM2 node: a heavy container process with its own simulated
@@ -58,6 +60,16 @@ type Node struct {
 	// arrived; a new negotiation round must never start before it drops
 	// to zero (see negotiateRound).
 	pendingGiveBacks int
+
+	// Delta-gather state (Config.Gather == GatherDelta; see delta.go).
+	// journal is the server half: the version stamp and bounded
+	// dirty-word journal of this node's own bitmap. deltaPeers and
+	// deltaOr are the initiator half: the cached last-seen map+version
+	// per peer and the cached global OR of those views, both allocated
+	// lazily on the node's first negotiation.
+	journal    *bitmap.Journal
+	deltaPeers []deltaPeerView
+	deltaOr    *bitmap.Bitmap
 
 	// buyHook, when non-nil, runs before onBuyCall processes a request;
 	// returning true declines the batch outright. Test-only seam for
@@ -95,11 +107,22 @@ func newNode(c *Cluster, id int) *Node {
 	})
 	n.heap = heap.New(n.space, n.actor, c.cfg.Model)
 	// Any ownership change invalidates the node's published free-run
-	// summary until the next load report or served gather refreshes it.
-	// The sequential gather never reads hints, so it skips the
-	// bookkeeping entirely.
+	// summary until the next load report or served gather refreshes it,
+	// and — under the delta gather — bumps the bitmap version and
+	// journals the dirtied words, so purchases, give-backs and defrag
+	// installs all invalidate cached remote views. The sequential
+	// gather never reads hints or versions, so it skips the bookkeeping
+	// entirely.
+	if c.cfg.Gather == GatherDelta {
+		n.journal = bitmap.NewJournal(deltaJournalWords)
+	}
 	if c.cfg.Gather != GatherSequential {
-		n.slots.SetOnChange(func() { c.invalidateHint(id) })
+		n.slots.SetOnChange(func(start, count int) {
+			c.invalidateHint(id)
+			if n.journal != nil {
+				n.journal.NoteBits(start, count)
+			}
+		})
 	}
 
 	// Map the replicated static data segment at the same address on
@@ -122,6 +145,7 @@ func newNode(c *Cluster, id int) *Node {
 	n.ep.HandleCall(chBitmap, n.onBitmapCall)
 	n.ep.HandleCall(chBuy, n.onBuyCall)
 	n.ep.HandleCall(chGatherTree, n.onGatherTreeCall)
+	n.ep.HandleCall(chBitmapDelta, n.onBitmapDeltaCall)
 	n.ep.HandleCall(chSurrender, n.onSurrenderCall)
 	n.ep.HandleCall(chInstall, n.onInstallCall)
 	return n

@@ -93,7 +93,9 @@ type Config struct {
 	PreBuySlots int
 	// Gather selects the §4.4 bitmap-gather strategy: GatherSequential
 	// (the paper's one-peer-at-a-time default), GatherBatched (one round
-	// of concurrent Calls) or GatherTree (binomial combining tree).
+	// of concurrent Calls), GatherTree (binomial combining tree) or
+	// GatherDelta (version-stamped incremental exchange: peers ship only
+	// the bitmap words changed since the initiator's cached view).
 	Gather GatherMode
 	// Placement is the thread-placement policy: Spawn preferences route
 	// through it, and an attached load balancer (internal/loadbal)
@@ -138,6 +140,17 @@ type Stats struct {
 	// NegotiationRetries counts declined purchase rounds: the initiator
 	// gave secured shares back and re-gathered with fresh bitmaps.
 	NegotiationRetries int
+	// NegotiationFailures counts negotiations that gave up — round
+	// exhaustion or cluster out of contiguous space. Failed attempts are
+	// counted in Negotiations but excluded from NegotiationLatencies, so
+	// the latency percentiles describe successful protocol runs only.
+	NegotiationFailures int
+	// GatherMergedBytes totals the bitmap payload bytes gather
+	// participants folded into global views — the merge term the delta
+	// gather attacks: a full 7 KB per peer per round under the
+	// sequential/batched/tree gathers, only the shipped delta words
+	// under GatherDelta.
+	GatherMergedBytes uint64
 	// Defragmentations counts completed global restructurings (§4.4).
 	Defragmentations int
 	// Net mirrors the BIP traffic counters.

@@ -81,6 +81,44 @@ func TestGoldenTracesAtScale(t *testing.T) {
 	}
 }
 
+// TestGoldenTracesDeltaGather pins the negotiation-heavy workload under
+// the incremental delta gather at 4, 16 and 64 nodes: the versioned
+// bitmap exchange, cached views and give-back version bumps must stay
+// byte-identically deterministic under load, at scale, under every
+// policy. (The sequential-gather goldens above are untouched by the
+// delta machinery — it is fully off under the paper-faithful default.)
+func TestGoldenTracesDeltaGather(t *testing.T) {
+	for _, nodes := range []int{4, 16, 64} {
+		for _, p := range policy.Names() {
+			name := fmt.Sprintf("negostress_%s_delta_n%d", p, nodes)
+			t.Run(name, func(t *testing.T) {
+				res, err := Run(Spec{Scenario: "negostress", Policy: p, Nodes: nodes, Gather: "delta"})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := res.Verify(); err != nil {
+					t.Fatal(err)
+				}
+				got := res.TraceString()
+				path := filepath.Join("testdata", name+".golden")
+				if *update {
+					if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden trace (run with -update): %v", err)
+				}
+				if got != string(want) {
+					t.Fatalf("trace deviates from %s.golden — delta-gather behavior changed.\nGot:\n%s", name, got)
+				}
+			})
+		}
+	}
+}
+
 // TestTraceDeterminism runs the same spec twice in-process and demands
 // byte-identical traces — policies with hidden nondeterminism (map
 // iteration, real time, shared global state) fail here even before the

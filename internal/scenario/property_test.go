@@ -64,7 +64,7 @@ func TestScenariosScaleWithClusterSize(t *testing.T) {
 // and tree gathers must not change *what* the protocol achieves — only
 // what it costs.
 func TestNegoStressAcrossGatherStrategies(t *testing.T) {
-	for _, gather := range []string{"batched", "tree"} {
+	for _, gather := range []string{"batched", "tree", "delta"} {
 		for _, nodes := range []int{4, 16, 64} {
 			for _, p := range policy.Names() {
 				name := fmt.Sprintf("%s/%d/%s", gather, nodes, p)

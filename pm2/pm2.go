@@ -97,9 +97,11 @@ type Config struct {
 	Policy string
 	// Gather selects the §4.4 bitmap-gather strategy used by slot
 	// negotiations: "sequential" (default — the paper's one-peer-at-a-
-	// time gather), "batched" (one round of concurrent bitmap calls) or
+	// time gather), "batched" (one round of concurrent bitmap calls),
 	// "tree" (binomial combining tree; the initiator receives O(log n)
-	// merged maps). See ParseGather for the accepted aliases.
+	// merged maps) or "delta" (version-stamped incremental exchange:
+	// peers ship only the bitmap words changed since the initiator's
+	// cached view). See ParseGather for the accepted aliases.
 	Gather string
 }
 
@@ -143,7 +145,8 @@ func (c Config) toInternal() ipm2.Config {
 }
 
 // ParseGather validates a gather-strategy name and returns its canonical
-// form. Accepted: "sequential" ("seq", ""), "batched" ("batch"), "tree".
+// form. Accepted: "sequential" ("seq", ""), "batched" ("batch"), "tree",
+// "delta" ("incremental").
 func ParseGather(s string) (string, error) {
 	g, err := ipm2.ParseGatherMode(s)
 	if err != nil {
