@@ -1,0 +1,101 @@
+// benchcheck is the CI perf-regression gate: it compares the slopes in
+// a freshly generated BENCH_negotiation.json (pm2bench -fig negotiation
+// -json) against the committed baseline and exits non-zero if any
+// gather strategy's cold or warm per-node slope regressed by more than
+// the tolerance (default 25%).
+//
+// Usage:
+//
+//	benchcheck -baseline ci/BENCH_negotiation.baseline.json -current BENCH_negotiation.json
+//	benchcheck -tolerance 0.10 ...   # tighten the gate to 10%
+//
+// Merged-byte counts are reported for context but not gated: they are
+// exact protocol quantities already pinned by unit tests, while the
+// slopes summarize the virtual-time cost model end to end. A small
+// absolute grace (0.5 µs/node) keeps near-zero slopes (the warm delta
+// gather) from tripping the relative gate on rounding noise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/bench"
+)
+
+// slopeGraceMicros is the absolute slack added on top of the relative
+// tolerance, so slopes measured in single-digit µs/node are not failed
+// by sub-µs jitter in the cost accounting.
+const slopeGraceMicros = 0.5
+
+func load(path string) (bench.NegotiationReport, error) {
+	var r bench.NegotiationReport
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Figure != "negotiation" || len(r.Gathers) == 0 {
+		return r, fmt.Errorf("%s: not a negotiation report", path)
+	}
+	return r, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "ci/BENCH_negotiation.baseline.json", "committed baseline report")
+	current := flag.String("current", "BENCH_negotiation.json", "freshly generated report")
+	tolerance := flag.Float64("tolerance", 0.25, "maximum allowed relative slope regression")
+	flag.Parse()
+
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(base.Gathers))
+	for name := range base.Gathers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	check := func(name, which string, baseSlope, curSlope float64) {
+		limit := baseSlope*(1+*tolerance) + slopeGraceMicros
+		status := "ok"
+		if curSlope > limit {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("%-12s %-5s slope %8.1f µs/node (baseline %8.1f, limit %8.1f)  %s\n",
+			name, which, curSlope, baseSlope, limit, status)
+	}
+	for _, name := range names {
+		b := base.Gathers[name]
+		c, ok := cur.Gathers[name]
+		if !ok {
+			fmt.Printf("%-12s MISSING from current report\n", name)
+			failed = true
+			continue
+		}
+		check(name, "cold", b.ColdSlopeMicrosPerNode, c.ColdSlopeMicrosPerNode)
+		check(name, "warm", b.WarmSlopeMicrosPerNode, c.WarmSlopeMicrosPerNode)
+		fmt.Printf("%-12s merged bytes cold %d / warm %d (baseline %d / %d, informational)\n",
+			name, c.ColdMergedBytes, c.WarmMergedBytes, b.ColdMergedBytes, b.WarmMergedBytes)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchcheck: slope regression beyond tolerance — see report above")
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: all slopes within tolerance")
+}

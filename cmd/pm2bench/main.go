@@ -10,14 +10,18 @@
 //	pm2bench -fig 11b          # Figure 11 bottom: 1–8 MB
 //	pm2bench -fig migration    # §5: ping-pong < 75 µs + payload sweep
 //	pm2bench -fig negotiation  # §5: 255 µs + 165 µs/node
+//	pm2bench -fig negotiation -json   # also write BENCH_negotiation.json
+//	pm2bench -fig contention   # concurrent initiators × negotiation arbiter
 //	pm2bench -fig 5            # Figure 5: the memory layout
 //	pm2bench -fig create       # thread creation cost
 //	pm2bench -fig ablations    # slot cache / pack mode / distribution / pointers
 //	pm2bench -fig scenarios    # placement-policy × workload matrix
 //	pm2bench -fig scenarios -policy work-stealing
+//	pm2bench -fig scenarios -arbiter sharded
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,13 +42,25 @@ func main() {
 	pol := flag.String("policy", "", "restrict -fig scenarios to one placement policy")
 	seed := flag.Uint64("seed", 1, "workload seed for -fig scenarios")
 	nodes := flag.Int("nodes", 4, "cluster size for -fig scenarios (e.g. 4, 16, 64)")
-	gather := flag.String("gather", "", "gather strategy for -fig scenarios: "+strings.Join(pm2pub.GatherNames(), " | "))
+	gather := flag.String("gather", "", "gather strategy for -fig scenarios/contention: "+strings.Join(pm2pub.GatherNames(), " | "))
+	arbiter := flag.String("arbiter", "", "negotiation arbiter for -fig scenarios, or restrict -fig contention to one: "+strings.Join(pm2pub.ArbiterNames(), " | "))
+	jsonOut := flag.Bool("json", false, "with -fig negotiation, also write the slopes/merged-bytes report to -out")
+	out := flag.String("out", "BENCH_negotiation.json", "path of the -json report")
 	flag.Parse()
 
 	gatherName, err := pm2pub.ParseGather(*gather)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pm2bench: %v\n", err)
 		os.Exit(2)
+	}
+	arbiterName, err := pm2pub.ParseArbiter(*arbiter)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pm2bench: %v\n", err)
+		os.Exit(2)
+	}
+	jsonPath := ""
+	if *jsonOut {
+		jsonPath = *out
 	}
 
 	switch *fig {
@@ -53,10 +69,11 @@ func main() {
 		fig11a(*trials)
 		fig11b(*trials)
 		migration()
-		negotiation()
+		negotiation(jsonPath)
+		contention(*arbiter)
 		create()
 		ablations()
-		scenarios(*pol, *seed, *nodes, gatherName)
+		scenarios(*pol, *seed, *nodes, gatherName, arbiterName)
 	case "5":
 		layoutFig()
 	case "11a":
@@ -66,13 +83,15 @@ func main() {
 	case "migration":
 		migration()
 	case "negotiation":
-		negotiation()
+		negotiation(jsonPath)
+	case "contention":
+		contention(*arbiter)
 	case "create":
 		create()
 	case "ablations":
 		ablations()
 	case "scenarios":
-		scenarios(*pol, *seed, *nodes, gatherName)
+		scenarios(*pol, *seed, *nodes, gatherName, arbiterName)
 	default:
 		fmt.Fprintf(os.Stderr, "pm2bench: unknown figure %q\n", *fig)
 		os.Exit(2)
@@ -170,7 +189,7 @@ func migration() {
 	fmt.Println("(the paper cites 150 µs for a null-thread migration in Active Threads)")
 }
 
-func negotiation() {
+func negotiation(jsonPath string) {
 	header("§5: negotiation cost vs cluster size (multi-slot alloc, round-robin)")
 	fmt.Printf("%8s %14s %18s\n", "nodes", "cost (µs)", "delta/node (µs)")
 	prev, prevNodes := 0.0, 0
@@ -239,6 +258,58 @@ func negotiation() {
 	fmt.Println("(the delta gather caches each peer's map + version and the global OR between")
 	fmt.Println(" rounds; warm rounds ship only the words that changed, so the merge term — a")
 	fmt.Println(" full 7 KB per peer per round under batched — drops to the delta bytes)")
+
+	if jsonPath != "" {
+		report := bench.NegotiationReport{Figure: "negotiation", Nodes: counts, Gathers: map[string]bench.GatherReport{}}
+		for _, m := range modes {
+			report.Gathers[m.String()] = bench.GatherReport{
+				ColdSlopeMicrosPerNode: bench.SlopeMicrosPerNode(costs[m]),
+				WarmSlopeMicrosPerNode: bench.SlopeMicrosPerNode(warm[m]),
+				ColdMergedBytes:        costs[m][last].MergedBytes,
+				WarmMergedBytes:        warm[m][last].MergedBytes,
+			}
+		}
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pm2bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "pm2bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", jsonPath)
+	}
+}
+
+// contention prints the concurrent-initiator comparison: M nodes start
+// a multi-slot negotiation in the same instant under each arbiter. The
+// batched gather keeps the gather term identical across arbiters, so
+// the spread between the rows is purely the concurrency scheme.
+func contention(only string) {
+	arbs := []pm2.ArbiterMode{pm2.ArbiterGlobal, pm2.ArbiterSharded, pm2.ArbiterOptimistic}
+	if only != "" {
+		a, err := pm2.ParseArbiterMode(only)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pm2bench: %v\n", err)
+			os.Exit(2)
+		}
+		arbs = []pm2.ArbiterMode{a}
+	}
+	header("Extension: concurrent initiators × negotiation arbiter (3-slot allocs, batched gather)")
+	fmt.Printf("%6s %6s %-12s %4s %8s %8s %14s %10s %10s %10s %10s\n",
+		"nodes", "inits", "arbiter", "ok", "retries", "vdecl", "makespan µs", "negos/ms", "p50 µs", "p95 µs", "p99 µs")
+	for _, nm := range []struct{ nodes, inits int }{{4, 4}, {16, 4}, {16, 8}, {16, 16}, {64, 16}, {64, 32}} {
+		for _, r := range bench.Contention(nm.nodes, nm.inits, arbs, pm2.GatherBatched) {
+			fmt.Printf("%6d %6d %-12s %4d %8d %8d %14.1f %10.2f %10.1f %10.1f %10.1f\n",
+				r.Nodes, r.Initiators, r.Arbiter, r.Succeeded, r.Retries, r.VersionDeclines,
+				r.MakespanMicros, r.ThroughputPerMs, r.P50, r.P95, r.P99)
+		}
+	}
+	fmt.Println("\n(the global arbiter serializes every negotiation through node 0's lock, so its")
+	fmt.Println(" makespan grows with the initiator count; the sharded arbiter locks only the")
+	fmt.Println(" shards a planned run touches, and the optimistic arbiter replaces locking with")
+	fmt.Println(" version-validated purchases — disjoint negotiations overlap under both)")
 }
 
 func create() {
@@ -282,7 +353,7 @@ func ablations() {
 
 // scenarios prints the placement-policy comparison: every deterministic
 // workload generator under every (or one) policy.
-func scenarios(only string, seed uint64, nodes int, gather string) {
+func scenarios(only string, seed uint64, nodes int, gather, arbiter string) {
 	pols := policy.Names()
 	if only != "" {
 		canon, err := policy.Parse(only)
@@ -292,12 +363,12 @@ func scenarios(only string, seed uint64, nodes int, gather string) {
 		}
 		pols = []string{canon.Name()}
 	}
-	header(fmt.Sprintf("Scenario harness: placement policy × workload (%d nodes, %s gather, deterministic)", nodes, gather))
+	header(fmt.Sprintf("Scenario harness: placement policy × workload (%d nodes, %s gather, %s arbiter, deterministic)", nodes, gather, arbiter))
 	fmt.Printf("%-10s %-14s %12s %10s %8s %6s %10s %10s %10s %12s\n",
 		"scenario", "policy", "virtual µs", "migrations", "balmoves", "negos", "neg p50µs", "neg p95µs", "neg p99µs", "wire bytes")
 	for _, g := range scenario.GeneratorNames() {
 		for _, p := range pols {
-			res, err := scenario.Run(scenario.Spec{Scenario: g, Policy: p, Seed: seed, Nodes: nodes, Gather: gather})
+			res, err := scenario.Run(scenario.Spec{Scenario: g, Policy: p, Seed: seed, Nodes: nodes, Gather: gather, Arbiter: arbiter})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "pm2bench: %v\n", err)
 				os.Exit(1)

@@ -15,11 +15,15 @@
 //	pm2load -mech relocate p2                # Figure 2
 //	pm2load -warm-heap 65536 p4m 300         # Figure 9
 //	pm2load -policy round-robin -balance 2000 -nodes 4 p4 1000
+//	pm2load -gather delta -arbiter sharded -nodes 16 allocone 150000
 //
 // -policy selects the placement policy (negotiation | round-robin |
 // work-stealing); -mech selects the migration mechanism (iso |
-// relocate). For compatibility, -policy also accepts the legacy values
-// "iso" and "relocate" and treats them as -mech.
+// relocate); -gather the §4.4 bitmap-gather strategy (sequential |
+// batched | tree | delta); -arbiter the negotiation concurrency scheme
+// (global | sharded | optimistic). For compatibility, -policy also
+// accepts the legacy values "iso" and "relocate" and treats them as
+// -mech.
 package main
 
 import (
@@ -38,6 +42,7 @@ func main() {
 	mech := flag.String("mech", "iso", `migration mechanism: "iso" or "relocate"`)
 	balance := flag.Int64("balance", 0, "attach a load balancer with this period in virtual µs (0 = off)")
 	gather := flag.String("gather", "", "negotiation bitmap-gather strategy: "+strings.Join(pm2.GatherNames(), " | "))
+	arbiter := flag.String("arbiter", "", "negotiation arbiter: "+strings.Join(pm2.ArbiterNames(), " | "))
 	dist := flag.String("dist", "round-robin", `slot distribution: round-robin | block-cyclic:K | partition`)
 	node := flag.Int("node", 0, "node to start the program on")
 	srcFile := flag.String("src", "", "assemble and register an extra program from this file")
@@ -66,6 +71,11 @@ func main() {
 		os.Exit(2)
 	}
 	gatherName, err := pm2.ParseGather(*gather)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pm2load: %v\n", err)
+		os.Exit(2)
+	}
+	arbiterName, err := pm2.ParseArbiter(*arbiter)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pm2load: %v\n", err)
 		os.Exit(2)
@@ -107,6 +117,7 @@ func main() {
 		RelocationPolicy: *mech == "relocate",
 		Policy:           polName,
 		Gather:           gatherName,
+		Arbiter:          arbiterName,
 	})
 	if *balance > 0 {
 		cl.AttachBalancer(*balance)
@@ -129,7 +140,7 @@ func main() {
 	}
 	if *stats {
 		st := cl.Stats()
-		fmt.Fprintf(os.Stderr, "\n-- %d node(s), policy %s, mech %s, dist %s, gather %s\n", *nodes, polName, *mech, *dist, gatherName)
+		fmt.Fprintf(os.Stderr, "\n-- %d node(s), policy %s, mech %s, dist %s, gather %s, arbiter %s\n", *nodes, polName, *mech, *dist, gatherName, arbiterName)
 		fmt.Fprintf(os.Stderr, "-- virtual time %.1fµs, %d migration(s) (avg %.1fµs), %d negotiation(s)\n",
 			st.VirtualMicros, st.Migrations, st.AvgMigrationMicros, st.Negotiations)
 	}

@@ -10,6 +10,7 @@ package bench
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/asm"
 	"repro/internal/core"
@@ -220,6 +221,115 @@ func NegotiationScalingGatherWarm(nodeCounts []int, gather pm2.GatherMode) []Neg
 		})
 	}
 	return rows
+}
+
+// GatherReport is one gather strategy's entry in the
+// BENCH_negotiation.json report: the cold and warm per-node slopes
+// (the CI-gated figures) plus the merged bitmap bytes at the largest
+// measured cluster. Shared by pm2bench (writer) and benchcheck
+// (gate) so a schema change is a compile-time event, not a silently
+// neutralized gate.
+type GatherReport struct {
+	ColdSlopeMicrosPerNode float64 `json:"cold_slope_us_per_node"`
+	WarmSlopeMicrosPerNode float64 `json:"warm_slope_us_per_node"`
+	ColdMergedBytes        uint64  `json:"cold_merged_bytes"`
+	WarmMergedBytes        uint64  `json:"warm_merged_bytes"`
+}
+
+// NegotiationReport is the BENCH_negotiation.json schema. CI runs
+// `pm2bench -fig negotiation -json` and `benchcheck` compares the
+// slopes against the committed ci/BENCH_negotiation.baseline.json,
+// failing the job on a regression beyond tolerance.
+type NegotiationReport struct {
+	Figure  string                  `json:"figure"`
+	Nodes   []int                   `json:"nodes"`
+	Gathers map[string]GatherReport `json:"gathers"`
+}
+
+// ContentionRow is one point of the arbiter contention measurement.
+type ContentionRow struct {
+	Arbiter    string
+	Nodes      int
+	Initiators int
+	// Succeeded / Retries / VersionDeclines describe the protocol work;
+	// MakespanMicros is the virtual time until the last negotiation
+	// completed, and ThroughputPerMs the successful negotiations per
+	// virtual millisecond of that makespan.
+	Succeeded       int
+	Retries         int
+	VersionDeclines int
+	MakespanMicros  float64
+	ThroughputPerMs float64
+	// P50/P95/P99 are nearest-rank percentiles over the successful
+	// negotiation latencies, in microseconds.
+	P50, P95, P99 float64
+}
+
+// Contention measures the negotiation protocol under concurrent
+// initiators: m nodes (evenly spread over the cluster) each start a
+// 3-slot negotiation in the same instant, once per arbiter scheme. The
+// global arbiter serializes all of them through the node-0 lock, so its
+// makespan grows with m; the sharded and optimistic arbiters let
+// disjoint negotiations overlap — the figure the decentralized
+// arbiters exist for.
+func Contention(nodes, m int, arbiters []pm2.ArbiterMode, gather pm2.GatherMode) []ContentionRow {
+	if m > nodes {
+		m = nodes
+	}
+	rows := make([]ContentionRow, 0, len(arbiters))
+	for _, arb := range arbiters {
+		c := pm2.New(pm2.Config{Nodes: nodes, Gather: gather, Arbiter: arb}, progs.NewImage())
+		succeeded := 0
+		for i := 0; i < m; i++ {
+			// Spread the initiators over the ranks so their home regions
+			// (and shard sets) are representative, not adjacent.
+			id := i * nodes / m
+			c.At(id, func(n *pm2.Node) {
+				n.Negotiate(3, func(ok bool) {
+					if ok {
+						succeeded++
+					}
+				})
+			})
+		}
+		c.Run(0)
+		st := c.Stats()
+		row := ContentionRow{
+			Arbiter:         arb.String(),
+			Nodes:           nodes,
+			Initiators:      m,
+			Succeeded:       succeeded,
+			Retries:         st.NegotiationRetries,
+			VersionDeclines: st.VersionDeclines,
+			MakespanMicros:  c.Now().Micros(),
+		}
+		if row.MakespanMicros > 0 {
+			row.ThroughputPerMs = float64(succeeded) / (row.MakespanMicros / 1000)
+		}
+		row.P50, row.P95, row.P99 = latencyPercentiles(st.NegotiationLatencies)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// latencyPercentiles computes nearest-rank p50/p95/p99 in microseconds.
+func latencyPercentiles(ls []simtime.Time) (p50, p95, p99 float64) {
+	if len(ls) == 0 {
+		return 0, 0, 0
+	}
+	sorted := append([]simtime.Time(nil), ls...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(p float64) float64 {
+		i := int(p*float64(len(sorted))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i].Micros()
+	}
+	return at(0.50), at(0.95), at(0.99)
 }
 
 // SlopeMicrosPerNode least-squares-fits cost against cluster size over

@@ -178,3 +178,29 @@ func TestRegisteredPointerAblation(t *testing.T) {
 		}
 	}
 }
+
+// TestContentionDecentralizedArbitersWin pins the point of the arbiter
+// abstraction: at 16 nodes with 4+ concurrent initiators, the sharded
+// and optimistic arbiters must beat the global lock's throughput — the
+// global arbiter serializes every negotiation through node 0, the
+// decentralized ones let disjoint purchases overlap.
+func TestContentionDecentralizedArbitersWin(t *testing.T) {
+	arbs := []pm2.ArbiterMode{pm2.ArbiterGlobal, pm2.ArbiterSharded, pm2.ArbiterOptimistic}
+	for _, m := range []int{4, 8} {
+		rows := Contention(16, m, arbs, pm2.GatherBatched)
+		byName := map[string]ContentionRow{}
+		for _, r := range rows {
+			if r.Succeeded != m {
+				t.Fatalf("%s at m=%d: %d of %d negotiations succeeded", r.Arbiter, m, r.Succeeded, m)
+			}
+			byName[r.Arbiter] = r
+		}
+		global := byName["global"]
+		for _, name := range []string{"sharded", "optimistic"} {
+			if got := byName[name]; got.ThroughputPerMs <= global.ThroughputPerMs {
+				t.Errorf("m=%d: %s throughput %.2f/ms does not beat global %.2f/ms",
+					m, name, got.ThroughputPerMs, global.ThroughputPerMs)
+			}
+		}
+	}
+}

@@ -273,8 +273,8 @@ func TestLongestRun(t *testing.T) {
 		{50, nil, 0},
 		{50, [][2]int{{0, 1}}, 1},
 		{50, [][2]int{{3, 7}, {20, 4}}, 7},
-		{200, [][2]int{{60, 10}}, 10},   // straddles a word boundary
-		{200, [][2]int{{0, 200}}, 200},  // everything set
+		{200, [][2]int{{60, 10}}, 10},            // straddles a word boundary
+		{200, [][2]int{{0, 200}}, 200},           // everything set
 		{200, [][2]int{{0, 64}, {65, 100}}, 100}, // full word then longer run
 	}
 	for _, c := range cases {

@@ -133,3 +133,48 @@ func TestCheckSingleOwnership(t *testing.T) {
 		t.Fatal("single map can't violate")
 	}
 }
+
+func TestPlanCandidatesOn(t *testing.T) {
+	// Three free regions: [0,4) owned by nodes 0/1 alternating, [10,13)
+	// owned solely by node 2, [20,22) owned by node 0.
+	maps := []*bitmap.Bitmap{bitmap.New(64), bitmap.New(64), bitmap.New(64)}
+	maps[0].Set(0)
+	maps[1].Set(1)
+	maps[0].Set(2)
+	maps[1].Set(3)
+	maps[2].SetRun(10, 3)
+	maps[0].SetRun(20, 2)
+	global := bitmap.New(64)
+	for _, m := range maps {
+		global.Or(m)
+	}
+
+	cands := PlanCandidatesOn(global, maps, 2, 0, 0, 8)
+	if len(cands) != 3 {
+		t.Fatalf("candidates = %d, want one per free region", len(cands))
+	}
+	if cands[0].Start != 0 || cands[1].Start != 10 || cands[2].Start != 20 {
+		t.Fatalf("candidate starts = %d,%d,%d, want 0,10,20", cands[0].Start, cands[1].Start, cands[2].Start)
+	}
+	if cands[0].Owners() != 1 || cands[1].Owners() != 1 || cands[2].Owners() != 0 {
+		t.Fatalf("owner counts = %d,%d,%d", cands[0].Owners(), cands[1].Owners(), cands[2].Owners())
+	}
+
+	// Origin mid-space: the forward scan finds the regions at and past
+	// the origin first (the tail of [10,13) is too short for a run), and
+	// the wrap revisits the space before the origin — including the
+	// origin's own region from its start, where a full run does fit.
+	wrapped := PlanCandidatesOn(global, maps, 2, 0, 12, 8)
+	starts := make([]int, len(wrapped))
+	for i, c := range wrapped {
+		starts[i] = c.Start
+	}
+	if len(starts) != 3 || starts[0] != 20 || starts[1] != 0 || starts[2] != 10 {
+		t.Fatalf("wrapped candidate starts = %v, want [20 0 10]", starts)
+	}
+
+	// The max bound truncates in scan order.
+	if one := PlanCandidatesOn(global, maps, 2, 0, 0, 1); len(one) != 1 || one[0].Start != 0 {
+		t.Fatalf("bounded candidates wrong: %+v", one)
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+// Shard map for the decentralized negotiation arbiter. The sharded
+// scheme partitions the slot space into a fixed number of contiguous
+// shards; shard s is arbitrated by node s mod n, so disjoint
+// negotiations lock different managers and proceed in parallel instead
+// of queueing on the single node-0 lock of the paper's §4.4 protocol.
+//
+// A negotiation takes exactly the shards its planned purchase run
+// touches, always in ascending shard order. Because every initiator
+// acquires in that same canonical order, no cycle of waiters can form:
+// the holder of the highest-numbered contended shard never waits for a
+// lower one, so it always completes and unblocks the rest —
+// deadlock-freedom by total ordering.
+
+// ShardMap partitions nSlots slots into nShards contiguous shards of
+// equal size (the last shard absorbs the remainder).
+type ShardMap struct {
+	slots  int
+	shards int
+	size   int // slots per shard (ceil)
+}
+
+// NewShardMap builds the partition. nShards is clamped to [1, nSlots].
+func NewShardMap(nSlots, nShards int) ShardMap {
+	if nSlots <= 0 {
+		panic("core: shard map over empty slot space")
+	}
+	if nShards < 1 {
+		nShards = 1
+	}
+	if nShards > nSlots {
+		nShards = nSlots
+	}
+	return ShardMap{
+		slots:  nSlots,
+		shards: nShards,
+		size:   (nSlots + nShards - 1) / nShards,
+	}
+}
+
+// Shards returns the number of shards in the partition.
+func (m ShardMap) Shards() int { return m.shards }
+
+// ShardOf returns the shard containing slot i.
+func (m ShardMap) ShardOf(i int) int {
+	if i < 0 || i >= m.slots {
+		panic("core: slot out of range in ShardOf")
+	}
+	s := i / m.size
+	if s >= m.shards {
+		s = m.shards - 1
+	}
+	return s
+}
+
+// ShardsOfRun returns the shards touched by the slot run [start,
+// start+n), in ascending order — the canonical lock-acquisition order.
+func (m ShardMap) ShardsOfRun(start, n int) []int {
+	if n <= 0 {
+		panic("core: ShardsOfRun with non-positive run")
+	}
+	first, last := m.ShardOf(start), m.ShardOf(start+n-1)
+	out := make([]int, 0, last-first+1)
+	for s := first; s <= last; s++ {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Manager returns the rank arbitrating shard s in an n-node cluster.
+func (m ShardMap) Manager(s, nodes int) int { return s % nodes }

@@ -1,0 +1,60 @@
+package core
+
+import "testing"
+
+// TestShardMapPartition: every slot falls in exactly one shard, shards
+// are contiguous and ascending, and every shard has a manager in range.
+func TestShardMapPartition(t *testing.T) {
+	for _, tc := range []struct{ slots, shards int }{
+		{57344, 16}, {57344, 1}, {100, 7}, {8, 16}, {1, 1},
+	} {
+		m := NewShardMap(tc.slots, tc.shards)
+		prev := -1
+		for i := 0; i < tc.slots; i++ {
+			s := m.ShardOf(i)
+			if s < 0 || s >= m.Shards() {
+				t.Fatalf("slots=%d shards=%d: ShardOf(%d) = %d out of range", tc.slots, tc.shards, i, s)
+			}
+			if s < prev || s > prev+1 {
+				t.Fatalf("slots=%d shards=%d: shard sequence jumps %d -> %d at slot %d", tc.slots, tc.shards, prev, s, i)
+			}
+			prev = s
+		}
+		if prev != m.Shards()-1 {
+			t.Fatalf("slots=%d shards=%d: last slot in shard %d, want %d", tc.slots, tc.shards, prev, m.Shards()-1)
+		}
+		for s := 0; s < m.Shards(); s++ {
+			for _, nodes := range []int{1, 3, 16} {
+				if mgr := m.Manager(s, nodes); mgr < 0 || mgr >= nodes {
+					t.Fatalf("Manager(%d, %d) = %d out of range", s, nodes, mgr)
+				}
+			}
+		}
+	}
+}
+
+// TestShardsOfRun: the shard set of a run is exactly the shards of its
+// member slots, in ascending order — the canonical lock order.
+func TestShardsOfRun(t *testing.T) {
+	m := NewShardMap(1000, 8)
+	for _, tc := range []struct{ start, n int }{
+		{0, 1}, {0, 1000}, {124, 2}, {125, 1}, {300, 400}, {999, 1},
+	} {
+		got := m.ShardsOfRun(tc.start, tc.n)
+		want := map[int]bool{}
+		for i := tc.start; i < tc.start+tc.n; i++ {
+			want[m.ShardOf(i)] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("ShardsOfRun(%d,%d) = %v, want %d distinct shards", tc.start, tc.n, got, len(want))
+		}
+		for i, s := range got {
+			if !want[s] {
+				t.Fatalf("ShardsOfRun(%d,%d) includes %d, not a member shard", tc.start, tc.n, s)
+			}
+			if i > 0 && got[i-1] >= s {
+				t.Fatalf("ShardsOfRun(%d,%d) = %v not strictly ascending", tc.start, tc.n, got)
+			}
+		}
+	}
+}

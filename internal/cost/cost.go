@@ -173,3 +173,13 @@ func (m *Model) Recv(n int) simtime.Time {
 // Fixed returns v nanoseconds as virtual time; used for the one-off charges
 // (freeze, resume, context switch, ...).
 func Fixed(v int64) simtime.Time { return simtime.Time(v) * simtime.Nanosecond }
+
+// RoundTrip returns the end-to-end cost of one request/reply exchange
+// carrying reqBytes out and replyBytes back: both messages' CPU
+// overheads plus their wire occupancy. The negotiation planner uses it
+// to price purchase plans — each distinct seller costs one round trip
+// (paper step 2e sends one purchase message per owner).
+func (m *Model) RoundTrip(reqBytes, replyBytes int) simtime.Time {
+	return m.Send(reqBytes) + m.WireTime(reqBytes) + m.Recv(reqBytes) +
+		m.Send(replyBytes) + m.WireTime(replyBytes) + m.Recv(replyBytes)
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/bitmap"
-	"repro/internal/core"
 	"repro/internal/layout"
 	"repro/internal/madeleine"
 )
@@ -192,18 +191,14 @@ func (n *Node) planAndBuyDelta(k, round int, done func(bool)) {
 			maps[p] = n.deltaPeers[p].bm
 		}
 	}
-	plan, ok := core.Purchase{}, false
-	if pre := n.c.cfg.PreBuySlots; pre > 0 {
-		plan, ok = core.PlanPurchaseOn(global, maps, k+pre, n.id)
-	}
-	if !ok {
-		plan, ok = core.PlanPurchaseOn(global, maps, k, n.id)
-	}
+	plan, ok := n.planOn(global, maps, k)
 	if !ok {
 		done(false)
 		return
 	}
-	n.executePurchase(k, round, plan, done)
+	n.withRunLocks(plan.Start, plan.N, func() {
+		n.executePurchase(k, round, plan, done)
+	})
 }
 
 // onBitmapDeltaCall serves the incremental gather: answer with nothing,

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/layout"
 	"repro/internal/madeleine"
+	"repro/internal/policy"
 )
 
 // The negotiation protocol (paper §4.4, step 2). When a node cannot satisfy
@@ -59,9 +60,22 @@ func (n *Node) negotiate(k int, done func(bool)) {
 		}
 		done(ok)
 	}
-	n.acquireLock(func() {
+	if n.c.cfg.Arbiter == ArbiterGlobal {
+		n.acquireLock(func() {
+			n.negotiateRound(k, 0, func(ok bool) {
+				n.releaseLock()
+				finish(ok)
+			})
+		})
+		return
+	}
+	// Decentralized arbiters: no system-wide section. The node's own
+	// negotiations still run one at a time through the local queue;
+	// locking (sharded) or validation (optimistic) happens per round,
+	// after planning — see arbiter.go.
+	n.startLocalNegotiation(func() {
 		n.negotiateRound(k, 0, func(ok bool) {
-			n.releaseLock()
+			n.finishLocalNegotiation()
 			finish(ok)
 		})
 	})
@@ -112,7 +126,7 @@ func (n *Node) gatherSequential(k, round int, done func(bool)) {
 		}
 		peer := order[i]
 		n.ep.Call(peer, chBitmap, nil, func(reply *madeleine.Buffer) {
-			maps[peer] = n.unpackBitmap(peer, reply)
+			maps[peer] = n.unpackGathered(peer, reply)
 			// Merging this bitmap into the global OR (step 2c is
 			// incremental).
 			n.mergeCharge(layout.BitmapBytes)
@@ -145,7 +159,7 @@ func (n *Node) gatherBatched(k, round int, done func(bool)) {
 	for _, peer := range peers {
 		p := peer
 		n.ep.Call(p, chBitmap, nil, func(reply *madeleine.Buffer) {
-			maps[p] = n.unpackBitmap(p, reply)
+			maps[p] = n.unpackGathered(p, reply)
 			n.mergeCharge(layout.BitmapBytes)
 			outstanding--
 			if outstanding == 0 {
@@ -253,24 +267,85 @@ func (n *Node) unpackBitmap(peer int, reply *madeleine.Buffer) *bitmap.Bitmap {
 	return bm
 }
 
+// unpackGathered decodes a chBitmap reply. Under the optimistic arbiter
+// the reply leads with the peer's bitmap-journal version, recorded for
+// stamping any purchase planned on this view. (The delta gather carries
+// versions in its own envelope — see applyDeltaReply.)
+func (n *Node) unpackGathered(peer int, reply *madeleine.Buffer) *bitmap.Bitmap {
+	if n.c.cfg.Arbiter == ArbiterOptimistic {
+		if n.gatherVersions == nil {
+			n.gatherVersions = make([]uint64, n.c.Nodes())
+		}
+		n.gatherVersions[peer] = reply.U64()
+	}
+	return n.unpackBitmap(peer, reply)
+}
+
+// sellerVersion returns the bitmap-journal version of peer that the
+// current plan's view corresponds to: the delta gather's cached view
+// version, or the version the last full-map gather shipped.
+func (n *Node) sellerVersion(peer int) uint64 {
+	if n.c.cfg.Gather == GatherDelta {
+		return n.deltaPeers[peer].version
+	}
+	if n.gatherVersions == nil {
+		panic(fmt.Sprintf("pm2: node %d stamping a purchase with no gathered versions", n.id))
+	}
+	return n.gatherVersions[peer]
+}
+
+// purchaseCandidates bounds how many runs the decentralized planners
+// enumerate before ranking them fewest-owners-first.
+const purchaseCandidates = 4
+
 // planAndBuy computes the purchase and executes it (paper steps 2c–2e).
 // With PreBuySlots configured, a larger run is tried first, "to pre-buy
 // slots in prevision of foreseeable large allocation requests" (§4.4).
 func (n *Node) planAndBuy(k, round int, maps []*bitmap.Bitmap, done func(bool)) {
 	// First-fit search over the global map (step 2d).
 	n.actor.Charge(n.c.cfg.Model.BitmapScan(layout.BitmapBytes))
-	plan, ok := core.Purchase{}, false
-	if pre := n.c.cfg.PreBuySlots; pre > 0 {
-		plan, ok = planPurchase(maps, k+pre, n.id)
-	}
-	if !ok {
-		plan, ok = planPurchase(maps, k, n.id)
-	}
+	plan, ok := n.planOn(core.GlobalOr(maps), maps, k)
 	if !ok {
 		done(false)
 		return
 	}
-	n.executePurchase(k, round, plan, done)
+	n.withRunLocks(plan.Start, plan.N, func() {
+		n.executePurchase(k, round, plan, done)
+	})
+}
+
+// planOn chooses the purchase plan on a prepared global view,
+// preferring the PreBuySlots-padded run when one exists.
+func (n *Node) planOn(global *bitmap.Bitmap, maps []*bitmap.Bitmap, k int) (core.Purchase, bool) {
+	if pre := n.c.cfg.PreBuySlots; pre > 0 {
+		if plan, ok := n.planRun(global, maps, k+pre); ok {
+			return plan, true
+		}
+	}
+	return n.planRun(global, maps, k)
+}
+
+// planRun plans one purchase of k slots. The global arbiter keeps the
+// paper's first fit verbatim; the decentralized arbiters search from
+// this node's home origin and rank a handful of candidate runs
+// fewest-owners-first through the cost model (internal/policy), then
+// stamp each seller share with the bitmap version the plan saw when
+// running optimistically.
+func (n *Node) planRun(global *bitmap.Bitmap, maps []*bitmap.Bitmap, k int) (core.Purchase, bool) {
+	if n.c.cfg.Arbiter == ArbiterGlobal {
+		return core.PlanPurchaseOn(global, maps, k, n.id)
+	}
+	cands := core.PlanCandidatesOn(global, maps, k, n.id, n.homeOrigin(), purchaseCandidates)
+	if len(cands) == 0 {
+		return core.Purchase{}, false
+	}
+	plan := cands[policy.CheapestPurchase(cands, n.c.cfg.Model)]
+	if n.c.cfg.Arbiter == ArbiterOptimistic {
+		for i := range plan.Sellers {
+			plan.Sellers[i].Version = n.sellerVersion(plan.Sellers[i].Node)
+		}
+	}
+	return plan, true
 }
 
 // executePurchase carries out a planned purchase (paper step 2e): one
@@ -313,6 +388,7 @@ func (n *Node) executePurchase(k, round int, plan core.Purchase, done func(bool)
 					panic(fmt.Sprintf("pm2: recording purchase: %v", err))
 				}
 			}
+			n.releaseRunLocks()
 			done(true)
 			return
 		}
@@ -320,6 +396,11 @@ func (n *Node) executePurchase(k, round int, plan core.Purchase, done func(bool)
 		shares := byNode[seller]
 		n.ep.Call(seller, chBuy, func(b *madeleine.Buffer) {
 			b.PackU32(opPurchase)
+			if n.c.cfg.Arbiter == ArbiterOptimistic {
+				// One version per message: every share bought from this
+				// seller was planned on the same gathered view.
+				b.PackU64(shares[0].Version)
+			}
 			packShares(b, shares)
 		}, func(reply *madeleine.Buffer) {
 			if reply.U32() == 1 {
@@ -369,11 +450,29 @@ type pendingReturn struct {
 
 // retryAfterReturns gives every secured share back and re-runs the round
 // only after all give-back replies arrived (the §4.4 retry/give-back
-// ordering fix).
+// ordering fix). Any shard locks the failed plan held are released
+// first — the retry re-plans and may touch different shards — and the
+// re-run waits out a deterministic per-attempt backoff, so two
+// optimistic initiators declining each other's purchases re-plan at
+// different virtual times instead of re-colliding forever, and the
+// attempt count of any race is reproducible run to run.
 func (n *Node) retryAfterReturns(k, round int, returns []pendingReturn, done func(bool)) {
 	n.c.stats.NegotiationRetries++
+	n.releaseRunLocks()
+	retry := func() {
+		if n.c.cfg.Arbiter == ArbiterGlobal {
+			// Under the system-wide lock a retry can only be racing a
+			// local allocation, which is finite: re-issue immediately,
+			// keeping the paper-faithful path (and its goldens) intact.
+			n.negotiateRound(k, round+1, done)
+			return
+		}
+		n.actor.Post(n.actor.Now()+negotiationBackoff(round), func() {
+			n.negotiateRound(k, round+1, done)
+		})
+	}
 	if len(returns) == 0 {
-		n.negotiateRound(k, round+1, done)
+		retry()
 		return
 	}
 	outstanding := len(returns)
@@ -381,7 +480,7 @@ func (n *Node) retryAfterReturns(k, round int, returns []pendingReturn, done fun
 		n.returnSlots(r.seller, r.shares, func() {
 			outstanding--
 			if outstanding == 0 {
-				n.negotiateRound(k, round+1, done)
+				retry()
 			}
 		})
 	}
@@ -394,15 +493,28 @@ func (n *Node) retryAfterReturns(k, round int, returns []pendingReturn, done fun
 // otherwise everything sold is given back and the round retries.
 func (n *Node) planAndBuyRange(k, round int, global *bitmap.Bitmap, done func(bool)) {
 	n.actor.Charge(n.c.cfg.Model.BitmapScan(layout.BitmapBytes))
+	// The merged map has no per-slot ownership, so fewest-owners ranking
+	// is impossible here; the decentralized arbiters still search from
+	// the node's home origin (wrapping) to keep concurrent initiators in
+	// disjoint regions.
+	find := func(size int) int {
+		if n.c.cfg.Arbiter == ArbiterGlobal {
+			return global.FindRun(size)
+		}
+		if s := global.FindRunFrom(n.homeOrigin(), size); s >= 0 {
+			return s
+		}
+		return global.FindRun(size)
+	}
 	size := 0
 	start := -1
 	if pre := n.c.cfg.PreBuySlots; pre > 0 {
-		if s := global.FindRun(k + pre); s >= 0 {
+		if s := find(k + pre); s >= 0 {
 			start, size = s, k+pre
 		}
 	}
 	if start < 0 {
-		if s := global.FindRun(k); s >= 0 {
+		if s := find(k); s >= 0 {
 			start, size = s, k
 		}
 	}
@@ -436,6 +548,7 @@ func (n *Node) planAndBuyRange(k, round int, global *bitmap.Bitmap, done func(bo
 					}
 				}
 			}
+			n.releaseRunLocks()
 			done(true)
 			return
 		}
@@ -449,29 +562,31 @@ func (n *Node) planAndBuyRange(k, round int, global *bitmap.Bitmap, done func(bo
 		}
 		n.retryAfterReturns(k, round, returns, done)
 	}
-	if len(peers) == 0 {
-		complete()
-		return
-	}
-	outstanding := len(peers)
-	for _, peer := range peers {
-		p := peer
-		n.ep.Call(p, chBuy, func(b *madeleine.Buffer) {
-			b.PackU32(opRangeBuy)
-			b.PackU32(uint32(start)).PackU32(uint32(size))
-		}, func(reply *madeleine.Buffer) {
-			count := int(reply.U32())
-			for i := 0; i < count; i++ {
-				s := int(reply.U32())
-				c := int(reply.U32())
-				sold[p] = append(sold[p], core.SellerShare{Node: p, Start: s, N: c})
-			}
-			outstanding--
-			if outstanding == 0 {
-				complete()
-			}
-		})
-	}
+	n.withRunLocks(start, size, func() {
+		if len(peers) == 0 {
+			complete()
+			return
+		}
+		outstanding := len(peers)
+		for _, peer := range peers {
+			p := peer
+			n.ep.Call(p, chBuy, func(b *madeleine.Buffer) {
+				b.PackU32(opRangeBuy)
+				b.PackU32(uint32(start)).PackU32(uint32(size))
+			}, func(reply *madeleine.Buffer) {
+				count := int(reply.U32())
+				for i := 0; i < count; i++ {
+					s := int(reply.U32())
+					c := int(reply.U32())
+					sold[p] = append(sold[p], core.SellerShare{Node: p, Start: s, N: c})
+				}
+				outstanding--
+				if outstanding == 0 {
+					complete()
+				}
+			})
+		}
+	})
 }
 
 func packShares(b *madeleine.Buffer, shares []core.SellerShare) {
@@ -503,12 +618,20 @@ func (n *Node) returnSlots(seller int, shares []core.SellerShare, done func()) {
 }
 
 // onBitmapCall serves a gather request: serialize and return our bitmap.
+// Under the optimistic arbiter the reply leads with the bitmap-journal
+// version the map corresponds to, so the caller can stamp any purchase
+// it plans on this view.
 func (n *Node) onBitmapCall(src int, req *madeleine.Call) {
 	bm := n.slots.Bitmap()
 	n.c.refreshHint(n.id) // serving a gather publishes a fresh summary
 	raw := bm.Bytes()
 	n.actor.Charge(n.c.cfg.Model.Memcpy(len(raw)))
-	req.Reply(func(b *madeleine.Buffer) { b.PackBytes(raw) })
+	req.Reply(func(b *madeleine.Buffer) {
+		if n.c.cfg.Arbiter == ArbiterOptimistic {
+			b.PackU64(n.journal.Version())
+		}
+		b.PackBytes(raw)
+	})
 }
 
 // onBuyCall serves a purchase, give-back, or range purchase of slot runs.
@@ -546,6 +669,10 @@ func (n *Node) onBuyCall(src int, req *madeleine.Call) {
 		return
 	}
 	giveBack := op == opGiveBack
+	planVersion, versioned := uint64(0), false
+	if op == opPurchase && n.c.cfg.Arbiter == ArbiterOptimistic {
+		planVersion, versioned = req.Msg.U64(), true
+	}
 	count := int(req.Msg.U32())
 	type run struct{ start, k int }
 	runs := make([]run, count)
@@ -561,6 +688,32 @@ func (n *Node) onBuyCall(src int, req *madeleine.Call) {
 	// Updating the bitmap for the batch costs one scan, like installing
 	// the returned bitmap of the paper's step 2e.
 	n.actor.Charge(n.c.cfg.Model.BitmapScan(layout.BitmapBytes))
+	if versioned && planVersion != n.journal.Version() {
+		// The optimistic validation: the plan was computed against a
+		// view of our bitmap that is no longer current. The journal
+		// knows *which* words moved since the plan's version, so only a
+		// mutation overlapping the requested runs makes the plan stale —
+		// concurrent purchases in disjoint regions sail through. If the
+		// bounded journal can no longer answer for that version, the
+		// safe reading is "stale". A declined buyer gives secured shares
+		// back and re-plans on a fresh view after its backoff.
+		stale := true
+		if words, ok := n.journal.WordsSince(planVersion); ok {
+			stale = false
+			for _, w := range words {
+				for _, r := range runs {
+					if r.start/64 <= w && w <= (r.start+r.k-1)/64 {
+						stale = true
+					}
+				}
+			}
+		}
+		if stale {
+			n.c.stats.VersionDeclines++
+			decline()
+			return
+		}
+	}
 	if giveBack {
 		for _, r := range runs {
 			if !n.slots.CanBuyRun(r.start, r.k) {
@@ -630,8 +783,4 @@ func (n *Node) onUnlockMsg(src int, _ *madeleine.Buffer) {
 		return
 	}
 	n.lockHeld = false
-}
-
-func planPurchase(maps []*bitmap.Bitmap, k, requester int) (core.Purchase, bool) {
-	return core.PlanPurchase(maps, k, requester)
 }

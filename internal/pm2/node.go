@@ -30,6 +30,8 @@ const (
 
 	chGatherTree  uint32 = 10 // call: OR-merge and return a binomial subtree's bitmaps
 	chBitmapDelta uint32 = 11 // call: bitmap changes since a cached version (delta gather)
+	chShardLock   uint32 = 12 // call to shard manager: one shard of the sharded arbiter
+	chShardUnlock uint32 = 13 // one-way to shard manager
 )
 
 // Node is one PM2 node: a heavy container process with its own simulated
@@ -52,9 +54,27 @@ type Node struct {
 	regPtrs map[uint32]map[uint32]Addr
 	nextKey uint32
 
-	// lock manager state (only used on node 0).
+	// lock manager state (only used on node 0, Config.Arbiter global).
 	lockHeld  bool
 	lockQueue []*madeleine.Call
+
+	// Sharded-arbiter state. shardHeld/shardQueue are the manager half
+	// for shards with shard mod n == id (allocated lazily on first
+	// lock); heldShards lists the shards this node's own in-flight
+	// negotiation has locked. negBusy/negQueue serialize this node's
+	// own negotiations under the decentralized arbiters, replacing the
+	// global queue on node 0 (see arbiter.go).
+	shardHeld  map[int]bool
+	shardQueue map[int][]*madeleine.Call
+	heldShards []int
+	negBusy    bool
+	negQueue   []func()
+
+	// gatherVersions records, per peer, the bitmap-journal version the
+	// last full-map gather observed — what the optimistic arbiter
+	// stamps into purchase messages (the delta gather tracks versions
+	// in deltaPeers instead). Allocated lazily on first gather.
+	gatherVersions []uint64
 
 	// pendingGiveBacks counts give-back Calls whose reply has not yet
 	// arrived; a new negotiation round must never start before it drops
@@ -108,15 +128,16 @@ func newNode(c *Cluster, id int) *Node {
 	n.heap = heap.New(n.space, n.actor, c.cfg.Model)
 	// Any ownership change invalidates the node's published free-run
 	// summary until the next load report or served gather refreshes it,
-	// and — under the delta gather — bumps the bitmap version and
-	// journals the dirtied words, so purchases, give-backs and defrag
-	// installs all invalidate cached remote views. The sequential
-	// gather never reads hints or versions, so it skips the bookkeeping
-	// entirely.
-	if c.cfg.Gather == GatherDelta {
+	// and — under the delta gather or the optimistic arbiter — bumps
+	// the bitmap version and journals the dirtied words, so purchases,
+	// give-backs and defrag installs all invalidate cached remote views
+	// and stale optimistic plans. The paper-faithful sequential gather
+	// under a locking arbiter never reads hints or versions, so it
+	// skips the bookkeeping entirely.
+	if c.cfg.Gather == GatherDelta || c.cfg.Arbiter == ArbiterOptimistic {
 		n.journal = bitmap.NewJournal(deltaJournalWords)
 	}
-	if c.cfg.Gather != GatherSequential {
+	if c.cfg.Gather != GatherSequential || n.journal != nil {
 		n.slots.SetOnChange(func(start, count int) {
 			c.invalidateHint(id)
 			if n.journal != nil {
@@ -146,6 +167,8 @@ func newNode(c *Cluster, id int) *Node {
 	n.ep.HandleCall(chBuy, n.onBuyCall)
 	n.ep.HandleCall(chGatherTree, n.onGatherTreeCall)
 	n.ep.HandleCall(chBitmapDelta, n.onBitmapDeltaCall)
+	n.ep.HandleCall(chShardLock, n.onShardLockCall)
+	n.ep.Handle(chShardUnlock, n.onShardUnlockMsg)
 	n.ep.HandleCall(chSurrender, n.onSurrenderCall)
 	n.ep.HandleCall(chInstall, n.onInstallCall)
 	return n
@@ -173,6 +196,12 @@ func (n *Node) Actor() *simtime.Actor { return n.actor }
 // that create or wake threads from outside the builtin path (benchmarks,
 // load balancers) call it after mutating the run queue.
 func (n *Node) Kick() { n.kick() }
+
+// Negotiate runs the §4.4 slot negotiation for k contiguous slots under
+// the configured gather strategy and arbiter, calling done with the
+// outcome. Exposed for benchmarks that drive the protocol directly; it
+// must be called from within the node's actor (Cluster.At).
+func (n *Node) Negotiate(k int, done func(bool)) { n.negotiate(k, done) }
 
 // kick ensures a scheduler-run event is queued while threads are ready.
 // One event runs one quantum, so message handling interleaves with thread

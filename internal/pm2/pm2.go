@@ -97,6 +97,16 @@ type Config struct {
 	// GatherDelta (version-stamped incremental exchange: peers ship only
 	// the bitmap words changed since the initiator's cached view).
 	Gather GatherMode
+	// Arbiter selects the negotiation concurrency scheme:
+	// ArbiterGlobal (the paper's node-0 system-wide lock, the default),
+	// ArbiterSharded (per-shard locks spread over the ranks, taken in
+	// canonical order for only the shards a planned purchase touches)
+	// or ArbiterOptimistic (no lock; version-stamped purchases that
+	// sellers validate against their bitmap journal). See arbiter.go.
+	Arbiter ArbiterMode
+	// ArbiterShards overrides the shard count of the sharded arbiter
+	// (default 16).
+	ArbiterShards int
 	// Placement is the thread-placement policy: Spawn preferences route
 	// through it, and an attached load balancer (internal/loadbal)
 	// shares its state. Default policy.NewNegotiation(), which never
@@ -140,6 +150,11 @@ type Stats struct {
 	// NegotiationRetries counts declined purchase rounds: the initiator
 	// gave secured shares back and re-gathered with fresh bitmaps.
 	NegotiationRetries int
+	// VersionDeclines counts purchases a seller declined because the
+	// plan was stamped with a stale bitmap-journal version — the
+	// optimistic arbiter's conflict signal (a subset of the declines
+	// that feed NegotiationRetries).
+	VersionDeclines int
 	// NegotiationFailures counts negotiations that gave up — round
 	// exhaustion or cluster out of contiguous space. Failed attempts are
 	// counted in Negotiations but excluded from NegotiationLatencies, so
@@ -176,6 +191,8 @@ type Cluster struct {
 	stats Stats
 	// hints holds each node's published free-run summary (see gather.go).
 	hints []gatherHint
+	// shardMap partitions the slot space for the sharded arbiter.
+	shardMap core.ShardMap
 	// allocSamples records allocation latencies when cfg.RecordAllocs.
 	allocSamples []AllocSample
 }
@@ -203,6 +220,9 @@ func New(cfg Config, im *isa.Image) *Cluster {
 	if cfg.Placement == nil {
 		cfg.Placement = policy.NewNegotiation()
 	}
+	if cfg.ArbiterShards == 0 {
+		cfg.ArbiterShards = defaultArbiterShards
+	}
 	im.Seal()
 	c := &Cluster{
 		cfg: cfg,
@@ -211,6 +231,7 @@ func New(cfg Config, im *isa.Image) *Cluster {
 		log: trace.New(),
 	}
 	c.pol = policy.NewEngine(cfg.Placement, cfg.Nodes)
+	c.shardMap = core.NewShardMap(layout.SlotCount, cfg.ArbiterShards)
 	c.nw = bip.NewNetwork(c.eng, cfg.Model, cfg.Nodes)
 	c.hints = make([]gatherHint, cfg.Nodes)
 	c.nodes = make([]*Node, cfg.Nodes)

@@ -119,6 +119,45 @@ func TestGoldenTracesDeltaGather(t *testing.T) {
 	}
 }
 
+// TestGoldenTracesArbiters pins the contention-heavy workload under the
+// decentralized negotiation arbiters at 16 nodes: the sharded lock
+// order, the optimistic version declines and the deterministic retry
+// backoff must all be byte-identically reproducible under every
+// policy. (The global-arbiter goldens above are untouched by the
+// arbiter machinery — it is fully off under the paper-faithful
+// default.)
+func TestGoldenTracesArbiters(t *testing.T) {
+	for _, arb := range []string{"sharded", "optimistic"} {
+		for _, p := range policy.Names() {
+			name := fmt.Sprintf("contend_%s_%s_n16", p, arb)
+			t.Run(name, func(t *testing.T) {
+				res, err := Run(Spec{Scenario: "contend", Policy: p, Nodes: 16, Arbiter: arb})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := res.Verify(); err != nil {
+					t.Fatal(err)
+				}
+				got := res.TraceString()
+				path := filepath.Join("testdata", name+".golden")
+				if *update {
+					if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden trace (run with -update): %v", err)
+				}
+				if got != string(want) {
+					t.Fatalf("trace deviates from %s.golden — arbiter behavior changed.\nGot:\n%s", name, got)
+				}
+			})
+		}
+	}
+}
+
 // TestTraceDeterminism runs the same spec twice in-process and demands
 // byte-identical traces — policies with hidden nondeterminism (map
 // iteration, real time, shared global state) fail here even before the

@@ -119,11 +119,17 @@ func Run(spec Spec) (*Result, error) {
 		return nil, err
 	}
 	spec.Gather = gather.String()
+	arbiter, err := ipm2.ParseArbiterMode(spec.Arbiter)
+	if err != nil {
+		return nil, err
+	}
+	spec.Arbiter = arbiter.String()
 
 	rec := &recorder{}
 	cl := ipm2.New(ipm2.Config{
 		Nodes:     spec.Nodes,
 		Gather:    gather,
+		Arbiter:   arbiter,
 		Placement: &recordingPolicy{inner: pol, rec: rec},
 	}, Image())
 

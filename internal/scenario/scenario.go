@@ -37,6 +37,10 @@ type Spec struct {
 	// pm2.ParseGatherMode); empty selects the paper-faithful sequential
 	// gather, which is what every golden trace pins.
 	Gather string
+	// Arbiter is the negotiation concurrency scheme (see
+	// pm2.ParseArbiterMode); empty selects the paper-faithful global
+	// lock on node 0.
+	Arbiter string
 }
 
 func (s Spec) withDefaults() Spec {
@@ -59,7 +63,7 @@ type Generator struct {
 
 // Generators lists every workload generator, in canonical order.
 func Generators() []Generator {
-	return []Generator{burstGen, hotspotGen, churnGen, deepChainGen, negoStressGen}
+	return []Generator{burstGen, hotspotGen, churnGen, deepChainGen, negoStressGen, contendGen}
 }
 
 // LookupGenerator resolves a generator by name.
@@ -218,6 +222,28 @@ var negoStressGen = Generator{
 			size := uint32(r.Range(130_000, 250_000))
 			d.SpawnAt(at, r.Intn(d.Nodes()), "negostress", size)
 			d.Expect(" freed on node ")
+		}
+	},
+}
+
+// contendGen is the arbiter-contention workload: every node fires a
+// multi-slot allocation in the same instant (and again half a
+// millisecond later), so the maximum number of initiators negotiate
+// concurrently. Under the global arbiter they all queue on node 0's
+// lock; the sharded and optimistic arbiters let the disjoint
+// negotiations overlap — the workload the contention figure and the
+// per-arbiter goldens pin down.
+var contendGen = Generator{
+	Name: "contend",
+	Plan: func(d *Driver) {
+		r := d.Rand()
+		for wave := 0; wave < 2; wave++ {
+			at := simtime.Time(wave) * 500 * simtime.Microsecond
+			for i := 0; i < d.Nodes(); i++ {
+				size := uint32(r.Range(130_000, 250_000))
+				d.SpawnAt(at, i, "negostress", size)
+				d.Expect(" freed on node ")
+			}
 		}
 	},
 }

@@ -36,14 +36,29 @@
 // load reports; to add one, implement policy.Policy deterministically,
 // register it in policy.Parse, and the scenario harness picks it up.
 //
+// # Negotiation tuning
+//
+// The §4.4 slot negotiation has two orthogonal knobs. Config.Gather
+// picks how the initiator collects peer bitmaps ("sequential",
+// "batched", "tree", "delta"); Config.Arbiter picks the concurrency
+// scheme — "global" (the paper's single node-0 lock), "sharded"
+// (per-shard locks taken in canonical order, so disjoint negotiations
+// run in parallel) or "optimistic" (no lock; version-stamped purchases
+// that sellers validate against their bitmap journal, with
+// deterministic backoff on decline):
+//
+//	cl := sys.Boot(pm2.Config{Nodes: 16, Gather: "delta", Arbiter: "sharded"})
+//
 // # Scenarios
 //
 // internal/scenario runs deterministic workload generators (burst,
-// hotspot, churn, deepchain) under each policy and emits comparable
-// stats plus a canonical event trace; golden-trace tests pin the exact
-// decision sequence. From the command line:
+// hotspot, churn, deepchain, negostress, contend) under each policy
+// and emits comparable stats plus a canonical event trace;
+// golden-trace tests pin the exact decision sequence. From the command
+// line:
 //
 //	pm2bench -fig scenarios           # the policy × scenario matrix
+//	pm2bench -fig contention          # concurrent initiators × arbiter
 //	pm2load -policy round-robin -balance 2000 p4 1000
 package pm2
 
@@ -103,6 +118,15 @@ type Config struct {
 	// peers ship only the bitmap words changed since the initiator's
 	// cached view). See ParseGather for the accepted aliases.
 	Gather string
+	// Arbiter selects the negotiation concurrency scheme: "global"
+	// (default — the paper's system-wide critical section on node 0),
+	// "sharded" (the slot space is partitioned into shards arbitrated
+	// by rank shard mod n; a negotiation locks only the shards its
+	// planned purchase touches, in canonical order) or "optimistic"
+	// (no lock; purchases are version-stamped and sellers decline plans
+	// computed against a stale bitmap view). See ParseArbiter for the
+	// accepted aliases.
+	Arbiter string
 }
 
 func (c Config) toInternal() ipm2.Config {
@@ -141,8 +165,27 @@ func (c Config) toInternal() ipm2.Config {
 		panic(err)
 	}
 	cfg.Gather = gather
+	arbiter, err := ipm2.ParseArbiterMode(c.Arbiter)
+	if err != nil {
+		panic(err)
+	}
+	cfg.Arbiter = arbiter
 	return cfg
 }
+
+// ParseArbiter validates a negotiation-arbiter name and returns its
+// canonical form. Accepted: "global" ("lock", ""), "sharded" ("shard"),
+// "optimistic" ("opt", "occ").
+func ParseArbiter(s string) (string, error) {
+	a, err := ipm2.ParseArbiterMode(s)
+	if err != nil {
+		return "", err
+	}
+	return a.String(), nil
+}
+
+// ArbiterNames lists the canonical negotiation-arbiter names.
+func ArbiterNames() []string { return ipm2.ArbiterModeNames() }
 
 // ParseGather validates a gather-strategy name and returns its canonical
 // form. Accepted: "sequential" ("seq", ""), "batched" ("batch"), "tree",
