@@ -50,14 +50,47 @@ func BenchmarkFig11Large(b *testing.B) {
 
 // BenchmarkMigrationPingPong regenerates the §5 headline measurement: a
 // thread with no static data migrates across the (simulated) Myrinet in
-// less than 75 µs.
+// less than 75 µs. Allocations are reported: the pooled, borrowed-section
+// data path is gated on allocs/op staying down (see EXPERIMENTS.md).
 func BenchmarkMigrationPingPong(b *testing.B) {
+	b.ReportAllocs()
 	var r bench.MigrationResult
 	for i := 0; i < b.N; i++ {
 		r = bench.MigrationPingPong(50, pm2.Config{})
 	}
 	b.ReportMetric(r.AvgMicros, "sim-µs/migration")
 	b.ReportMetric(r.WorstMicros, "worst-sim-µs")
+}
+
+// BenchmarkMigrationPingPongZeroCopy is the same measurement over the
+// zero-copy scatter-gather pipeline (Config.Convoy): the NIC gathers the
+// thread image from slot memory and scatters it into the installed pages,
+// eliminating the pack, NIC and install copies on both sides.
+func BenchmarkMigrationPingPongZeroCopy(b *testing.B) {
+	b.ReportAllocs()
+	var r bench.MigrationResult
+	for i := 0; i < b.N; i++ {
+		r = bench.MigrationPingPong(50, pm2.Config{Convoy: true})
+	}
+	b.ReportMetric(r.AvgMicros, "sim-µs/migration")
+	b.ReportMetric(r.WorstMicros, "worst-sim-µs")
+}
+
+// BenchmarkMigrationConvoy measures the convoy batching win: k threads
+// with one-slot payloads moved to one destination in a single balancing
+// decision, as one zero-copy convoy versus k individual messages.
+func BenchmarkMigrationConvoy(b *testing.B) {
+	for _, k := range []int{2, 8} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			var rows []bench.ConvoyRow
+			for i := 0; i < b.N; i++ {
+				rows = bench.MigrationConvoy(64<<10, []int{k})
+			}
+			b.ReportMetric(rows[0].PerThreadLegacyMicros, "legacy-sim-µs/thread")
+			b.ReportMetric(rows[0].PerThreadConvoyMicros, "convoy-sim-µs/thread")
+		})
+	}
 }
 
 // BenchmarkMigrationVsPayload is ablation A5: end-to-end migration cost as

@@ -1,19 +1,24 @@
-// benchcheck is the CI perf-regression gate: it compares the slopes in
-// a freshly generated BENCH_negotiation.json (pm2bench -fig negotiation
-// -json) against the committed baseline and exits non-zero if any
-// gather strategy's cold or warm per-node slope regressed by more than
-// the tolerance (default 25%).
+// benchcheck is the CI perf-regression gate: it compares freshly
+// generated pm2bench -json reports against their committed baselines and
+// exits non-zero on a regression beyond tolerance (default 25%).
+//
+// Two reports are gated. BENCH_negotiation.json: any gather strategy's
+// cold or warm per-node slope. BENCH_migration.json: the ping-pong
+// migration µs/hop (legacy and zero-copy pipeline) and the convoy path's
+// per-thread µs and wire bytes/thread at each measured batch size.
 //
 // Usage:
 //
-//	benchcheck -baseline ci/BENCH_negotiation.baseline.json -current BENCH_negotiation.json
+//	benchcheck -baseline ci/BENCH_negotiation.baseline.json -current BENCH_negotiation.json \
+//	           -mig-baseline ci/BENCH_migration.baseline.json -mig-current BENCH_migration.json
 //	benchcheck -tolerance 0.10 ...   # tighten the gate to 10%
+//	benchcheck -mig-current ""       # negotiation gate only
 //
 // Merged-byte counts are reported for context but not gated: they are
 // exact protocol quantities already pinned by unit tests, while the
 // slopes summarize the virtual-time cost model end to end. A small
-// absolute grace (0.5 µs/node) keeps near-zero slopes (the warm delta
-// gather) from tripping the relative gate on rounding noise.
+// absolute grace (0.5 µs/node for slopes, 1 µs for latencies) keeps
+// near-zero figures from tripping the relative gate on rounding noise.
 package main
 
 import (
@@ -31,14 +36,24 @@ import (
 // by sub-µs jitter in the cost accounting.
 const slopeGraceMicros = 0.5
 
-func load(path string) (bench.NegotiationReport, error) {
-	var r bench.NegotiationReport
+// latencyGraceMicros is the absolute slack of the migration latency gate.
+const latencyGraceMicros = 1.0
+
+func loadJSON(path string, v any) error {
 	blob, err := os.ReadFile(path)
 	if err != nil {
-		return r, err
+		return err
 	}
-	if err := json.Unmarshal(blob, &r); err != nil {
-		return r, fmt.Errorf("%s: %w", path, err)
+	if err := json.Unmarshal(blob, v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+func loadNegotiation(path string) (bench.NegotiationReport, error) {
+	var r bench.NegotiationReport
+	if err := loadJSON(path, &r); err != nil {
+		return r, err
 	}
 	if r.Figure != "negotiation" || len(r.Gathers) == 0 {
 		return r, fmt.Errorf("%s: not a negotiation report", path)
@@ -46,18 +61,42 @@ func load(path string) (bench.NegotiationReport, error) {
 	return r, nil
 }
 
-func main() {
-	baseline := flag.String("baseline", "ci/BENCH_negotiation.baseline.json", "committed baseline report")
-	current := flag.String("current", "BENCH_negotiation.json", "freshly generated report")
-	tolerance := flag.Float64("tolerance", 0.25, "maximum allowed relative slope regression")
-	flag.Parse()
+func loadMigration(path string) (bench.MigrationReport, error) {
+	var r bench.MigrationReport
+	if err := loadJSON(path, &r); err != nil {
+		return r, err
+	}
+	if r.Figure != "migration" || len(r.Convoy) == 0 {
+		return r, fmt.Errorf("%s: not a migration report", path)
+	}
+	return r, nil
+}
 
-	base, err := load(*baseline)
+// gate accumulates check results; check prints one line per figure and
+// records whether any figure exceeded its limit.
+type gate struct {
+	tolerance float64
+	failed    bool
+}
+
+func (g *gate) check(label, unit string, grace, baseVal, curVal float64) {
+	limit := baseVal*(1+g.tolerance) + grace
+	status := "ok"
+	if curVal > limit {
+		status = "REGRESSED"
+		g.failed = true
+	}
+	fmt.Printf("%-34s %10.1f %s (baseline %10.1f, limit %10.1f)  %s\n",
+		label, curVal, unit, baseVal, limit, status)
+}
+
+func checkNegotiation(g *gate, basePath, curPath string) {
+	base, err := loadNegotiation(basePath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
 		os.Exit(2)
 	}
-	cur, err := load(*current)
+	cur, err := loadNegotiation(curPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
 		os.Exit(2)
@@ -69,33 +108,89 @@ func main() {
 	}
 	sort.Strings(names)
 
-	failed := false
-	check := func(name, which string, baseSlope, curSlope float64) {
-		limit := baseSlope*(1+*tolerance) + slopeGraceMicros
-		status := "ok"
-		if curSlope > limit {
-			status = "REGRESSED"
-			failed = true
-		}
-		fmt.Printf("%-12s %-5s slope %8.1f µs/node (baseline %8.1f, limit %8.1f)  %s\n",
-			name, which, curSlope, baseSlope, limit, status)
-	}
 	for _, name := range names {
 		b := base.Gathers[name]
 		c, ok := cur.Gathers[name]
 		if !ok {
 			fmt.Printf("%-12s MISSING from current report\n", name)
-			failed = true
+			g.failed = true
 			continue
 		}
-		check(name, "cold", b.ColdSlopeMicrosPerNode, c.ColdSlopeMicrosPerNode)
-		check(name, "warm", b.WarmSlopeMicrosPerNode, c.WarmSlopeMicrosPerNode)
+		g.check(name+" cold slope", "µs/node", slopeGraceMicros, b.ColdSlopeMicrosPerNode, c.ColdSlopeMicrosPerNode)
+		g.check(name+" warm slope", "µs/node", slopeGraceMicros, b.WarmSlopeMicrosPerNode, c.WarmSlopeMicrosPerNode)
 		fmt.Printf("%-12s merged bytes cold %d / warm %d (baseline %d / %d, informational)\n",
 			name, c.ColdMergedBytes, c.WarmMergedBytes, b.ColdMergedBytes, b.WarmMergedBytes)
 	}
-	if failed {
-		fmt.Fprintln(os.Stderr, "benchcheck: slope regression beyond tolerance — see report above")
+}
+
+func checkMigration(g *gate, basePath, curPath string) {
+	base, err := loadMigration(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := loadMigration(curPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	if base.PayloadBytes != cur.PayloadBytes {
+		fmt.Fprintf(os.Stderr, "benchcheck: payload mismatch: baseline %d B, current %d B\n",
+			base.PayloadBytes, cur.PayloadBytes)
+		os.Exit(2)
+	}
+	g.check("migration legacy ping-pong", "µs/hop", latencyGraceMicros, base.LegacyMicrosPerHop, cur.LegacyMicrosPerHop)
+	g.check("migration zero-copy ping-pong", "µs/hop", latencyGraceMicros, base.ZeroCopyMicrosPerHop, cur.ZeroCopyMicrosPerHop)
+	curByK := make(map[int]bench.ConvoyReport, len(cur.Convoy))
+	for _, c := range cur.Convoy {
+		curByK[c.K] = c
+	}
+	for _, c := range cur.Convoy {
+		found := false
+		for _, b := range base.Convoy {
+			found = found || b.K == c.K
+		}
+		if !found {
+			fmt.Printf("convoy k=%d MISSING from baseline report\n", c.K)
+			g.failed = true
+		}
+	}
+	// Drive the gate from the baseline: a batch size that vanishes from
+	// the current report must fail, not silently skip its checks.
+	for _, b := range base.Convoy {
+		c, ok := curByK[b.K]
+		if !ok {
+			fmt.Printf("convoy k=%d MISSING from current report\n", b.K)
+			g.failed = true
+			continue
+		}
+		g.check(fmt.Sprintf("convoy k=%d per-thread", b.K), "µs", latencyGraceMicros,
+			b.PerThreadConvoyMicros, c.PerThreadConvoyMicros)
+		g.check(fmt.Sprintf("convoy k=%d wire", b.K), "B/thread", 0,
+			float64(b.ConvoyBytesPerThread), float64(c.ConvoyBytesPerThread))
+	}
+}
+
+func main() {
+	baseline := flag.String("baseline", "ci/BENCH_negotiation.baseline.json", "committed negotiation baseline report")
+	current := flag.String("current", "BENCH_negotiation.json", "freshly generated negotiation report")
+	migBaseline := flag.String("mig-baseline", "ci/BENCH_migration.baseline.json", "committed migration baseline report")
+	migCurrent := flag.String("mig-current", "BENCH_migration.json", "freshly generated migration report (empty to skip the migration gate)")
+	tolerance := flag.Float64("tolerance", 0.25, "maximum allowed relative regression")
+	flag.Parse()
+
+	g := &gate{tolerance: *tolerance}
+	checkNegotiation(g, *baseline, *current)
+	if *migCurrent != "" {
+		if _, err := os.Stat(*migCurrent); err != nil && os.IsNotExist(err) {
+			fmt.Printf("%s not present; skipping the migration gate\n", *migCurrent)
+		} else {
+			checkMigration(g, *migBaseline, *migCurrent)
+		}
+	}
+	if g.failed {
+		fmt.Fprintln(os.Stderr, "benchcheck: regression beyond tolerance — see report above")
 		os.Exit(1)
 	}
-	fmt.Println("benchcheck: all slopes within tolerance")
+	fmt.Println("benchcheck: all figures within tolerance")
 }

@@ -44,8 +44,8 @@ func main() {
 	nodes := flag.Int("nodes", 4, "cluster size for -fig scenarios (e.g. 4, 16, 64)")
 	gather := flag.String("gather", "", "gather strategy for -fig scenarios/contention: "+strings.Join(pm2pub.GatherNames(), " | "))
 	arbiter := flag.String("arbiter", "", "negotiation arbiter for -fig scenarios, or restrict -fig contention to one: "+strings.Join(pm2pub.ArbiterNames(), " | "))
-	jsonOut := flag.Bool("json", false, "with -fig negotiation, also write the slopes/merged-bytes report to -out")
-	out := flag.String("out", "BENCH_negotiation.json", "path of the -json report")
+	jsonOut := flag.Bool("json", false, "with -fig negotiation/migration, also write the machine-readable report to -out")
+	out := flag.String("out", "", "path of the -json report (default BENCH_<figure>.json)")
 	flag.Parse()
 
 	gatherName, err := pm2pub.ParseGather(*gather)
@@ -58,9 +58,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pm2bench: %v\n", err)
 		os.Exit(2)
 	}
-	jsonPath := ""
-	if *jsonOut {
-		jsonPath = *out
+	// jsonPath resolves the report path for one figure: the explicit
+	// -out when given, the figure's canonical name otherwise. Under
+	// -fig all two reports are written, so -out (one path) is rejected
+	// rather than letting the second report overwrite the first.
+	if *fig == "all" && *out != "" {
+		fmt.Fprintln(os.Stderr, "pm2bench: -out is ambiguous with -fig all (two reports); use the default names or run the figures separately")
+		os.Exit(2)
+	}
+	jsonPath := func(def string) string {
+		if !*jsonOut {
+			return ""
+		}
+		if *out != "" {
+			return *out
+		}
+		return def
 	}
 
 	switch *fig {
@@ -68,8 +81,8 @@ func main() {
 		layoutFig()
 		fig11a(*trials)
 		fig11b(*trials)
-		migration()
-		negotiation(jsonPath)
+		migration(jsonPath("BENCH_migration.json"))
+		negotiation(jsonPath("BENCH_negotiation.json"))
 		contention(*arbiter)
 		create()
 		ablations()
@@ -81,9 +94,9 @@ func main() {
 	case "11b":
 		fig11b(*trials)
 	case "migration":
-		migration()
+		migration(jsonPath("BENCH_migration.json"))
 	case "negotiation":
-		negotiation(jsonPath)
+		negotiation(jsonPath("BENCH_negotiation.json"))
 	case "contention":
 		contention(*arbiter)
 	case "create":
@@ -169,24 +182,82 @@ func fig11b(trials int) {
 	fmt.Println(" the approach scales well)")
 }
 
-func migration() {
+func migration(jsonPath string) {
 	header("§5: thread migration (ping-pong between two Myrinet nodes)")
 	r := bench.MigrationPingPong(100, pm2.Config{})
 	fmt.Printf("no static data : avg %6.1f µs   worst %6.1f µs   (paper: < 75 µs)\n", r.AvgMicros, r.WorstMicros)
-	fmt.Printf("\nwith isomalloc'd payload (the §6 used-blocks optimization at work):\n")
-	fmt.Printf("%14s %12s %14s\n", "payload (B)", "avg (µs)", "wire bytes/hop")
-	for _, payload := range []uint32{0, 1 << 10, 8 << 10, 32 << 10, 60 << 10, 256 << 10} {
-		var res bench.MigrationResult
-		if payload == 0 {
-			res = bench.MigrationPingPong(20, pm2.Config{})
-		} else {
-			res = bench.MigrationWithPayload(20, payload, pm2.Config{})
+	fmt.Printf("\nwith isomalloc'd payload: copying path vs zero-copy scatter-gather (Config.Convoy):\n")
+	fmt.Printf("%14s %14s %16s %12s %14s\n", "payload (B)", "legacy (µs)", "zero-copy (µs)", "saved", "wire bytes/hop")
+	const gatePayload = 64 << 10
+	var gateLegacy, gateZeroCopy float64
+	for _, payload := range []uint32{0, 1 << 10, 8 << 10, 32 << 10, gatePayload, 256 << 10} {
+		run := func(convoy bool) bench.MigrationResult {
+			cfg := pm2.Config{Convoy: convoy}
+			if payload == 0 {
+				return bench.MigrationPingPong(20, cfg)
+			}
+			return bench.MigrationWithPayload(20, payload, cfg)
 		}
-		fmt.Printf("%14d %12.1f %14d\n", payload, res.AvgMicros, res.BytesOnWire/uint64(res.Hops))
+		legacy, zc := run(false), run(true)
+		if payload == gatePayload {
+			gateLegacy, gateZeroCopy = legacy.AvgMicros, zc.AvgMicros
+		}
+		fmt.Printf("%14d %14.1f %16.1f %11.1f%% %14d\n", payload, legacy.AvgMicros, zc.AvgMicros,
+			100*(1-zc.AvgMicros/legacy.AvgMicros), legacy.BytesOnWire/uint64(legacy.Hops))
 	}
+	fmt.Println("(the zero-copy pipeline drops the pack, NIC and install copies — the NIC gathers")
+	fmt.Println(" the spans from slot memory and scatters them into the installed pages, charging")
+	fmt.Println(" one DMA setup per span; wire occupancy still covers every byte)")
+
+	header("Extension: thread convoys — k threads to one destination per balancing decision")
+	fmt.Printf("%12s %4s %18s %18s %10s %14s %14s\n",
+		"payload (B)", "k", "legacy µs/thread", "convoy µs/thread", "saved", "msgs (L/C)", "convoy B/thread")
+	var convoyRows []bench.ConvoyRow
+	for _, row := range bench.MigrationConvoy(gatePayload, []int{1, 2, 4, 8}) {
+		convoyRows = append(convoyRows, row)
+		fmt.Printf("%12d %4d %18.1f %18.1f %9.1f%% %10d/%-3d %14d\n",
+			row.Payload, row.K, row.PerThreadLegacyMicros, row.PerThreadConvoyMicros,
+			100*(1-row.PerThreadConvoyMicros/row.PerThreadLegacyMicros),
+			row.LegacyMessages, row.ConvoyMessages, row.ConvoyBytesPerThread)
+	}
+	fmt.Println("(a convoy pays one express header, one send/receive overhead and one wire latency")
+	fmt.Println(" for the whole batch — per-thread cost falls as k grows, sub-linear in messages)")
+
 	rel := bench.RelocationPingPong(20, 32)
 	fmt.Printf("\nrelocation baseline (32 registered pointers): avg %.1f µs\n", rel.AvgMicros)
 	fmt.Println("(the paper cites 150 µs for a null-thread migration in Active Threads)")
+
+	if jsonPath != "" {
+		report := bench.MigrationReport{
+			Figure:               "migration",
+			PayloadBytes:         gatePayload,
+			LegacyMicrosPerHop:   gateLegacy,
+			ZeroCopyMicrosPerHop: gateZeroCopy,
+		}
+		for _, row := range convoyRows {
+			report.Convoy = append(report.Convoy, bench.ConvoyReport{
+				K:                     row.K,
+				PerThreadLegacyMicros: row.PerThreadLegacyMicros,
+				PerThreadConvoyMicros: row.PerThreadConvoyMicros,
+				ConvoyBytesPerThread:  row.ConvoyBytesPerThread,
+			})
+		}
+		writeJSON(jsonPath, report)
+	}
+}
+
+// writeJSON marshals a report and writes it, exiting on failure.
+func writeJSON(path string, v any) {
+	blob, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pm2bench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "pm2bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %s\n", path)
 }
 
 func negotiation(jsonPath string) {
@@ -269,16 +340,7 @@ func negotiation(jsonPath string) {
 				WarmMergedBytes:        warm[m][last].MergedBytes,
 			}
 		}
-		blob, err := json.MarshalIndent(report, "", "  ")
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "pm2bench: %v\n", err)
-			os.Exit(1)
-		}
-		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "pm2bench: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("\nwrote %s\n", jsonPath)
+		writeJSON(jsonPath, report)
 	}
 }
 

@@ -44,6 +44,7 @@ func main() {
 	gather := flag.String("gather", "", "negotiation bitmap-gather strategy: "+strings.Join(pm2.GatherNames(), " | "))
 	arbiter := flag.String("arbiter", "", "negotiation arbiter: "+strings.Join(pm2.ArbiterNames(), " | "))
 	dist := flag.String("dist", "round-robin", `slot distribution: round-robin | block-cyclic:K | partition`)
+	convoy := flag.Bool("convoy", false, "zero-copy scatter-gather migration pipeline with thread convoys")
 	node := flag.Int("node", 0, "node to start the program on")
 	srcFile := flag.String("src", "", "assemble and register an extra program from this file")
 	warmHeap := flag.Int("warm-heap", 0, "fill every other node's heap with N bytes of junk first (Figure 9)")
@@ -118,6 +119,7 @@ func main() {
 		Policy:           polName,
 		Gather:           gatherName,
 		Arbiter:          arbiterName,
+		Convoy:           *convoy,
 	})
 	if *balance > 0 {
 		cl.AttachBalancer(*balance)

@@ -125,6 +125,187 @@ func MigrationWithPayload(hops int, payload uint32, cfg pm2.Config) MigrationRes
 	return migrationResult(c, hops)
 }
 
+// convoyHoldSrc is the convoy workload: the thread isomallocs r1 bytes of
+// private payload, writes a marker through the pointer, then yields on its
+// birth node until a (convoy) migration lands it elsewhere — where it
+// reads the marker back, frees the block and exits. The yield loop keeps
+// the thread runnable (so it can be frozen into a convoy at any
+// scheduling boundary) with a time-invariant stack image.
+const convoyHoldSrc = `
+.program convoyhold
+.string fmt_done "convoy %u done on node %d\n"
+main:
+    enter 8
+    store [fp-4], r1        ; payload size
+    loadi r2, 0
+    store [fp-8], r2        ; ptr = NULL
+    beq   r1, r2, wait      ; no payload requested
+    callb isomalloc
+    store [fp-8], r0
+    loadi r3, 4051
+    store [r0], r3          ; marker through the iso pointer
+wait:
+    callb self_node
+    loadi r2, 0
+    bne   r0, r2, away      ; migrated off node 0: finish up
+    callb yield
+    br    wait
+away:
+    load  r1, [fp-8]
+    loadi r2, 0
+    beq   r1, r2, fin
+    load  r3, [r1]          ; pointer integrity after the convoy
+    callb isofree
+fin:
+    callb self_node
+    mov   r3, r0
+    load  r2, [fp-4]
+    loadi r1, fmt_done
+    callb printf
+    leave
+    halt
+`
+
+// ConvoyRow is one point of the convoy batching measurement: k threads,
+// each carrying Payload bytes of isomalloc'd data, moved from node 0 to
+// node 1 in one balancing decision — as k individual messages (the legacy
+// path) versus one zero-copy convoy message.
+type ConvoyRow struct {
+	Payload uint32
+	K       int
+	// PerThreadLegacyMicros / PerThreadConvoyMicros is the makespan of
+	// the whole batch (migration request to last thread resumed)
+	// divided by k.
+	PerThreadLegacyMicros float64
+	PerThreadConvoyMicros float64
+	// LegacyMessages / ConvoyMessages count the migration messages the
+	// batch put on the wire (k versus 1).
+	LegacyMessages uint64
+	ConvoyMessages uint64
+	// LegacyBytesPerThread / ConvoyBytesPerThread is the wire traffic of
+	// the batch divided by k.
+	LegacyBytesPerThread uint64
+	ConvoyBytesPerThread uint64
+}
+
+// MigrationConvoy measures the convoy batching win: for each k it stages
+// k convoyhold threads on node 0 of a two-node cluster (partitioned slot
+// distribution, so staging never negotiates), waits for their payload
+// allocations, then moves all of them to node 1 — per-thread messages
+// with Config.Convoy off, one convoy with it on — and reports the
+// per-thread makespan and wire cost of each scheme.
+func MigrationConvoy(payload uint32, ks []int) []ConvoyRow {
+	rows := make([]ConvoyRow, 0, len(ks))
+	for _, k := range ks {
+		row := ConvoyRow{Payload: payload, K: k}
+		for _, convoy := range []bool{false, true} {
+			perThread, msgs, bytes := convoyBatchRun(payload, k, convoy)
+			if convoy {
+				row.PerThreadConvoyMicros = perThread
+				row.ConvoyMessages = msgs
+				row.ConvoyBytesPerThread = bytes / uint64(k)
+			} else {
+				row.PerThreadLegacyMicros = perThread
+				row.LegacyMessages = msgs
+				row.LegacyBytesPerThread = bytes / uint64(k)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// convoyBatchRun stages and moves one batch, returning the per-thread
+// makespan in microseconds plus the migration-phase message and byte
+// counts.
+func convoyBatchRun(payload uint32, k int, convoy bool) (perThreadMicros float64, msgs, bytes uint64) {
+	im := progs.NewImage()
+	asm.MustAssemble(im, convoyHoldSrc)
+	c := pm2.New(pm2.Config{
+		Nodes:        2,
+		Dist:         core.Partition{},
+		Convoy:       convoy,
+		RecordAllocs: true,
+	}, im)
+	for i := 0; i < k; i++ {
+		spawnWithRegs(c, "convoyhold", payload, 0, 0)
+	}
+	// Drive until every thread has its payload in place and is parked in
+	// the yield loop (a zero payload allocates nothing — the snapshot
+	// wait below is then the only staging barrier).
+	for payload > 0 && len(c.AllocSamples()) < k {
+		if !c.Engine().Step() {
+			panic("bench: convoy staging drained early")
+		}
+	}
+	var tids []uint32
+	c.At(0, func(n *pm2.Node) {
+		for _, t := range n.Scheduler().Snapshot() {
+			tids = append(tids, t.TID)
+		}
+	})
+	for len(tids) < k {
+		if !c.Engine().Step() {
+			panic("bench: convoy staging drained early")
+		}
+	}
+
+	pre := c.Stats()
+	t0 := c.Now()
+	c.At(0, func(n *pm2.Node) {
+		if convoy {
+			if moved := n.MigrateBatch(tids, 1); moved != k {
+				panic(fmt.Sprintf("bench: convoy moved %d of %d threads", moved, k))
+			}
+			return
+		}
+		for _, tid := range tids {
+			if !n.Scheduler().RequestMigration(tid, 1) {
+				panic("bench: thread vanished before migration")
+			}
+		}
+	})
+	for c.Stats().Migrations < k {
+		if !c.Engine().Step() {
+			panic("bench: batch never completed")
+		}
+	}
+	makespan := c.Now() - t0
+	c.Run(0) // drain: threads verify their marker and exit on node 1
+	st := c.Stats()
+	if st.Migrations != k {
+		panic(fmt.Sprintf("bench: %d migrations, want %d", st.Migrations, k))
+	}
+	return (makespan / simtime.Time(k)).Micros(), st.Net.Messages - pre.Net.Messages, st.Net.Bytes - pre.Net.Bytes
+}
+
+// ConvoyReport is one batch size's entry in the BENCH_migration.json
+// report (the CI-gated per-thread cost and wire bytes of the convoy
+// path, with the legacy figures for context).
+type ConvoyReport struct {
+	K                     int     `json:"k"`
+	PerThreadLegacyMicros float64 `json:"per_thread_legacy_us"`
+	PerThreadConvoyMicros float64 `json:"per_thread_convoy_us"`
+	ConvoyBytesPerThread  uint64  `json:"convoy_bytes_per_thread"`
+}
+
+// MigrationReport is the BENCH_migration.json schema. CI runs `pm2bench
+// -fig migration -json` and `benchcheck` compares the ping-pong µs/hop
+// and the convoy per-thread µs and bytes/thread against the committed
+// ci/BENCH_migration.baseline.json, failing the job on a regression
+// beyond tolerance. Shared by pm2bench (writer) and benchcheck (gate) so
+// a schema change is a compile-time event.
+type MigrationReport struct {
+	Figure       string `json:"figure"`
+	PayloadBytes uint32 `json:"payload_bytes"`
+	// LegacyMicrosPerHop / ZeroCopyMicrosPerHop is the ping-pong
+	// migration latency at PayloadBytes under the copying and the
+	// scatter-gather pipeline.
+	LegacyMicrosPerHop   float64        `json:"legacy_us_per_hop"`
+	ZeroCopyMicrosPerHop float64        `json:"zerocopy_us_per_hop"`
+	Convoy               []ConvoyReport `json:"convoy"`
+}
+
 // RelocationPingPong measures the §2 baseline with regPtrs registered user
 // pointers: every hop pays the relocation fixup pass.
 func RelocationPingPong(hops, regPtrs int) MigrationResult {

@@ -204,3 +204,44 @@ func TestContentionDecentralizedArbitersWin(t *testing.T) {
 		}
 	}
 }
+
+// TestMigrationConvoySubLinear pins the convoy acceptance property: for
+// every measured batch size the convoy's per-thread cost undercuts k
+// individual messages, the advantage comes with one message instead of k,
+// and per-thread cost keeps falling as the batch grows (the header,
+// overhead and wire-latency terms amortize — sub-linear total cost).
+func TestMigrationConvoySubLinear(t *testing.T) {
+	rows := MigrationConvoy(64<<10, []int{2, 4, 8})
+	for i, r := range rows {
+		if r.PerThreadConvoyMicros >= r.PerThreadLegacyMicros {
+			t.Errorf("k=%d: convoy %.1f µs/thread not below %.1f legacy",
+				r.K, r.PerThreadConvoyMicros, r.PerThreadLegacyMicros)
+		}
+		if r.ConvoyMessages != 1 {
+			t.Errorf("k=%d: convoy used %d messages, want 1", r.K, r.ConvoyMessages)
+		}
+		if r.LegacyMessages != uint64(r.K) {
+			t.Errorf("k=%d: legacy used %d messages, want %d", r.K, r.LegacyMessages, r.K)
+		}
+		if i > 0 && r.PerThreadConvoyMicros >= rows[i-1].PerThreadConvoyMicros {
+			t.Errorf("k=%d: per-thread convoy cost %.1f µs did not fall from %.1f at k=%d",
+				r.K, r.PerThreadConvoyMicros, rows[i-1].PerThreadConvoyMicros, rows[i-1].K)
+		}
+	}
+}
+
+// TestZeroCopyMigrationBench checks the pipeline through the public bench
+// entry points: the zero-copy ping-pong beats the copying path by the
+// gated 30% at a one-slot payload, and the no-payload headline stays
+// under the paper's 75 µs under both pipelines.
+func TestZeroCopyMigrationBench(t *testing.T) {
+	legacy := MigrationWithPayload(20, 64<<10, pm2.Config{})
+	zc := MigrationWithPayload(20, 64<<10, pm2.Config{Convoy: true})
+	if reduction := 1 - zc.AvgMicros/legacy.AvgMicros; reduction < 0.30 {
+		t.Fatalf("zero-copy reduction %.1f%% below 30%% (legacy %.1f, zero-copy %.1f µs)",
+			100*reduction, legacy.AvgMicros, zc.AvgMicros)
+	}
+	if r := MigrationPingPong(20, pm2.Config{Convoy: true}); r.AvgMicros <= 0 || r.AvgMicros >= 75 {
+		t.Fatalf("zero-copy null migration %v µs", r.AvgMicros)
+	}
+}

@@ -81,18 +81,52 @@ func (n *NIC) ID() int { return n.id }
 // charged to that actor, and the message is delivered to the destination
 // actor after the wire delay. Sending to self is a cheap loopback.
 func (n *NIC) Send(dst int, tag uint32, payload []byte) {
+	n.sendGathered(dst, tag, [][]byte{payload}, len(payload))
+}
+
+// SendV is the scatter-gather send: the message is the concatenation of
+// segs, gathered once — directly into the wire body — instead of being
+// concatenated by the caller first. cpuBytes is the portion of the message
+// the sender and receiver CPUs actually touch: pass the total length for a
+// programmed-I/O send (charges identical to Send), or just the
+// header/express bytes when the payload segments are DMA'd from their
+// source memory (BIP's zero-copy long-message mode) — wire occupancy
+// always covers every byte. The segments are consumed synchronously:
+// callers may reuse them once SendV returns.
+func (n *NIC) SendV(dst int, tag uint32, segs [][]byte, cpuBytes int) {
+	total := 0
+	for _, s := range segs {
+		total += len(s)
+	}
+	if cpuBytes < 0 || cpuBytes > total {
+		panic(fmt.Sprintf("bip: SendV cpuBytes %d out of range [0,%d]", cpuBytes, total))
+	}
+	n.sendGathered(dst, tag, segs, cpuBytes)
+}
+
+func (n *NIC) sendGathered(dst int, tag uint32, segs [][]byte, cpuBytes int) {
 	nw := n.net
 	if dst < 0 || dst >= len(nw.nics) || nw.nics[dst] == nil {
 		panic(fmt.Sprintf("bip: send to invalid node %d", dst))
 	}
+	total := 0
+	for _, s := range segs {
+		total += len(s)
+	}
 	nw.stats.Messages++
-	nw.stats.Bytes += uint64(len(payload))
+	nw.stats.Bytes += uint64(total)
+
+	// Gather once: this is the single host-side copy of the data path,
+	// and it doubles as the delivery body (the receiver owns it).
+	body := make([]byte, 0, total)
+	for _, s := range segs {
+		body = append(body, s...)
+	}
 
 	m := nw.model
 	if dst == n.id {
 		// Loopback: no NIC/wire involved, just a local queue hop.
-		n.actor.Charge(m.Send(len(payload)) / 4)
-		body := append([]byte(nil), payload...)
+		n.actor.Charge(m.Send(cpuBytes) / 4)
 		src := n.id
 		n.actor.Post(n.actor.Now(), func() {
 			n.handler(src, tag, body)
@@ -100,22 +134,22 @@ func (n *NIC) Send(dst int, tag uint32, payload []byte) {
 		return
 	}
 
-	// Sender CPU: overhead + copy into NIC buffer.
-	n.actor.Charge(m.Send(len(payload)))
+	// Sender CPU: overhead + copy of the CPU-touched bytes into the NIC
+	// buffer (everything for programmed I/O, headers only under DMA).
+	n.actor.Charge(m.Send(cpuBytes))
 
 	// Wire: serialize on this NIC's outgoing link.
 	start := n.actor.Now()
 	if n.linkFreeAt > start {
 		start = n.linkFreeAt
 	}
-	arrive := start + m.WireTime(len(payload))
+	arrive := start + m.WireTime(total)
 	n.linkFreeAt = arrive
 
 	dstNIC := nw.nics[dst]
-	body := append([]byte(nil), payload...)
 	src := n.id
 	dstNIC.actor.Post(arrive, func() {
-		dstNIC.actor.Charge(m.Recv(len(body)))
+		dstNIC.actor.Charge(m.Recv(cpuBytes))
 		dstNIC.handler(src, tag, body)
 	})
 }

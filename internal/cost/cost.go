@@ -76,6 +76,11 @@ type Model struct {
 	// update pass used by the relocation baseline (registered pointers
 	// and compiler frame-chain entries alike).
 	PointerFixupNs int64
+	// DmaSetupNs is the per-segment cost of posting one entry of a
+	// scatter-gather list to the NIC (address translation + descriptor
+	// write), paid on both sides of a zero-copy BIP transfer in place of
+	// the per-byte copy the programmed-I/O path charges.
+	DmaSetupNs int64
 }
 
 // Default returns the calibrated model for the paper's platform.
@@ -105,6 +110,7 @@ func Default() *Model {
 		FreezeNs:       3_000,
 		ResumeNs:       3_500,
 		PointerFixupNs: 900,
+		DmaSetupNs:     400,
 	}
 }
 
@@ -168,6 +174,12 @@ func (m *Model) Send(n int) simtime.Time {
 // Recv returns the receiver-side CPU cost of an n-byte message.
 func (m *Model) Recv(n int) simtime.Time {
 	return simtime.Time(m.RecvOverheadNs)*simtime.Nanosecond + m.Memcpy(n)
+}
+
+// DmaSetup returns the cost of posting n scatter-gather segments to the
+// NIC — the zero-copy pipeline's replacement for the per-byte pack copy.
+func (m *Model) DmaSetup(n int) simtime.Time {
+	return simtime.Time(int64(n)*m.DmaSetupNs) * simtime.Nanosecond
 }
 
 // Fixed returns v nanoseconds as virtual time; used for the one-off charges

@@ -121,10 +121,11 @@ func (b *Balancer) round() {
 	for i := 0; i < b.c.Nodes(); i++ {
 		sched := b.c.Node(i).Scheduler()
 		r := policy.LoadReport{
-			Node:     i,
-			Resident: sched.Threads(),
-			Runnable: sched.Runnable(),
-			Time:     now,
+			Node:            i,
+			Resident:        sched.Threads(),
+			Runnable:        sched.Runnable(),
+			VersionDeclines: b.c.VersionDeclinesOf(i),
+			Time:            now,
 		}
 		b.eng.Report(r)
 		totalThreads += r.Resident
@@ -145,16 +146,28 @@ func (b *Balancer) round() {
 }
 
 // execute requests mv.Count preemptive migrations from mv.Src to mv.Dst,
-// picking runnable threads in TID order.
+// picking runnable threads in TID order. When the convoy pipeline is on
+// and the move covers several threads, they are frozen together and
+// shipped as one zero-copy convoy message; otherwise each thread is
+// marked for migration at its next quantum boundary, exactly as before.
 func (b *Balancer) execute(mv policy.Move) {
+	convoy := b.c.ConvoyEnabled()
 	b.c.At(mv.Src, func(n *pm2.Node) {
-		moved := 0
+		batch := make([]uint32, 0, mv.Count)
 		for _, t := range n.Scheduler().Snapshot() {
-			if moved == mv.Count {
+			if len(batch) == mv.Count {
 				break
 			}
-			if b.migratable(t) && n.Scheduler().RequestMigration(t.TID, mv.Dst) {
-				moved++
+			if b.migratable(t) {
+				batch = append(batch, t.TID)
+			}
+		}
+		if convoy && len(batch) > 1 {
+			b.moves += n.MigrateBatch(batch, mv.Dst)
+			return
+		}
+		for _, tid := range batch {
+			if n.Scheduler().RequestMigration(tid, mv.Dst) {
 				b.moves++
 			}
 		}

@@ -91,3 +91,46 @@ func TestBalancerRespectsThreshold(t *testing.T) {
 		t.Fatalf("balancer moved threads across a balanced cluster: %d", b.Moves())
 	}
 }
+
+// TestBalancerConvoysBatchedMoves: with the convoy pipeline on, a
+// balancing decision that moves several threads to one destination ships
+// them as one convoy message — and the workload still completes with
+// every pointer intact. The same run with the pipeline off must use zero
+// convoys (golden-neutrality of the default).
+func TestBalancerConvoysBatchedMoves(t *testing.T) {
+	run := func(convoy bool) (pm2.Stats, int, []string) {
+		c := pm2.New(pm2.Config{Nodes: 2, Convoy: convoy}, progs.NewImage())
+		for i := 0; i < 10; i++ {
+			c.SpawnSync(0, "worker", 60_000)
+		}
+		b := Attach(c, Config{
+			Period:           2 * simtime.Millisecond,
+			Threshold:        2,
+			MaxMovesPerRound: 4,
+		})
+		c.Run(0)
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		return c.Stats(), b.Moves(), c.Trace().Lines()
+	}
+
+	st, moves, lines := run(true)
+	if moves == 0 || st.Migrations == 0 {
+		t.Fatalf("balancer idle under convoy: moves=%d migrations=%d", moves, st.Migrations)
+	}
+	if st.Convoys == 0 {
+		t.Fatalf("multi-thread moves (%d migrations) produced no convoy message", st.Migrations)
+	}
+	if len(lines) != 10 {
+		t.Fatalf("finished = %d, want 10:\n%s", len(lines), strings.Join(lines, "\n"))
+	}
+
+	stOff, _, linesOff := run(false)
+	if stOff.Convoys != 0 {
+		t.Fatalf("convoy off still sent %d convoy messages", stOff.Convoys)
+	}
+	if len(linesOff) != 10 {
+		t.Fatalf("convoy off finished = %d, want 10", len(linesOff))
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/bip"
 	"repro/internal/simtime"
@@ -29,10 +30,26 @@ var ErrUnderflow = errors.New("madeleine: unpack past end of message")
 // Buffer packs and unpacks typed fields in little-endian order. Packing
 // appends; unpacking consumes from the front. Unpack errors are sticky: the
 // first failure poisons the buffer and zero values are returned thereafter.
+//
+// Besides the copying Pack* calls, a Buffer accepts *borrowed* sections
+// (PackBytesRef, PackBytesVec): iovec-style spans that are recorded by
+// reference and spliced into the byte stream only when the message is
+// materialized — once, at Send/Call time, directly into the wire body. The
+// caller must keep a borrowed span stable until the buffer is sent (or
+// Bytes() is called); the wire format is identical to PackBytes.
 type Buffer struct {
 	data []byte
 	off  int
 	err  error
+	// refs are the borrowed sections, each spliced after data[:at].
+	// at values are non-decreasing; refLen caches their total size.
+	refs   []bufRef
+	refLen int
+}
+
+type bufRef struct {
+	at int
+	b  []byte
 }
 
 // NewBuffer returns an empty pack buffer.
@@ -41,14 +58,66 @@ func NewBuffer() *Buffer { return &Buffer{} }
 // FromBytes returns an unpack buffer over data (not copied).
 func FromBytes(data []byte) *Buffer { return &Buffer{data: data} }
 
-// Bytes returns the packed message.
-func (b *Buffer) Bytes() []byte { return b.data }
+// Bytes returns the packed message, materializing any borrowed sections
+// into one contiguous slice (at most once: the refs are consumed).
+func (b *Buffer) Bytes() []byte {
+	b.flatten()
+	return b.data
+}
 
-// Len returns the total packed length in bytes.
-func (b *Buffer) Len() int { return len(b.data) }
+// flatten splices the borrowed sections into the inline stream.
+func (b *Buffer) flatten() {
+	if len(b.refs) == 0 {
+		return
+	}
+	out := make([]byte, 0, b.Len())
+	for _, seg := range b.segments() {
+		out = append(out, seg...)
+	}
+	b.data, b.refs, b.refLen = out, b.refs[:0], 0
+}
+
+// segments returns the message as an ordered span list — the inline
+// stream split around the borrowed sections — without materializing.
+func (b *Buffer) segments() [][]byte {
+	if len(b.refs) == 0 {
+		return [][]byte{b.data}
+	}
+	out := make([][]byte, 0, 2*len(b.refs)+1)
+	prev := 0
+	for _, r := range b.refs {
+		if r.at > prev {
+			out = append(out, b.data[prev:r.at])
+			prev = r.at
+		}
+		out = append(out, r.b)
+	}
+	if prev < len(b.data) {
+		out = append(out, b.data[prev:])
+	}
+	return out
+}
+
+// Len returns the total packed length in bytes, borrowed sections included.
+func (b *Buffer) Len() int { return len(b.data) + b.refLen }
+
+// InlineLen returns the bytes of the message that live in the inline
+// stream — everything except the borrowed sections. This is the portion a
+// scatter-gather NIC must still copy (the express header words and length
+// prefixes); the borrowed payload is gathered by DMA.
+func (b *Buffer) InlineLen() int { return len(b.data) }
 
 // Remaining returns the number of bytes not yet unpacked.
-func (b *Buffer) Remaining() int { return len(b.data) - b.off }
+func (b *Buffer) Remaining() int { return b.Len() - b.off }
+
+// reset clears the buffer for reuse, keeping its backing storage.
+func (b *Buffer) reset() {
+	b.data = b.data[:0]
+	b.off = 0
+	b.err = nil
+	b.refs = b.refs[:0]
+	b.refLen = 0
+}
 
 // Err returns the sticky unpack error, if any.
 func (b *Buffer) Err() error { return b.err }
@@ -75,6 +144,39 @@ func (b *Buffer) PackBytes(p []byte) *Buffer {
 // PackString appends a length-prefixed string.
 func (b *Buffer) PackString(s string) *Buffer { return b.PackBytes([]byte(s)) }
 
+// PackBytesRef appends a length-prefixed byte section *by reference*: only
+// the 4-byte prefix is written now; p itself is spliced in when the buffer
+// is materialized (Send/Call/Bytes). p must stay unchanged until then.
+func (b *Buffer) PackBytesRef(p []byte) *Buffer {
+	b.PackU32(uint32(len(p)))
+	b.appendRef(p)
+	return b
+}
+
+// PackBytesVec appends ONE length-prefixed byte section whose payload is
+// the concatenation of frags, each borrowed by reference — the natural fit
+// for data gathered from paged memory (vmem.Space.ReadAliases), where a
+// contiguous span surfaces as per-page fragments.
+func (b *Buffer) PackBytesVec(frags [][]byte) *Buffer {
+	total := 0
+	for _, f := range frags {
+		total += len(f)
+	}
+	b.PackU32(uint32(total))
+	for _, f := range frags {
+		b.appendRef(f)
+	}
+	return b
+}
+
+func (b *Buffer) appendRef(p []byte) {
+	if len(p) == 0 {
+		return
+	}
+	b.refs = append(b.refs, bufRef{at: len(b.data), b: p})
+	b.refLen += len(p)
+}
+
 func (b *Buffer) fail() {
 	if b.err == nil {
 		b.err = ErrUnderflow
@@ -83,6 +185,7 @@ func (b *Buffer) fail() {
 
 // U32 consumes a 32-bit word.
 func (b *Buffer) U32() uint32 {
+	b.flatten()
 	if b.err != nil || b.off+4 > len(b.data) {
 		b.fail()
 		return 0
@@ -94,6 +197,7 @@ func (b *Buffer) U32() uint32 {
 
 // U64 consumes a 64-bit word.
 func (b *Buffer) U64() uint64 {
+	b.flatten()
 	if b.err != nil || b.off+8 > len(b.data) {
 		b.fail()
 		return 0
@@ -106,7 +210,8 @@ func (b *Buffer) U64() uint64 {
 // BytesSection consumes a length-prefixed byte section. The returned slice
 // aliases the message.
 func (b *Buffer) BytesSection() []byte {
-	n := b.U32()
+	n := b.U32() // flattens
+
 	if b.err != nil || b.off+int(n) > len(b.data) {
 		b.fail()
 		return nil
@@ -118,6 +223,61 @@ func (b *Buffer) BytesSection() []byte {
 
 // String consumes a length-prefixed string.
 func (b *Buffer) String() string { return string(b.BytesSection()) }
+
+// Pool recycles pack Buffers so the hot messaging paths (migration
+// packing, envelope assembly) stop allocating a fresh Buffer — and a fresh
+// backing array — per message. A nil *Pool is valid and degrades to plain
+// allocation, so callers never need to branch. Only *outgoing* buffers may
+// be pooled: inbound dispatch buffers can be retained by handlers (pending
+// Calls keep their request message alive).
+type Pool struct {
+	mu   sync.Mutex
+	free []*Buffer
+	gets uint64
+	hits uint64
+}
+
+// NewPool returns an empty buffer pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Get returns a reset buffer, reusing a pooled one when available.
+func (p *Pool) Get() *Buffer {
+	if p == nil {
+		return NewBuffer()
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.gets++
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.hits++
+		return b
+	}
+	return NewBuffer()
+}
+
+// Put returns a buffer to the pool. The buffer must not be used afterwards.
+func (p *Pool) Put(b *Buffer) {
+	if p == nil || b == nil {
+		return
+	}
+	b.reset()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.free = append(p.free, b)
+}
+
+// Stats reports how many Gets were served and how many of them reused a
+// pooled buffer — the deterministic signal the allocation-guard tests pin.
+func (p *Pool) Stats() (gets, hits uint64) {
+	if p == nil {
+		return 0, 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.gets, p.hits
+}
 
 // Envelope kinds carried in the first word of every endpoint message.
 const (
@@ -153,13 +313,14 @@ func (c *Call) Reply(build func(*Buffer)) {
 		panic("madeleine: double reply")
 	}
 	c.done = true
-	out := NewBuffer()
+	out := c.ep.pool.Get()
 	out.PackU32(kindReply)
 	out.PackU32(c.reqID)
 	if build != nil {
 		build(out)
 	}
 	c.ep.nic.Send(c.src, 0, out.Bytes())
+	c.ep.pool.Put(out)
 }
 
 // Endpoint is a node's Madeleine port: tagged one-way messages plus a
@@ -171,6 +332,8 @@ type Endpoint struct {
 	calls    map[uint32]CallHandler
 	pending  map[uint32]func(*Buffer)
 	nextReq  uint32
+	// pool recycles outgoing buffers; nil means plain allocation.
+	pool *Pool
 }
 
 // Attach creates node id's endpoint on the network, bound to its CPU actor.
@@ -186,6 +349,11 @@ func Attach(nw *bip.Network, id int, actor *ActorT) *Endpoint {
 
 // ID returns the node id of the endpoint.
 func (ep *Endpoint) ID() int { return ep.nic.ID() }
+
+// SetPool installs a buffer pool for this endpoint's outgoing messages.
+// Endpoints of one cluster share the cluster's pool so reuse statistics
+// stay deterministic per run.
+func (ep *Endpoint) SetPool(p *Pool) { ep.pool = p }
 
 // Handle registers the handler for one-way messages on channel ch.
 func (ep *Endpoint) Handle(ch uint32, h Handler) {
@@ -206,13 +374,49 @@ func (ep *Endpoint) HandleCall(ch uint32, h CallHandler) {
 // Send transmits a one-way message on channel ch to node dst. build packs
 // the payload (may be nil for empty messages).
 func (ep *Endpoint) Send(dst int, ch uint32, build func(*Buffer)) {
-	out := NewBuffer()
+	out := ep.pool.Get()
 	out.PackU32(kindOneway)
 	out.PackU32(ch)
 	if build != nil {
 		build(out)
 	}
 	ep.nic.Send(dst, ch, out.Bytes())
+	ep.pool.Put(out)
+}
+
+// SendBody transmits a pre-built body as a one-way message on channel ch:
+// the wire bytes are exactly those of Send packing body as one
+// length-prefixed section, but the body is never re-copied into an outer
+// buffer — the envelope words and the body's spans go to the NIC as a
+// span list and are gathered once, into the wire message itself. Charges
+// are identical to Send (the NIC still copies every byte); body may be
+// released to a pool as soon as SendBody returns.
+func (ep *Endpoint) SendBody(dst int, ch uint32, body *Buffer) {
+	ep.sendBody(dst, ch, body, false)
+}
+
+// SendBodyZeroCopy is SendBody over a scatter-gather NIC: the borrowed
+// sections of body are DMA'd straight from their source memory, so the
+// sender and receiver CPUs are charged only for the inline bytes (envelope
+// words and length prefixes) — not for the payload. Wire occupancy still
+// covers every byte. This is the BIP long-message discipline the migration
+// pipeline rides on.
+func (ep *Endpoint) SendBodyZeroCopy(dst int, ch uint32, body *Buffer) {
+	ep.sendBody(dst, ch, body, true)
+}
+
+func (ep *Endpoint) sendBody(dst int, ch uint32, body *Buffer, zeroCopy bool) {
+	env := ep.pool.Get()
+	env.PackU32(kindOneway)
+	env.PackU32(ch)
+	env.PackU32(uint32(body.Len()))
+	segs := append([][]byte{env.Bytes()}, body.segments()...)
+	cpuBytes := env.Len() + body.Len()
+	if zeroCopy {
+		cpuBytes = env.Len() + body.InlineLen()
+	}
+	ep.nic.SendV(dst, ch, segs, cpuBytes)
+	ep.pool.Put(env)
 }
 
 // Call issues a request on channel ch to node dst; done runs on this node's
@@ -221,7 +425,7 @@ func (ep *Endpoint) Call(dst int, ch uint32, build func(*Buffer), done func(*Buf
 	ep.nextReq++
 	id := ep.nextReq
 	ep.pending[id] = done
-	out := NewBuffer()
+	out := ep.pool.Get()
 	out.PackU32(kindCall)
 	out.PackU32(ch)
 	out.PackU32(id)
@@ -229,6 +433,7 @@ func (ep *Endpoint) Call(dst int, ch uint32, build func(*Buffer), done func(*Buf
 		build(out)
 	}
 	ep.nic.Send(dst, ch, out.Bytes())
+	ep.pool.Put(out)
 }
 
 func (ep *Endpoint) dispatch(src int, _ uint32, payload []byte) {

@@ -1,6 +1,7 @@
 package madeleine
 
 import (
+	"bytes"
 	"testing"
 	"testing/quick"
 
@@ -199,4 +200,100 @@ func TestDuplicateHandlerPanics(t *testing.T) {
 		}
 	}()
 	p.eps[0].Handle(1, func(int, *Buffer) {})
+}
+
+// TestSendBodyWireEquivalence pins the golden-neutrality property of the
+// pre-built-body send: SendBody must put the exact bytes of
+// Send+PackBytes on the wire — same envelope, same length prefix, same
+// payload, same virtual arrival time — whatever mix of copied and
+// borrowed sections the body holds. Only then can the migration path
+// switch to it without disturbing a single golden trace.
+func TestSendBodyWireEquivalence(t *testing.T) {
+	deliver := func(send func(ep *Endpoint)) (payload []byte, at simtime.Time) {
+		p := newPair(t)
+		p.eps[1].Handle(7, func(src int, msg *Buffer) {
+			payload = append([]byte(nil), msg.data...)
+			at = p.act[1].Now()
+		})
+		p.act[0].Post(0, func() { send(p.eps[0]) })
+		p.eng.Run(0)
+		return payload, at
+	}
+
+	span := []byte{1, 2, 3, 4, 5, 6, 7}
+	legacy, legacyAt := deliver(func(ep *Endpoint) {
+		inner := NewBuffer()
+		inner.PackU32(99).PackBytes(span).PackU64(1 << 33)
+		ep.Send(1, 7, func(b *Buffer) { b.PackBytes(inner.Bytes()) })
+	})
+	body, bodyAt := deliver(func(ep *Endpoint) {
+		inner := NewBuffer()
+		inner.PackU32(99).PackBytesVec([][]byte{span[:3], span[3:]}).PackU64(1 << 33)
+		ep.SendBody(1, 7, inner)
+	})
+	if !bytes.Equal(legacy, body) {
+		t.Fatalf("wire bytes differ:\nlegacy %v\nbody   %v", legacy, body)
+	}
+	if legacyAt != bodyAt {
+		t.Fatalf("arrival differs: legacy %v, body %v", legacyAt, bodyAt)
+	}
+}
+
+// TestSendBodyZeroCopyCheaper: the zero-copy variant ships the same
+// bytes but charges the CPUs only for the inline header words, so with a
+// large borrowed payload the message must complete strictly earlier.
+func TestSendBodyZeroCopyCheaper(t *testing.T) {
+	run := func(zero bool) (n int, at simtime.Time) {
+		p := newPair(t)
+		payload := make([]byte, 32<<10)
+		p.eps[1].Handle(7, func(src int, msg *Buffer) {
+			body := FromBytes(msg.BytesSection())
+			n = len(body.BytesSection())
+			at = p.act[1].Now()
+		})
+		p.act[0].Post(0, func() {
+			body := NewBuffer()
+			body.PackBytesRef(payload)
+			if zero {
+				p.eps[0].SendBodyZeroCopy(1, 7, body)
+			} else {
+				p.eps[0].SendBody(1, 7, body)
+			}
+		})
+		p.eng.Run(0)
+		return n, at
+	}
+	nCopy, atCopy := run(false)
+	nZero, atZero := run(true)
+	if nCopy != 32<<10 || nZero != 32<<10 {
+		t.Fatalf("payload sizes: copy %d, zero %d", nCopy, nZero)
+	}
+	if atZero >= atCopy {
+		t.Fatalf("zero-copy delivery at %v not before copying delivery at %v", atZero, atCopy)
+	}
+}
+
+// TestPoolReuse: a pooled buffer comes back reset and is handed out
+// again; the counters see the reuse. A nil pool degrades to allocation.
+func TestPoolReuse(t *testing.T) {
+	p := NewPool()
+	a := p.Get()
+	a.PackU32(7).PackBytesRef([]byte{1, 2})
+	p.Put(a)
+	b := p.Get()
+	if b != a {
+		t.Fatal("pool did not reuse the returned buffer")
+	}
+	if b.Len() != 0 || b.InlineLen() != 0 || b.Err() != nil || b.Remaining() != 0 {
+		t.Fatalf("reused buffer not reset: len=%d err=%v", b.Len(), b.Err())
+	}
+	gets, hits := p.Stats()
+	if gets != 2 || hits != 1 {
+		t.Fatalf("stats = %d gets / %d hits, want 2/1", gets, hits)
+	}
+	var nilPool *Pool
+	if nilPool.Get() == nil {
+		t.Fatal("nil pool must allocate")
+	}
+	nilPool.Put(NewBuffer()) // must not panic
 }

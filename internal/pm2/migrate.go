@@ -26,6 +26,10 @@ import (
 func (n *Node) migrateOut(t *marcel.Thread, dest int) {
 	switch n.c.cfg.Policy {
 	case PolicyIso:
+		if n.c.cfg.Convoy {
+			n.convoyMigrateOut([]*marcel.Thread{t}, dest)
+			return
+		}
 		n.isoMigrateOut(t, dest)
 	case PolicyRelocate:
 		n.relocMigrateOut(t, dest)
@@ -34,7 +38,21 @@ func (n *Node) migrateOut(t *marcel.Thread, dest int) {
 	}
 }
 
-func (n *Node) isoMigrateOut(t *marcel.Thread, dest int) {
+// packThreadImage appends one frozen thread's migration record to buf:
+//
+//	desc u32 | start u64 | pack-mode u32 | nGroups u32
+//	per group: base u32 | nSlots u32 | kind u32 | nSpans u32
+//	  per span: off u32 | length-prefixed data
+//
+// The span payloads are borrowed (PackBytesVec over page aliases), never
+// copied host-side: they are gathered exactly once, into the wire body, at
+// send time. The page aliases stay valid past Evict — the simulator never
+// recycles page arrays — and the send materializes synchronously, so the
+// caller may evict immediately after the message leaves. zeroCopy selects
+// the charge discipline: the legacy path pays the paper's per-byte pack
+// memcpy, the scatter-gather path pays one DMA-setup per span. The
+// returned groups are what the caller must Evict once the message is sent.
+func (n *Node) packThreadImage(buf *madeleine.Buffer, t *marcel.Thread, start simtime.Time, zeroCopy bool) []core.SlotGroup {
 	model := n.c.cfg.Model
 	ar := n.sched.Arena(t)
 	groups, err := ar.Groups()
@@ -42,8 +60,6 @@ func (n *Node) isoMigrateOut(t *marcel.Thread, dest int) {
 		panic(fmt.Sprintf("pm2: packing thread %#x: %v", t.TID, err))
 	}
 
-	start := n.actor.Now()
-	buf := madeleine.NewBuffer()
 	buf.PackU32(t.Desc)
 	buf.PackU64(uint64(start))
 	buf.PackU32(uint32(n.c.cfg.Pack))
@@ -77,27 +93,39 @@ func (n *Node) isoMigrateOut(t *marcel.Thread, dest int) {
 		buf.PackU32(uint32(g.Kind))
 		buf.PackU32(uint32(len(spans)))
 		for _, s := range spans {
-			data, err := n.space.ReadBytes(g.Base+Addr(s.Off), int(s.Len))
+			frags, err := n.space.ReadAliases(g.Base+Addr(s.Off), int(s.Len))
 			if err != nil {
 				panic(err)
 			}
-			n.actor.Charge(model.Memcpy(int(s.Len)))
+			if zeroCopy {
+				n.actor.Charge(model.DmaSetup(1))
+			} else {
+				n.actor.Charge(model.Memcpy(int(s.Len)))
+			}
 			buf.PackU32(s.Off)
-			buf.PackBytes(data)
+			buf.PackBytesVec(frags)
 		}
 	}
+	return groups
+}
 
-	// The memory area storing the resources is set free (paper step 1);
-	// the bits stay 0 everywhere — the thread still owns its slots.
+// evictGroups sets the packed memory areas free on the source (paper step
+// 1); the ownership bits stay 0 everywhere — the thread still owns its
+// slots.
+func (n *Node) evictGroups(groups []core.SlotGroup) {
 	for _, g := range groups {
 		if err := n.slots.Evict(layout.SlotIndex(g.Base), g.NSlots); err != nil {
 			panic(err)
 		}
 	}
+}
 
-	n.ep.Send(dest, chMigrate, func(b *madeleine.Buffer) {
-		b.PackBytes(buf.Bytes())
-	})
+func (n *Node) isoMigrateOut(t *marcel.Thread, dest int) {
+	buf := n.c.bufPool.Get()
+	groups := n.packThreadImage(buf, t, n.actor.Now(), false)
+	n.evictGroups(groups)
+	n.ep.SendBody(dest, chMigrate, buf)
+	n.c.bufPool.Put(buf)
 }
 
 // freshPageBytes returns how many bytes of the extent [lo, hi) lie in
@@ -130,16 +158,16 @@ func freshPageBytes(touched map[Addr]bool, lo, hi Addr) int {
 	return fresh
 }
 
-// onMigrateMsg is the destination half.
-func (n *Node) onMigrateMsg(src int, msg *madeleine.Buffer) {
-	inner := madeleine.FromBytes(msg.BytesSection())
+// installGroups unpacks and installs nGroups slot groups of one thread
+// record from inner, charging copy (or DMA-setup) and first-touch costs,
+// and returns the payload bytes installed. Shared by the single-thread and
+// convoy receive paths.
+func (n *Node) installGroups(inner *madeleine.Buffer, mode PackMode, nGroups int, zeroCopy bool) int {
 	model := n.c.cfg.Model
-
-	desc := inner.U32()
-	start := simtime.Time(inner.U64())
-	mode := PackMode(inner.U32())
-	nGroups := int(inner.U32())
-
+	installed := 0
+	if n.touchScratch == nil {
+		n.touchScratch = make(map[Addr]bool, 64)
+	}
 	for gi := 0; gi < nGroups; gi++ {
 		base := Addr(inner.U32())
 		nSlots := int(inner.U32())
@@ -158,8 +186,10 @@ func (n *Node) onMigrateMsg(src int, msg *madeleine.Buffer) {
 		// lands on it. Later spans of the same group that fall into an
 		// already-touched page pay only the copy — charging their bytes
 		// zero-fill again would double-charge the page's first touch.
-		touched := make(map[Addr]bool)
-		spans := make([]core.Span, 0, nSpans)
+		// The page set is per group (scratch map, cleared here), as it
+		// always was.
+		clear(n.touchScratch)
+		n.spanScratch = n.spanScratch[:0]
 		for si := 0; si < nSpans; si++ {
 			off := inner.U32()
 			data := inner.BytesSection()
@@ -169,18 +199,36 @@ func (n *Node) onMigrateMsg(src int, msg *madeleine.Buffer) {
 			if err := n.space.Write(base+Addr(off), data); err != nil {
 				panic(err)
 			}
-			n.actor.Charge(model.Memcpy(len(data)))
-			if fresh := freshPageBytes(touched, base+Addr(off), base+Addr(off)+Addr(len(data))); fresh > 0 {
+			if zeroCopy {
+				n.actor.Charge(model.DmaSetup(1))
+			} else {
+				n.actor.Charge(model.Memcpy(len(data)))
+			}
+			if fresh := freshPageBytes(n.touchScratch, base+Addr(off), base+Addr(off)+Addr(len(data))); fresh > 0 {
 				n.actor.Charge(model.ZeroFill(fresh)) // first touch of fresh pages
 			}
-			spans = append(spans, core.Span{Off: off, Len: uint32(len(data))})
+			installed += len(data)
+			n.spanScratch = append(n.spanScratch, core.Span{Off: off, Len: uint32(len(data))})
 		}
 		if mode == PackUsed && kind == core.KindData {
-			if err := core.RebuildFreeList(n.space, base, spans); err != nil {
+			if err := core.RebuildFreeList(n.space, base, n.spanScratch); err != nil {
 				panic(err)
 			}
 		}
 	}
+	return installed
+}
+
+// onMigrateMsg is the destination half.
+func (n *Node) onMigrateMsg(src int, msg *madeleine.Buffer) {
+	inner := madeleine.FromBytes(msg.BytesSection())
+
+	desc := inner.U32()
+	start := simtime.Time(inner.U64())
+	mode := PackMode(inner.U32())
+	nGroups := int(inner.U32())
+
+	installed := n.installGroups(inner, mode, nGroups, false)
 	if inner.Err() != nil {
 		panic("pm2: corrupt migration message")
 	}
@@ -192,5 +240,6 @@ func (n *Node) onMigrateMsg(src int, msg *madeleine.Buffer) {
 	n.kick()
 
 	n.c.stats.Migrations++
+	n.c.stats.MigratedBytes += uint64(installed)
 	n.c.stats.MigrationLatencies = append(n.c.stats.MigrationLatencies, n.actor.Now()-start)
 }

@@ -709,7 +709,7 @@ func (n *Node) onBuyCall(src int, req *madeleine.Call) {
 			}
 		}
 		if stale {
-			n.c.stats.VersionDeclines++
+			n.c.noteVersionDecline(src)
 			decline()
 			return
 		}

@@ -32,6 +32,7 @@ const (
 	chBitmapDelta uint32 = 11 // call: bitmap changes since a cached version (delta gather)
 	chShardLock   uint32 = 12 // call to shard manager: one shard of the sharded arbiter
 	chShardUnlock uint32 = 13 // one-way to shard manager
+	chConvoy      uint32 = 14 // one-way: zero-copy thread convoy (Config.Convoy)
 )
 
 // Node is one PM2 node: a heavy container process with its own simulated
@@ -96,6 +97,12 @@ type Node struct {
 	// deterministically interleaving racing allocations with the
 	// negotiation retry path.
 	buyHook func(src int, giveBack bool) (decline bool)
+
+	// Migration-install scratch state, reused across messages so the
+	// receive path stops allocating per group (see installGroups): the
+	// first-touch page set and the span list handed to RebuildFreeList.
+	touchScratch map[Addr]bool
+	spanScratch  []core.Span
 }
 
 func newNode(c *Cluster, id int) *Node {
@@ -107,6 +114,7 @@ func newNode(c *Cluster, id int) *Node {
 		regPtrs: make(map[uint32]map[uint32]Addr),
 	}
 	n.ep = madeleine.Attach(c.nw, id, n.actor)
+	n.ep.SetPool(c.bufPool)
 	n.slots = core.NewNodeSlots(n.space, n.actor, core.NodeConfig{
 		NodeID:   id,
 		NumNodes: c.cfg.Nodes,
@@ -159,6 +167,7 @@ func newNode(c *Cluster, id int) *Node {
 	}
 
 	n.ep.Handle(chMigrate, n.onMigrateMsg)
+	n.ep.Handle(chConvoy, n.onConvoyMsg)
 	n.ep.Handle(chRelocMigrate, n.onRelocMigrateMsg)
 	n.ep.HandleCall(chSpawn, n.onSpawnCall)
 	n.ep.HandleCall(chLock, n.onLockCall)

@@ -19,6 +19,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/isa"
 	"repro/internal/layout"
+	"repro/internal/madeleine"
 	"repro/internal/policy"
 	"repro/internal/simtime"
 	"repro/internal/trace"
@@ -112,6 +113,15 @@ type Config struct {
 	// shares its state. Default policy.NewNegotiation(), which never
 	// reroutes a spawn — the seed's behavior.
 	Placement policy.Policy
+	// Convoy enables the zero-copy scatter-gather migration pipeline:
+	// iso-address migrations hand their slot spans to the NIC as a
+	// gather list (BIP's zero-copy long-message mode — no pack, NIC or
+	// install copy is charged, only per-segment DMA setup), and a
+	// balancer move of k threads to one destination travels as a single
+	// convoy message paying one header and one wire latency instead of
+	// k. Default off: every migration uses the paper-faithful copying
+	// path, byte- and charge-identical to the seed.
+	Convoy bool
 }
 
 // AllocSample is one recorded allocation.
@@ -143,6 +153,12 @@ type Stats struct {
 	// end-to-end virtual time of each (freeze to resume).
 	Migrations         int
 	MigrationLatencies []simtime.Time
+	// MigratedBytes totals the slot-image payload bytes installed by
+	// iso-address migrations (span data only, not protocol framing).
+	MigratedBytes uint64
+	// Convoys counts multi-thread convoy messages processed: one per
+	// chConvoy message, however many threads it carried (Config.Convoy).
+	Convoys int
 	// Negotiations counts completed slot negotiations and their
 	// latencies (critical-section entry to exit).
 	Negotiations         int
@@ -195,6 +211,15 @@ type Cluster struct {
 	shardMap core.ShardMap
 	// allocSamples records allocation latencies when cfg.RecordAllocs.
 	allocSamples []AllocSample
+	// bufPool recycles outgoing Madeleine buffers across all of the
+	// cluster's endpoints and the migration packers. Per-cluster (not
+	// global) so reuse statistics are deterministic per run.
+	bufPool *madeleine.Pool
+	// versionDeclines attributes each optimistic-arbiter version decline
+	// to the *initiator* whose plan was declined, so load reports can
+	// tell the placement policy which nodes are fighting over contended
+	// slot regions.
+	versionDeclines []int
 }
 
 // New builds a cluster over the (sealed) program image.
@@ -232,6 +257,8 @@ func New(cfg Config, im *isa.Image) *Cluster {
 	}
 	c.pol = policy.NewEngine(cfg.Placement, cfg.Nodes)
 	c.shardMap = core.NewShardMap(layout.SlotCount, cfg.ArbiterShards)
+	c.bufPool = madeleine.NewPool()
+	c.versionDeclines = make([]int, cfg.Nodes)
 	c.nw = bip.NewNetwork(c.eng, cfg.Model, cfg.Nodes)
 	c.hints = make([]gatherHint, cfg.Nodes)
 	c.nodes = make([]*Node, cfg.Nodes)
@@ -252,10 +279,11 @@ func (c *Cluster) ReportLoads() {
 	now := c.eng.Now()
 	for i, n := range c.nodes {
 		c.pol.Report(policy.LoadReport{
-			Node:     i,
-			Resident: n.sched.Threads(),
-			Runnable: n.sched.Runnable(),
-			Time:     now,
+			Node:            i,
+			Resident:        n.sched.Threads(),
+			Runnable:        n.sched.Runnable(),
+			VersionDeclines: c.versionDeclines[i],
+			Time:            now,
 		})
 		// Piggyback the node's free-run summary hint on the report.
 		c.refreshHint(i)
@@ -264,6 +292,29 @@ func (c *Cluster) ReportLoads() {
 
 // Engine exposes the discrete-event engine (for time-based test driving).
 func (c *Cluster) Engine() *simtime.Engine { return c.eng }
+
+// ConvoyEnabled reports whether the zero-copy convoy migration pipeline
+// is on (Config.Convoy). The load balancer consults it to decide whether
+// a multi-thread move can travel as one message.
+func (c *Cluster) ConvoyEnabled() bool { return c.cfg.Convoy }
+
+// VersionDeclinesOf returns the cumulative count of optimistic-arbiter
+// version declines node i has suffered as a negotiation initiator — the
+// per-node contention signal load reports carry to the placement policy.
+func (c *Cluster) VersionDeclinesOf(i int) int { return c.versionDeclines[i] }
+
+// noteVersionDecline records one declined version-stamped purchase,
+// attributed to the initiator whose plan was stale.
+func (c *Cluster) noteVersionDecline(initiator int) {
+	c.stats.VersionDeclines++
+	if initiator >= 0 && initiator < len(c.versionDeclines) {
+		c.versionDeclines[initiator]++
+	}
+}
+
+// BufferPoolStats reports the cluster-wide Madeleine buffer pool's reuse
+// counters (gets served, gets that reused a pooled buffer).
+func (c *Cluster) BufferPoolStats() (gets, hits uint64) { return c.bufPool.Stats() }
 
 // Image returns the replicated program image.
 func (c *Cluster) Image() *isa.Image { return c.im }

@@ -252,6 +252,33 @@ func (s *Space) ReadBytes(addr Addr, n int) ([]byte, error) {
 	return p, nil
 }
 
+// ReadAliases returns [addr, addr+n) as a list of page-fragment slices
+// that alias the simulated pages directly — no copy. The zero-copy
+// migration packer hands these to the NIC's gather list. The fragments
+// are only valid until the range is written or unmapped; callers must
+// consume them (or copy) before releasing the pages.
+func (s *Space) ReadAliases(addr Addr, n int) ([][]byte, error) {
+	if err := checkRange(addr, n, OpRead); err != nil {
+		return nil, err
+	}
+	var out [][]byte
+	off := 0
+	for off < n {
+		pg, ok := s.pages[pageIndex(addr+Addr(off))]
+		if !ok {
+			return nil, &Fault{Addr: addr + Addr(off), Op: OpRead, Why: "unmapped page"}
+		}
+		in := int(addr+Addr(off)) & (layout.PageSize - 1)
+		frag := pg[in:]
+		if len(frag) > n-off {
+			frag = frag[:n-off]
+		}
+		out = append(out, frag)
+		off += len(frag)
+	}
+	return out, nil
+}
+
 // Zero writes n zero bytes at addr.
 func (s *Space) Zero(addr Addr, n int) error {
 	return s.Write(addr, make([]byte, n))

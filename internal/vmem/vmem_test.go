@@ -233,6 +233,11 @@ func TestReadWriteProperty(t *testing.T) {
 		if len(data) == 0 {
 			return true
 		}
+		if int(off)+len(data) > 16*layout.PageSize {
+			// The write overruns the mapping: it must fault and leave
+			// the space untouched.
+			return s.Write(addr, data) != nil
+		}
 		if err := s.Write(addr, data); err != nil {
 			return false
 		}

@@ -127,6 +127,13 @@ type Config struct {
 	// computed against a stale bitmap view). See ParseArbiter for the
 	// accepted aliases.
 	Arbiter string
+	// Convoy enables the zero-copy scatter-gather migration pipeline:
+	// migrations hand their slot spans to the NIC as a gather list (no
+	// pack/install copies, only per-span DMA setup), and a balancing
+	// decision that moves several threads to one destination ships them
+	// as a single convoy message — one header, one wire latency for the
+	// whole batch. Default off: the paper-faithful copying path.
+	Convoy bool
 }
 
 func (c Config) toInternal() ipm2.Config {
@@ -150,6 +157,7 @@ func (c Config) toInternal() ipm2.Config {
 		cfg.Policy = ipm2.PolicyRelocate
 	}
 	cfg.PreBuySlots = c.PreBuySlots
+	cfg.Convoy = c.Convoy
 	dist, err := ParseDistribution(c.Distribution)
 	if err != nil {
 		panic(err)
@@ -361,6 +369,11 @@ type Stats struct {
 	Migrations         int
 	AvgMigrationMicros float64
 	MaxMigrationMicros float64
+	// MigratedBytes totals the slot-image payload bytes iso-address
+	// migrations installed; Convoys counts multi-thread convoy messages
+	// (Config.Convoy).
+	MigratedBytes uint64
+	Convoys       int
 	// Negotiations and the average latency of the slot negotiation
 	// protocol.
 	Negotiations         int
@@ -378,6 +391,8 @@ func (c *Cluster) Stats() Stats {
 	out := Stats{
 		VirtualMicros:    c.inner.Now().Micros(),
 		Migrations:       st.Migrations,
+		MigratedBytes:    st.MigratedBytes,
+		Convoys:          st.Convoys,
 		Negotiations:     st.Negotiations,
 		Defragmentations: st.Defragmentations,
 		NetworkMessages:  st.Net.Messages,

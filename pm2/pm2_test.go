@@ -153,3 +153,35 @@ func TestDefragmentFacade(t *testing.T) {
 		t.Fatalf("output lines = %d", len(cl.Output()))
 	}
 }
+
+func TestConvoyConfig(t *testing.T) {
+	run := func(convoy bool) Stats {
+		sys := NewSystem()
+		sys.RegisterExamples()
+		cl := sys.Boot(Config{Nodes: 2, Convoy: convoy})
+		cl.Spawn(0, "pingpong", 12)
+		cl.Run()
+		if err := cl.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return cl.Stats()
+	}
+	zc := run(true)
+	if zc.Migrations != 12 || zc.Convoys != 12 {
+		t.Fatalf("zero-copy run: %d migrations, %d convoys, want 12/12", zc.Migrations, zc.Convoys)
+	}
+	if zc.MigratedBytes == 0 {
+		t.Fatal("zero-copy run reported no migrated payload bytes")
+	}
+	legacy := run(false)
+	if legacy.Convoys != 0 {
+		t.Fatalf("default run sent %d convoy messages, want 0", legacy.Convoys)
+	}
+	if legacy.MigratedBytes != zc.MigratedBytes {
+		t.Fatalf("payload accounting differs: legacy %d B, convoy %d B", legacy.MigratedBytes, zc.MigratedBytes)
+	}
+	if zc.AvgMigrationMicros >= legacy.AvgMigrationMicros {
+		t.Fatalf("zero-copy migration (%.1f µs) not below legacy (%.1f µs)",
+			zc.AvgMigrationMicros, legacy.AvgMigrationMicros)
+	}
+}
