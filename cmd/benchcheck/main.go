@@ -2,17 +2,21 @@
 // generated pm2bench -json reports against their committed baselines and
 // exits non-zero on a regression beyond tolerance (default 25%).
 //
-// Two reports are gated. BENCH_negotiation.json: any gather strategy's
+// Three reports are gated. BENCH_negotiation.json: any gather strategy's
 // cold or warm per-node slope. BENCH_migration.json: the ping-pong
 // migration µs/hop (legacy and zero-copy pipeline) and the convoy path's
 // per-thread µs and wire bytes/thread at each measured batch size.
+// BENCH_serve.json: each cluster size's saturation knee — gated as a
+// FLOOR, a knee that falls below baseline is lost serving capacity.
 //
 // Usage:
 //
 //	benchcheck -baseline ci/BENCH_negotiation.baseline.json -current BENCH_negotiation.json \
-//	           -mig-baseline ci/BENCH_migration.baseline.json -mig-current BENCH_migration.json
+//	           -mig-baseline ci/BENCH_migration.baseline.json -mig-current BENCH_migration.json \
+//	           -serve-baseline ci/BENCH_serve.baseline.json -serve-current BENCH_serve.json
 //	benchcheck -tolerance 0.10 ...   # tighten the gate to 10%
-//	benchcheck -mig-current ""       # negotiation gate only
+//	benchcheck -mig-current ""       # skip the migration gate
+//	benchcheck -serve-current ""     # skip the serve gate
 //
 // Merged-byte counts are reported for context but not gated: they are
 // exact protocol quantities already pinned by unit tests, while the
@@ -88,6 +92,75 @@ func (g *gate) check(label, unit string, grace, baseVal, curVal float64) {
 	}
 	fmt.Printf("%-34s %10.1f %s (baseline %10.1f, limit %10.1f)  %s\n",
 		label, curVal, unit, baseVal, limit, status)
+}
+
+// checkFloor is check with the inequality flipped: the figure is a
+// capacity (higher is better), so falling below baseline minus
+// tolerance is the regression. Used for the serving knee.
+func (g *gate) checkFloor(label, unit string, grace, baseVal, curVal float64) {
+	limit := baseVal*(1-g.tolerance) - grace
+	if limit < 0 {
+		limit = 0
+	}
+	status := "ok"
+	if curVal < limit {
+		status = "REGRESSED"
+		g.failed = true
+	}
+	fmt.Printf("%-34s %10.1f %s (baseline %10.1f, floor %10.1f)  %s\n",
+		label, curVal, unit, baseVal, limit, status)
+}
+
+func loadServe(path string) (bench.ServeReport, error) {
+	var r bench.ServeReport
+	if err := loadJSON(path, &r); err != nil {
+		return r, err
+	}
+	if r.Figure != "serve" || len(r.Clusters) == 0 {
+		return r, fmt.Errorf("%s: not a serve report", path)
+	}
+	return r, nil
+}
+
+// checkServe gates the serving figure: per cluster size, the saturation
+// knee (rate scale and sustained throughput) must not fall below the
+// baseline floor. The per-cohort base-rate SLO percentiles are printed
+// for context but not gated — the knee already summarizes serving
+// capacity end to end, and the SLO bound itself is enforced inside the
+// knee criterion.
+func checkServe(g *gate, basePath, curPath string) {
+	base, err := loadServe(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := loadServe(curPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	curByNodes := make(map[int]bench.ServeClusterReport, len(cur.Clusters))
+	for _, c := range cur.Clusters {
+		curByNodes[c.Nodes] = c
+	}
+	// Drive from the baseline: a cluster size that vanishes from the
+	// current report must fail, not silently skip its checks.
+	for _, b := range base.Clusters {
+		c, ok := curByNodes[b.Nodes]
+		if !ok {
+			fmt.Printf("serve n=%d MISSING from current report\n", b.Nodes)
+			g.failed = true
+			continue
+		}
+		g.checkFloor(fmt.Sprintf("serve n=%d knee", b.Nodes), "×base rate", 0,
+			b.KneeRateScale, c.KneeRateScale)
+		g.checkFloor(fmt.Sprintf("serve n=%d knee throughput", b.Nodes), "req/ms", 0,
+			b.KneeThroughputPerMs, c.KneeThroughputPerMs)
+		for _, co := range c.Cohorts {
+			fmt.Printf("serve n=%d cohort %-6s e2e p50/p95/p99 %.1f/%.1f/%.1f µs (informational)\n",
+				c.Nodes, co.Cohort, co.EndToEndP50Us, co.EndToEndP95Us, co.EndToEndP99Us)
+		}
+	}
 }
 
 func checkNegotiation(g *gate, basePath, curPath string) {
@@ -176,6 +249,8 @@ func main() {
 	current := flag.String("current", "BENCH_negotiation.json", "freshly generated negotiation report")
 	migBaseline := flag.String("mig-baseline", "ci/BENCH_migration.baseline.json", "committed migration baseline report")
 	migCurrent := flag.String("mig-current", "BENCH_migration.json", "freshly generated migration report (empty to skip the migration gate)")
+	serveBaseline := flag.String("serve-baseline", "ci/BENCH_serve.baseline.json", "committed serve baseline report")
+	serveCurrent := flag.String("serve-current", "BENCH_serve.json", "freshly generated serve report (empty to skip the serve gate)")
 	tolerance := flag.Float64("tolerance", 0.25, "maximum allowed relative regression")
 	flag.Parse()
 
@@ -186,6 +261,13 @@ func main() {
 			fmt.Printf("%s not present; skipping the migration gate\n", *migCurrent)
 		} else {
 			checkMigration(g, *migBaseline, *migCurrent)
+		}
+	}
+	if *serveCurrent != "" {
+		if _, err := os.Stat(*serveCurrent); err != nil && os.IsNotExist(err) {
+			fmt.Printf("%s not present; skipping the serve gate\n", *serveCurrent)
+		} else {
+			checkServe(g, *serveBaseline, *serveCurrent)
 		}
 	}
 	if g.failed {

@@ -18,6 +18,8 @@
 //	pm2bench -fig scenarios    # placement-policy × workload matrix
 //	pm2bench -fig scenarios -policy work-stealing
 //	pm2bench -fig scenarios -arbiter sharded
+//	pm2bench -fig serve        # serving workload: per-cohort SLO + saturation knee
+//	pm2bench -fig serve -json  # also write BENCH_serve.json
 package main
 
 import (
@@ -60,10 +62,11 @@ func main() {
 	}
 	// jsonPath resolves the report path for one figure: the explicit
 	// -out when given, the figure's canonical name otherwise. Under
-	// -fig all two reports are written, so -out (one path) is rejected
-	// rather than letting the second report overwrite the first.
+	// -fig all several reports are written, so -out (one path) is
+	// rejected rather than letting a later report overwrite an earlier
+	// one.
 	if *fig == "all" && *out != "" {
-		fmt.Fprintln(os.Stderr, "pm2bench: -out is ambiguous with -fig all (two reports); use the default names or run the figures separately")
+		fmt.Fprintln(os.Stderr, "pm2bench: -out is ambiguous with -fig all (several reports); use the default names or run the figures separately")
 		os.Exit(2)
 	}
 	jsonPath := func(def string) string {
@@ -87,6 +90,7 @@ func main() {
 		create()
 		ablations()
 		scenarios(*pol, *seed, *nodes, gatherName, arbiterName)
+		serveFig(*pol, *seed, jsonPath("BENCH_serve.json"))
 	case "5":
 		layoutFig()
 	case "11a":
@@ -105,6 +109,8 @@ func main() {
 		ablations()
 	case "scenarios":
 		scenarios(*pol, *seed, *nodes, gatherName, arbiterName)
+	case "serve":
+		serveFig(*pol, *seed, jsonPath("BENCH_serve.json"))
 	default:
 		fmt.Fprintf(os.Stderr, "pm2bench: unknown figure %q\n", *fig)
 		os.Exit(2)
@@ -446,4 +452,58 @@ func scenarios(only string, seed uint64, nodes int, gather, arbiter string) {
 		}
 	}
 	fmt.Println("\n(same seed + policy ⇒ byte-identical trace; see internal/scenario/testdata)")
+}
+
+// serveFig prints the serving-workload figure: per-cohort SLO at the
+// base arrival rate, then the rate sweep to the throughput knee — at 16
+// and 64 nodes.
+func serveFig(only string, seed uint64, jsonPath string) {
+	// Serving placement defaults to work-stealing (the policy that
+	// absorbs open-loop load best); -policy overrides.
+	polName := "work-stealing"
+	if only != "" {
+		canon, err := policy.Parse(only)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pm2bench: %v\n", err)
+			os.Exit(2)
+		}
+		polName = canon.Name()
+	}
+	report, err := bench.ServeSweep(polName, seed, []int{16, 64})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pm2bench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, cl := range report.Clusters {
+		header(fmt.Sprintf("Serving workload: per-cohort SLO, %d nodes, %s, base rate (open-loop)", cl.Nodes, polName))
+		fmt.Printf("%-8s %8s %12s %12s %12s %12s %12s %12s\n",
+			"cohort", "requests", "place p50µs", "place p95µs", "place p99µs", "e2e p50µs", "e2e p95µs", "e2e p99µs")
+		for _, c := range cl.Cohorts {
+			fmt.Printf("%-8s %8d %12.1f %12.1f %12.1f %12.1f %12.1f %12.1f\n",
+				c.Cohort, c.Requests, c.PlacementP50Us, c.PlacementP95Us, c.PlacementP99Us,
+				c.EndToEndP50Us, c.EndToEndP95Us, c.EndToEndP99Us)
+		}
+		fmt.Printf("\nsaturation sweep (SLO: worst cohort p99 e2e ≤ %.0f µs):\n", report.SLOBudgetUs)
+		fmt.Printf("%10s %9s %10s %10s %14s %12s\n",
+			"rate×", "requests", "completed", "saturated", "worst p99 µs", "sustainable")
+		for _, p := range cl.Sweep {
+			sat, sus := "", "yes"
+			if p.Saturated {
+				sat = "cutoff"
+			}
+			if !p.Sustainable {
+				sus = "no"
+			}
+			fmt.Printf("%10.1f %9d %10d %10s %14.1f %12s\n",
+				p.RateScale, p.Requests, p.Completed, sat, p.WorstP99Us, sus)
+		}
+		fmt.Printf("\nknee: %.1f× base rate (%.2f requests/ms sustained)\n", cl.KneeRateScale, cl.KneeThroughputPerMs)
+	}
+	fmt.Println("\n(open-loop arrivals do not wait for completions: past the knee the backlog grows")
+	fmt.Println(" during the arrival window and p99 blows through the SLO; past-knee points are cut")
+	fmt.Println(" off by a tightened step budget — deterministically, virtual steps are exact)")
+
+	if jsonPath != "" {
+		writeJSON(jsonPath, report)
+	}
 }

@@ -6,6 +6,8 @@
 // Usage:
 //
 //	pm2trace [flags] <program> [arg]
+//	pm2trace record [flags] -o <file>   # record a serving workload trace
+//	pm2trace replay [flags] -i <file>   # replay it byte-identically
 package main
 
 import (
@@ -16,10 +18,22 @@ import (
 
 	ipm2 "repro/internal/pm2"
 	"repro/internal/progs"
+	"repro/internal/scenario"
+	"repro/internal/scenario/serve"
 	"repro/pm2"
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "record":
+			recordCmd(os.Args[2:])
+			return
+		case "replay":
+			replayCmd(os.Args[2:])
+			return
+		}
+	}
 	nodes := flag.Int("nodes", 2, "cluster size")
 	node := flag.Int("node", 0, "starting node")
 	dist := flag.String("dist", "round-robin", "slot distribution")
@@ -113,4 +127,126 @@ func main() {
 func heapCounts(n *ipm2.Node) string {
 	a, f := n.Heap().Counts()
 	return fmt.Sprintf("%d/%d", a, f)
+}
+
+// recordCmd synthesizes the derived serving workload and writes it as a
+// versioned trace file: the harness parameters plus the fully-expanded
+// request stream, digest-sealed. The file is self-contained — replaying
+// it never re-synthesizes, so it stays byte-identical even if the
+// generator defaults change later.
+func recordCmd(args []string) {
+	fs := flag.NewFlagSet("pm2trace record", flag.ExitOnError)
+	out := fs.String("o", "", "output trace file (required)")
+	nodes := fs.Int("nodes", 4, "cluster size")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	pol := fs.String("policy", "", "placement policy (default negotiation)")
+	gather := fs.String("gather", "", "bitmap-gather strategy (default sequential)")
+	arbiter := fs.String("arbiter", "", "negotiation arbiter (default global)")
+	scale := fs.Float64("scale", 1, "arrival-rate multiplier")
+	fs.Parse(args)
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "usage: pm2trace record -o <file> [-nodes n] [-seed s] [-policy p] [-gather g] [-arbiter a] [-scale x]")
+		os.Exit(2)
+	}
+
+	// Canonicalize the harness parameters exactly as a live run would,
+	// so the recorded header matches the replayed run's trace header.
+	polName, err := pm2.ParsePolicy(*pol)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pm2trace: %v\n", err)
+		os.Exit(2)
+	}
+	gatherName, err := pm2.ParseGather(*gather)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pm2trace: %v\n", err)
+		os.Exit(2)
+	}
+	arbiterName, err := pm2.ParseArbiter(*arbiter)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pm2trace: %v\n", err)
+		os.Exit(2)
+	}
+
+	sp := serve.DeriveSpec(*seed, *nodes)
+	sp.RateScale = *scale
+	reqs, err := sp.Synthesize(*nodes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pm2trace: %v\n", err)
+		os.Exit(1)
+	}
+	tr := &serve.Trace{
+		Policy:   polName,
+		Nodes:    *nodes,
+		Seed:     sp.Seed,
+		Gather:   gatherName,
+		Arbiter:  arbiterName,
+		Requests: reqs,
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pm2trace: %v\n", err)
+		os.Exit(1)
+	}
+	if err := tr.Encode(f); err != nil {
+		fmt.Fprintf(os.Stderr, "pm2trace: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "pm2trace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("recorded %d requests to %s (digest %016x)\n", len(tr.Requests), *out, tr.Digest())
+}
+
+// replayCmd re-runs a recorded serving trace through the harness —
+// digest-verified on decode — and prints the canonical run trace plus
+// the per-cohort SLO summary. Two replays of the same file, and a
+// replay versus the live run it was recorded from, are byte-identical.
+func replayCmd(args []string) {
+	fs := flag.NewFlagSet("pm2trace replay", flag.ExitOnError)
+	in := fs.String("i", "", "input trace file (required)")
+	quiet := fs.Bool("q", false, "suppress the canonical run trace, print only the SLO summary")
+	fs.Parse(args)
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "usage: pm2trace replay -i <file> [-q]")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pm2trace: %v\n", err)
+		os.Exit(1)
+	}
+	tr, err := serve.Decode(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pm2trace: %v\n", err)
+		os.Exit(1)
+	}
+
+	res, err := scenario.Replay(scenario.Spec{
+		Policy:  tr.Policy,
+		Nodes:   tr.Nodes,
+		Seed:    tr.Seed,
+		Gather:  tr.Gather,
+		Arbiter: tr.Arbiter,
+	}, tr.Requests)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pm2trace: %v\n", err)
+		os.Exit(1)
+	}
+	if err := res.Verify(); err != nil {
+		fmt.Fprintf(os.Stderr, "pm2trace: replay failed verification: %v\n", err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Print(res.TraceString())
+	}
+	fmt.Printf("\n== replay summary (%d requests, virtual time %.1f µs)\n", len(tr.Requests), res.VirtualMicros)
+	fmt.Printf("%-8s %8s %12s %12s %12s %12s\n",
+		"cohort", "requests", "place p50µs", "place p99µs", "e2e p50µs", "e2e p99µs")
+	for _, s := range res.CohortSLOs() {
+		fmt.Printf("%-8s %8d %12.1f %12.1f %12.1f %12.1f\n",
+			s.Cohort, s.Requests, s.Placement.P50, s.Placement.P99, s.EndToEnd.P50, s.EndToEnd.P99)
+	}
 }

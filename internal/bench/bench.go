@@ -10,7 +10,6 @@ package bench
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/asm"
 	"repro/internal/core"
@@ -487,30 +486,14 @@ func Contention(nodes, m int, arbiters []pm2.ArbiterMode, gather pm2.GatherMode)
 		if row.MakespanMicros > 0 {
 			row.ThroughputPerMs = float64(succeeded) / (row.MakespanMicros / 1000)
 		}
-		row.P50, row.P95, row.P99 = latencyPercentiles(st.NegotiationLatencies)
+		// The shared nearest-rank helper (pm2.NearestRank): one percentile
+		// implementation across the bench tables, the scenario harness and
+		// the cohort SLO accounting.
+		pct := pm2.NearestRank(st.NegotiationLatencies)
+		row.P50, row.P95, row.P99 = pct.P50, pct.P95, pct.P99
 		rows = append(rows, row)
 	}
 	return rows
-}
-
-// latencyPercentiles computes nearest-rank p50/p95/p99 in microseconds.
-func latencyPercentiles(ls []simtime.Time) (p50, p95, p99 float64) {
-	if len(ls) == 0 {
-		return 0, 0, 0
-	}
-	sorted := append([]simtime.Time(nil), ls...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	at := func(p float64) float64 {
-		i := int(p*float64(len(sorted))+0.5) - 1
-		if i < 0 {
-			i = 0
-		}
-		if i >= len(sorted) {
-			i = len(sorted) - 1
-		}
-		return sorted[i].Micros()
-	}
-	return at(0.50), at(0.95), at(0.99)
 }
 
 // SlopeMicrosPerNode least-squares-fits cost against cluster size over

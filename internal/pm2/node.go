@@ -129,7 +129,10 @@ func newNode(c *Cluster, id int) *Node {
 	})
 	n.sched.SetEnv(n)
 	n.sched.SetHooks(marcel.Hooks{
-		Exit:    func(t *marcel.Thread) { delete(n.regPtrs, t.TID) },
+		Exit: func(t *marcel.Thread) {
+			delete(n.regPtrs, t.TID)
+			c.noteCohortExit(t.TID, n.actor.Now())
+		},
 		Fault:   n.onFault,
 		Migrate: n.migrateOut,
 	})

@@ -184,6 +184,12 @@ type Stats struct {
 	GatherMergedBytes uint64
 	// Defragmentations counts completed global restructurings (§4.4).
 	Defragmentations int
+	// CohortSamples holds the per-request SLO records of every spawn
+	// tagged through SpawnCohort, in spawn order: arrival,
+	// time-to-placement and end-to-end completion per named tenant
+	// cohort (see slo.go). Empty unless the serving-workload harness
+	// (or another caller) tags its spawns.
+	CohortSamples []CohortSample
 	// Net mirrors the BIP traffic counters.
 	Net bip.Stats
 }
@@ -220,6 +226,10 @@ type Cluster struct {
 	// tell the placement policy which nodes are fighting over contended
 	// slot regions.
 	versionDeclines []int
+	// cohortByTID maps a live tagged thread to its CohortSample index so
+	// the exit hook can stamp its completion (see slo.go). Lazily
+	// allocated on the first SpawnCohort.
+	cohortByTID map[uint32]int
 }
 
 // New builds a cluster over the (sealed) program image.
@@ -340,6 +350,7 @@ func (c *Cluster) Stats() Stats {
 	s.Net = c.nw.Stats()
 	s.MigrationLatencies = append([]simtime.Time(nil), c.stats.MigrationLatencies...)
 	s.NegotiationLatencies = append([]simtime.Time(nil), c.stats.NegotiationLatencies...)
+	s.CohortSamples = append([]CohortSample(nil), c.stats.CohortSamples...)
 	return s
 }
 
@@ -357,6 +368,12 @@ func (c *Cluster) At(i int, fn func(n *Node)) {
 // always honors the preference). If the chosen node has run out of
 // slots, one is bought through the negotiation protocol first (§4.4).
 func (c *Cluster) Spawn(i int, prog string, arg uint32) {
+	c.spawn(i, prog, arg, -1)
+}
+
+// spawn is the shared spawn path; sample >= 0 names the CohortSample to
+// stamp when the thread is placed (see slo.go).
+func (c *Cluster) spawn(i int, prog string, arg uint32, sample int) {
 	entry, ok := c.im.EntryOf(prog)
 	if !ok {
 		panic(fmt.Sprintf("pm2: unknown program %q", prog))
@@ -366,7 +383,8 @@ func (c *Cluster) Spawn(i int, prog string, arg uint32) {
 		i = c.pol.PlaceSpawn(i, c.eng.Now())
 	}
 	c.At(i, func(n *Node) {
-		if _, err := n.sched.Create(entry, arg); err == nil {
+		if th, err := n.sched.Create(entry, arg); err == nil {
+			c.noteCohortPlaced(sample, n.id, th.TID, n.actor.Now())
 			n.kick()
 			return
 		}
@@ -374,6 +392,7 @@ func (c *Cluster) Spawn(i int, prog string, arg uint32) {
 			if tid == 0 {
 				panic(fmt.Sprintf("pm2: spawn %s on node %d: cluster out of slots", prog, i))
 			}
+			c.noteCohortPlaced(sample, n.id, tid, n.actor.Now())
 			n.kick()
 		})
 	})

@@ -1,0 +1,126 @@
+package pm2
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/simtime"
+)
+
+// Percentiles summarizes a latency distribution in microseconds.
+type Percentiles struct {
+	P50, P95, P99 float64
+}
+
+// NearestRank computes nearest-rank percentiles over a latency series
+// (zero-valued when the series is empty). The nearest-rank index of
+// percentile p over n sorted samples is ceil(p*n)-1 — not the
+// round-half-up int(p*n+0.5)-1, which under-reports the tail on small
+// series (at n=10, p=0.94 it picks the 9th sample instead of the 10th;
+// at n=13, p=0.95 the 12th instead of the 13th). This is the one
+// percentile implementation in the repository: the scenario harness,
+// the per-cohort SLO accounting and the bench tables all call it.
+func NearestRank(ls []simtime.Time) Percentiles {
+	if len(ls) == 0 {
+		return Percentiles{}
+	}
+	sorted := append([]simtime.Time(nil), ls...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(p float64) float64 {
+		i := int(math.Ceil(p*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i].Micros()
+	}
+	return Percentiles{P50: at(0.50), P95: at(0.95), P99: at(0.99)}
+}
+
+// CohortSample is the lifecycle record of one tagged request: a thread
+// spawned through Cluster.SpawnCohort on behalf of a named tenant
+// cohort. Arrival is when the spawn was requested, Placed when the
+// thread existed on its node (slot acquired — negotiated if the node
+// was out of slots — descriptor and stack initialized, thread
+// enqueued), Finished when it exited, wherever migrations took it.
+type CohortSample struct {
+	Cohort string
+	// Node is the rank the thread was placed on (-1 until placed).
+	Node    int
+	Arrival simtime.Time
+	// Placed is valid once PlacedOK; Placed-Arrival is the
+	// time-to-placement.
+	Placed   simtime.Time
+	PlacedOK bool
+	// Finished is valid once Done; Finished-Arrival is the end-to-end
+	// latency. A sample with Done == false belongs to a run that was cut
+	// off (saturated) before the request completed.
+	Finished simtime.Time
+	Done     bool
+}
+
+// PlacementLatency returns the time-to-placement (zero if never placed).
+func (s CohortSample) PlacementLatency() simtime.Time {
+	if !s.PlacedOK {
+		return 0
+	}
+	return s.Placed - s.Arrival
+}
+
+// EndToEndLatency returns the arrival-to-exit latency (zero if the
+// request never completed).
+func (s CohortSample) EndToEndLatency() simtime.Time {
+	if !s.Done {
+		return 0
+	}
+	return s.Finished - s.Arrival
+}
+
+// SpawnCohort is Spawn with per-request SLO accounting: the spawn is
+// recorded as a CohortSample under the given cohort name, its placement
+// stamped when the thread is created and its completion stamped when
+// the thread exits (on whatever node it reached). The serving-workload
+// harness tags every open-loop arrival through this entry point; plain
+// Spawn records nothing and is byte- and charge-identical to before.
+func (c *Cluster) SpawnCohort(i int, prog string, arg uint32, cohort string) {
+	idx := len(c.stats.CohortSamples)
+	c.stats.CohortSamples = append(c.stats.CohortSamples, CohortSample{
+		Cohort:  cohort,
+		Node:    -1,
+		Arrival: c.eng.Now(),
+	})
+	c.spawn(i, prog, arg, idx)
+}
+
+// noteCohortPlaced stamps sample idx as placed on node at time at and
+// indexes it by tid so the exit hook can complete it.
+func (c *Cluster) noteCohortPlaced(idx, node int, tid uint32, at simtime.Time) {
+	if idx < 0 {
+		return
+	}
+	s := &c.stats.CohortSamples[idx]
+	s.Node = node
+	s.Placed = at
+	s.PlacedOK = true
+	if c.cohortByTID == nil {
+		c.cohortByTID = make(map[uint32]int)
+	}
+	c.cohortByTID[tid] = idx
+}
+
+// noteCohortExit completes the sample indexed by tid, if any. Called
+// from every node's thread-exit hook; TIDs are cluster-unique and
+// survive migration, so the completion lands on the right sample no
+// matter where the thread died.
+func (c *Cluster) noteCohortExit(tid uint32, at simtime.Time) {
+	idx, ok := c.cohortByTID[tid]
+	if !ok {
+		return
+	}
+	delete(c.cohortByTID, tid)
+	s := &c.stats.CohortSamples[idx]
+	s.Finished = at
+	s.Done = true
+}

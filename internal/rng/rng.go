@@ -1,0 +1,108 @@
+// Package rng is the repository's deterministic random stream: a
+// splitmix64 generator owned by us instead of math/rand so workload
+// streams are reproducible bit-for-bit across Go releases — golden
+// traces and recorded serve traces both depend on it.
+//
+// Seed handling follows one rule, shared by every consumer (the
+// scenario harness defaults, the serve trace-file header, and the
+// generator itself): seed 0 is canonicalized to 1 by CanonSeed, and New
+// applies CanonSeed before seeding. A recorded trace therefore always
+// carries the canonical seed, and replaying it can never desync from a
+// live run that was started with seed 0.
+package rng
+
+import "math"
+
+// CanonSeed maps the zero seed to the canonical default 1. Every layer
+// that stores or compares seeds must canonicalize through this one
+// function so recorded and live streams agree.
+func CanonSeed(seed uint64) uint64 {
+	if seed == 0 {
+		return 1
+	}
+	return seed
+}
+
+// Rand is a splitmix64 PRNG.
+type Rand struct {
+	state uint64
+}
+
+// New seeds a generator with CanonSeed(seed).
+func New(seed uint64) *Rand {
+	return &Rand{state: CanonSeed(seed)}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n). n must be positive.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn on non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Range returns a value in [lo, hi].
+func (r *Rand) Range(lo, hi int) int {
+	if hi < lo {
+		panic("rng: empty range")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Exp returns an exponentially distributed value with the given rate
+// (mean 1/rate). rate must be positive.
+func (r *Rand) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exp needs a positive rate")
+	}
+	// 1-u is in (0, 1], so the log is finite.
+	u := r.Float64()
+	return -math.Log(1-u) / rate
+}
+
+// Normal returns a standard normal value via Box–Muller. Each call
+// consumes two uniforms (no caching of the second deviate — keeping the
+// draw count per sample fixed keeps recorded streams reproducible even
+// if callers interleave other draws).
+func (r *Rand) Normal() float64 {
+	u1 := r.Float64()
+	u2 := r.Float64()
+	// u1 = 0 would take log(0); shift into (0, 1].
+	radius := math.Sqrt(-2 * math.Log(1-u1))
+	angle := 2 * math.Pi * u2
+	return radius * math.Cos(angle)
+}
+
+// LogNormal returns exp(N(mu, sigma)): median exp(mu), heavy right tail
+// growing with sigma. The intermediate products are assigned to
+// variables so the compiler cannot fuse them into an FMA — fused
+// rounding would make recorded streams architecture-dependent.
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	z := r.Normal()
+	sz := sigma * z
+	return math.Exp(mu + sz)
+}
+
+// Pareto returns a Pareto(scale, alpha) value: scale * u^(-1/alpha),
+// heavy-tailed with tail index alpha (smaller alpha = heavier tail).
+func (r *Rand) Pareto(scale, alpha float64) float64 {
+	if alpha <= 0 {
+		panic("rng: Pareto needs a positive alpha")
+	}
+	u := r.Float64()
+	return scale * math.Pow(1-u, -1/alpha)
+}

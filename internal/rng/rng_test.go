@@ -1,0 +1,100 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCanonSeed(t *testing.T) {
+	if got := CanonSeed(0); got != 1 {
+		t.Fatalf("CanonSeed(0) = %d, want 1", got)
+	}
+	for _, s := range []uint64{1, 2, 42, math.MaxUint64} {
+		if got := CanonSeed(s); got != s {
+			t.Fatalf("CanonSeed(%d) = %d, want identity", s, got)
+		}
+	}
+}
+
+// Seed 0 and seed 1 must be the same stream — the one canonical seed
+// rule the trace format and the scenario defaults both rely on.
+func TestZeroSeedAliasesOne(t *testing.T) {
+	a, b := New(0), New(1)
+	for i := 0; i < 64; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("draw %d: seed 0 gave %#x, seed 1 gave %#x", i, x, y)
+		}
+	}
+}
+
+// The splitmix64 stream is pinned bit-for-bit: recorded serve traces
+// and golden scenario traces would silently change if these moved.
+func TestSplitmix64KnownAnswers(t *testing.T) {
+	r := New(1234567)
+	want := []uint64{0x599ed017fb08fc85, 0x2c73f08458540fa5, 0x883ebce5a3f27c77}
+	for i, w := range want {
+		if got := r.Uint64(); got != w {
+			t.Fatalf("draw %d: got %#016x, want %#016x", i, got, w)
+		}
+	}
+}
+
+func TestDistributionsDeterministicAndInRange(t *testing.T) {
+	a, b := New(99), New(99)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Float64(), b.Float64(); x != y {
+			t.Fatalf("Float64 diverged at draw %d", i)
+		} else if x < 0 || x >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", x)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Exp(1.5), b.Exp(1.5); x != y {
+			t.Fatalf("Exp diverged at draw %d", i)
+		} else if x < 0 || math.IsInf(x, 0) || math.IsNaN(x) {
+			t.Fatalf("Exp out of range: %v", x)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		if x, y := a.LogNormal(8, 0.6), b.LogNormal(8, 0.6); x != y {
+			t.Fatalf("LogNormal diverged at draw %d", i)
+		} else if x <= 0 {
+			t.Fatalf("LogNormal non-positive: %v", x)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Pareto(8000, 1.5), b.Pareto(8000, 1.5); x != y {
+			t.Fatalf("Pareto diverged at draw %d", i)
+		} else if x < 8000 {
+			t.Fatalf("Pareto below scale: %v", x)
+		}
+	}
+}
+
+// Normal consumes exactly two uniforms per draw — interleaving other
+// draws must not shift the stream (no cached second deviate).
+func TestNormalFixedDrawCount(t *testing.T) {
+	a := New(7)
+	a.Normal()
+	after := a.Uint64()
+
+	b := New(7)
+	b.Uint64()
+	b.Uint64()
+	if got := b.Uint64(); got != after {
+		t.Fatalf("Normal consumed a number of uniforms other than 2")
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 1000; i++ {
+		v := r.Range(5, 9)
+		if v < 5 || v > 9 {
+			t.Fatalf("Range(5,9) = %d", v)
+		}
+	}
+	if v := r.Range(4, 4); v != 4 {
+		t.Fatalf("Range(4,4) = %d", v)
+	}
+}

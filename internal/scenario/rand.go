@@ -1,42 +1,17 @@
 package scenario
 
-// Rand is a splitmix64 PRNG. The harness owns its own generator instead
-// of math/rand so scenario streams are reproducible bit-for-bit across
-// Go releases — golden traces depend on it.
-type Rand struct {
-	state uint64
-}
+import "repro/internal/rng"
 
-// NewRand seeds a generator. Seed 0 is remapped so the stream is never
-// degenerate.
+// Rand is the harness's deterministic splitmix64 stream (see
+// internal/rng; the harness owns its generator instead of math/rand so
+// scenario streams are reproducible bit-for-bit across Go releases —
+// golden traces depend on it).
+type Rand = rng.Rand
+
+// NewRand seeds a generator under the repository-wide seed rule: seed 0
+// is canonicalized to 1 (rng.CanonSeed), the same rule Spec.withDefaults
+// applies, so a recorded trace header and a live run can never disagree
+// about which stream seed 0 means.
 func NewRand(seed uint64) *Rand {
-	if seed == 0 {
-		seed = 0x9e3779b97f4a7c15
-	}
-	return &Rand{state: seed}
-}
-
-// Uint64 returns the next 64 random bits.
-func (r *Rand) Uint64() uint64 {
-	r.state += 0x9e3779b97f4a7c15
-	z := r.state
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
-
-// Intn returns a value in [0, n). n must be positive.
-func (r *Rand) Intn(n int) int {
-	if n <= 0 {
-		panic("scenario: Intn on non-positive bound")
-	}
-	return int(r.Uint64() % uint64(n))
-}
-
-// Range returns a value in [lo, hi].
-func (r *Rand) Range(lo, hi int) int {
-	if hi < lo {
-		panic("scenario: empty range")
-	}
-	return lo + r.Intn(hi-lo+1)
+	return rng.New(seed)
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/loadbal"
 	ipm2 "repro/internal/pm2"
 	"repro/internal/policy"
+	"repro/internal/scenario/serve"
 	"repro/internal/simtime"
 )
 
@@ -38,44 +39,80 @@ type Result struct {
 	ThreadsLeft []int
 	// VirtualMicros is the total virtual time consumed.
 	VirtualMicros float64
+	// Steps is the number of engine events the run executed — the cost
+	// the step budget (Spec.MaxSteps) is charged against.
+	Steps uint64
+	// Saturated reports that the run exhausted its step budget with
+	// work still pending: the offered load outran the cluster. The
+	// Result is the partial measurement up to the cutoff. Only runs
+	// with Spec.AllowSaturated reach callers in this state.
+	Saturated bool
 
 	expects []expectation
 }
 
-// Percentiles summarizes a latency distribution in microseconds.
-type Percentiles struct {
-	P50, P95, P99 float64
-}
-
-// percentiles computes nearest-rank percentiles over a latency series
-// (zero-valued when the series is empty).
-func percentiles(ls []simtime.Time) Percentiles {
-	if len(ls) == 0 {
-		return Percentiles{}
-	}
-	sorted := append([]simtime.Time(nil), ls...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	at := func(p float64) float64 {
-		i := int(p*float64(len(sorted))+0.5) - 1
-		if i < 0 {
-			i = 0
-		}
-		if i >= len(sorted) {
-			i = len(sorted) - 1
-		}
-		return sorted[i].Micros()
-	}
-	return Percentiles{P50: at(0.50), P95: at(0.95), P99: at(0.99)}
-}
+// Percentiles summarizes a latency distribution in microseconds. It is
+// the shared nearest-rank helper from internal/pm2 — one
+// implementation, used by the harness, the cohort SLO accounting, and
+// the bench tables alike.
+type Percentiles = ipm2.Percentiles
 
 // NegotiationPercentiles summarizes the run's negotiation latencies.
 func (r *Result) NegotiationPercentiles() Percentiles {
-	return percentiles(r.Stats.NegotiationLatencies)
+	return ipm2.NearestRank(r.Stats.NegotiationLatencies)
 }
 
 // MigrationPercentiles summarizes the run's migration latencies.
 func (r *Result) MigrationPercentiles() Percentiles {
-	return percentiles(r.Stats.MigrationLatencies)
+	return ipm2.NearestRank(r.Stats.MigrationLatencies)
+}
+
+// CohortSLO is one cohort's per-request service summary.
+type CohortSLO struct {
+	// Cohort is the tenant name.
+	Cohort string
+	// Requests counts tagged spawns; Completed counts those whose
+	// thread exited before the run (or its step budget) ended. They
+	// differ only on saturated runs.
+	Requests  int
+	Completed int
+	// Placement is time-to-placement (spawn request to running thread,
+	// including any §4.4 slot negotiation); EndToEnd is arrival to
+	// thread exit. Both over completed samples only, nearest-rank, µs.
+	Placement Percentiles
+	EndToEnd  Percentiles
+}
+
+// CohortSLOs summarizes the per-request accounting by cohort, sorted by
+// cohort name. Empty for scenarios that never tag a spawn.
+func (r *Result) CohortSLOs() []CohortSLO {
+	byName := map[string]*CohortSLO{}
+	place := map[string][]simtime.Time{}
+	e2e := map[string][]simtime.Time{}
+	var names []string
+	for _, s := range r.Stats.CohortSamples {
+		c := byName[s.Cohort]
+		if c == nil {
+			c = &CohortSLO{Cohort: s.Cohort}
+			byName[s.Cohort] = c
+			names = append(names, s.Cohort)
+		}
+		c.Requests++
+		if s.Done {
+			c.Completed++
+			place[s.Cohort] = append(place[s.Cohort], s.PlacementLatency())
+			e2e[s.Cohort] = append(e2e[s.Cohort], s.EndToEndLatency())
+		}
+	}
+	sort.Strings(names)
+	out := make([]CohortSLO, 0, len(names))
+	for _, n := range names {
+		c := byName[n]
+		c.Placement = ipm2.NearestRank(place[n])
+		c.EndToEnd = ipm2.NearestRank(e2e[n])
+		out = append(out, *c)
+	}
+	return out
 }
 
 // TraceString renders the canonical trace, one line each, newline
@@ -104,6 +141,25 @@ func (r *Result) Verify() error {
 
 // Run executes one scenario under one policy and returns its result.
 func Run(spec Spec) (*Result, error) {
+	return run(spec, nil)
+}
+
+// Replay executes a pre-expanded serve request stream under the
+// harness, bypassing synthesis: the stream on the wire is the stream
+// that runs. The live serve generator and Replay share the scheduling
+// path, so replaying a recorded trace with the same Spec reproduces the
+// live run's canonical trace byte for byte. Replay is also how the
+// bench saturation sweep injects rate-scaled streams.
+func Replay(spec Spec, reqs []serve.Request) (*Result, error) {
+	if spec.Scenario == "" {
+		spec.Scenario = "serve"
+	}
+	return run(spec, reqs)
+}
+
+// run is the shared harness body: replay == nil plans via the spec's
+// generator, otherwise the replay stream is scheduled directly.
+func run(spec Spec, replay []serve.Request) (*Result, error) {
 	spec = spec.withDefaults()
 	gen, ok := LookupGenerator(spec.Scenario)
 	if !ok {
@@ -135,19 +191,34 @@ func Run(spec Spec) (*Result, error) {
 
 	rec.logf("scenario=%s policy=%s nodes=%d seed=%d", spec.Scenario, spec.Policy, spec.Nodes, spec.Seed)
 	d := &Driver{spec: spec, cl: cl, r: NewRand(spec.Seed), rec: rec}
-	gen.Plan(d)
+	if replay != nil {
+		d.scheduleRequests(replay)
+	} else {
+		gen.Plan(d)
+	}
 
 	bal := loadbal.Attach(cl, loadbal.Config{
 		Period:         balancePeriod,
 		KeepAliveUntil: d.horizon + 2*balancePeriod,
 	})
 
-	cl.Run(maxSteps)
-	if cl.Engine().Pending() > 0 {
-		return nil, fmt.Errorf("scenario %s/%s: engine not drained after %d steps", spec.Scenario, spec.Policy, maxSteps)
+	budget := uint64(maxSteps)
+	if spec.MaxSteps > 0 {
+		budget = uint64(spec.MaxSteps)
 	}
-	if err := cl.CheckInvariants(); err != nil {
-		return nil, fmt.Errorf("scenario %s/%s: %w", spec.Scenario, spec.Policy, err)
+	cl.Run(budget)
+	saturated := cl.Engine().Pending() > 0
+	if saturated && !spec.AllowSaturated {
+		// Closed-loop scenarios must drain: an exhausted budget there is
+		// a runaway run, not a measurement.
+		return nil, fmt.Errorf("scenario %s/%s: engine not drained after %d steps", spec.Scenario, spec.Policy, budget)
+	}
+	if !saturated {
+		// Invariants are checked on quiescent clusters only; a saturated
+		// cutoff legitimately leaves threads and messages in flight.
+		if err := cl.CheckInvariants(); err != nil {
+			return nil, fmt.Errorf("scenario %s/%s: %w", spec.Scenario, spec.Policy, err)
+		}
 	}
 
 	res := &Result{
@@ -156,6 +227,8 @@ func Run(spec Spec) (*Result, error) {
 		Stats:         cl.Stats(),
 		BalancerMoves: bal.Moves(),
 		VirtualMicros: cl.Now().Micros(),
+		Steps:         cl.Engine().Steps(),
+		Saturated:     saturated,
 		expects:       d.expects,
 	}
 	threads := make([]string, spec.Nodes)

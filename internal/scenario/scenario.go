@@ -1,14 +1,17 @@
 // Package scenario is the deterministic workload harness for the
 // migration-policy engine (internal/policy): parameterized generators —
-// burst spawn, skewed hotspot, churn, deep-stack chains — drive the
+// burst spawn, skewed hotspot, churn, deep-stack chains, negotiation
+// stress, arbiter contention, and the open-loop multi-tenant serving
+// workload (serve, backed by internal/scenario/serve) — drive the
 // virtual-time cluster under a chosen policy and emit comparable
 // per-policy stats plus a canonical event trace.
 //
 // Everything is deterministic: the generators draw from a seeded
-// splitmix64 stream, the cluster runs in discrete virtual time, and the
-// policies are deterministic by contract. The same (scenario, policy,
-// nodes, seed) tuple therefore produces a byte-identical trace, which is
-// what the golden-trace regression tests pin down.
+// splitmix64 stream (internal/rng), the cluster runs in discrete
+// virtual time, and the policies are deterministic by contract. The
+// same (scenario, policy, nodes, seed) tuple therefore produces a
+// byte-identical trace, which is what the golden-trace regression tests
+// pin down — and what lets a recorded serve trace replay exactly.
 package scenario
 
 import (
@@ -18,6 +21,8 @@ import (
 	"repro/internal/isa"
 	ipm2 "repro/internal/pm2"
 	"repro/internal/progs"
+	"repro/internal/rng"
+	"repro/internal/scenario/serve"
 	"repro/internal/simtime"
 )
 
@@ -41,15 +46,21 @@ type Spec struct {
 	// pm2.ParseArbiterMode); empty selects the paper-faithful global
 	// lock on node 0.
 	Arbiter string
+	// MaxSteps overrides the engine step budget (default 10M). The
+	// saturation sweep sets a small budget so past-knee runs cut off
+	// cheaply — virtual steps are deterministic, so the cutoff is too.
+	MaxSteps int
+	// AllowSaturated makes an exhausted step budget a measurement
+	// (Result.Saturated) instead of an error. Closed-loop scenarios
+	// leave it false: for them an undrained engine is a runaway bug.
+	AllowSaturated bool
 }
 
 func (s Spec) withDefaults() Spec {
 	if s.Nodes <= 0 {
 		s.Nodes = 4
 	}
-	if s.Seed == 0 {
-		s.Seed = 1
-	}
+	s.Seed = rng.CanonSeed(s.Seed)
 	return s
 }
 
@@ -63,7 +74,7 @@ type Generator struct {
 
 // Generators lists every workload generator, in canonical order.
 func Generators() []Generator {
-	return []Generator{burstGen, hotspotGen, churnGen, deepChainGen, negoStressGen, contendGen}
+	return []Generator{burstGen, hotspotGen, churnGen, deepChainGen, negoStressGen, contendGen, serveGen}
 }
 
 // LookupGenerator resolves a generator by name.
@@ -111,13 +122,44 @@ func (d *Driver) Rand() *Rand { return d.r }
 // SpawnAt schedules program prog with argument arg at virtual time at,
 // preferring node pref; the placement policy has the final word.
 func (d *Driver) SpawnAt(at simtime.Time, pref int, prog string, arg uint32) {
+	d.SpawnCohortAt(at, pref, prog, arg, "")
+}
+
+// SpawnCohortAt is SpawnAt with SLO accounting: a non-empty cohort tags
+// the thread so the cluster records its time-to-placement and
+// end-to-end latency (Stats.CohortSamples). The trace line gains a
+// " cohort=x" suffix only when the tag is non-empty, so untagged
+// scenarios keep their historical trace bytes.
+func (d *Driver) SpawnCohortAt(at simtime.Time, pref int, prog string, arg uint32, cohort string) {
 	if at > d.horizon {
 		d.horizon = at
 	}
 	d.cl.Engine().At(at, func() {
-		d.rec.logf("t=%.3f spawn %s/%d pref=%d", at.Micros(), prog, arg, pref)
-		d.cl.Spawn(pref, prog, arg)
+		if cohort == "" {
+			d.rec.logf("t=%.3f spawn %s/%d pref=%d", at.Micros(), prog, arg, pref)
+			d.cl.Spawn(pref, prog, arg)
+			return
+		}
+		d.rec.logf("t=%.3f spawn %s/%d pref=%d cohort=%s", at.Micros(), prog, arg, pref, cohort)
+		d.cl.SpawnCohort(pref, prog, arg, cohort)
 	})
+}
+
+// scheduleRequests schedules an expanded serve request stream — the one
+// path shared by the live serve generator and trace replay, so a
+// recorded run and its replay schedule identical events and expect
+// identical output.
+func (d *Driver) scheduleRequests(reqs []serve.Request) {
+	for _, q := range reqs {
+		d.SpawnCohortAt(q.At, q.Pref, q.Prog, q.Arg, q.Cohort)
+		switch q.Prog {
+		case "chain":
+			n := int(q.Arg)
+			d.Expect(fmt.Sprintf("chain sum = %d on node", n*(n+1)/2))
+		default:
+			d.Expect(" finished on node ")
+		}
+	}
 }
 
 // Expect records that the run's output must contain a line with substr,
@@ -245,6 +287,25 @@ var contendGen = Generator{
 				d.Expect(" freed on node ")
 			}
 		}
+	},
+}
+
+// serveGen is the open-loop serving workload: the default three-tenant
+// spec from internal/scenario/serve (steady api traffic, a diurnal
+// sticky batch tenant, sparse deep-stack chains), synthesized for this
+// run's seed and cluster size and scheduled with per-cohort SLO
+// accounting. Unlike the closed-loop generators above, arrivals do not
+// wait for completions — the workload the saturation sweep rate-scales.
+var serveGen = Generator{
+	Name: "serve",
+	Plan: func(d *Driver) {
+		reqs, err := serve.DeriveSpec(d.spec.Seed, d.Nodes()).Synthesize(d.Nodes())
+		if err != nil {
+			// The derived spec is valid by construction; a failure here
+			// is a programming error, not an input error.
+			panic(fmt.Sprintf("scenario: serve synthesis failed: %v", err))
+		}
+		d.scheduleRequests(reqs)
 	},
 }
 

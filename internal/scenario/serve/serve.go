@@ -1,0 +1,412 @@
+// Package serve synthesizes open-loop serving workloads for the
+// scenario harness: the traffic a production PM2 would face, as opposed
+// to the closed-loop micro-shapes of the other generators.
+//
+// A Spec names tenant cohorts; each cohort has an arrival process
+// (open-loop Poisson, or a diurnal multi-period curve that cycles
+// piecewise-constant rate weights), a heavy-tailed work-size
+// distribution (lognormal or Pareto, with clamps), a program profile
+// (compute-loop workers or deep-stack chain threads), and a placement
+// preference (spread across the cluster, or homed on one node like a
+// sticky tenant). Synthesize expands the Spec into a deterministic
+// request stream — every draw comes from per-cohort splitmix64
+// substreams (internal/rng), so the same (Spec, nodes) pair always
+// yields the identical stream, which is what the trace-file format
+// (trace.go) records and replays byte-identically.
+//
+// The scenario harness registers the "serve" generator on top of this
+// package and threads per-request SLO accounting (time-to-placement and
+// end-to-end latency per cohort) through the run; internal/bench sweeps
+// Spec.RateScale to locate the cluster's throughput knee.
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+// Arrival process names.
+const (
+	ArrivalPoisson = "poisson"
+	ArrivalDiurnal = "diurnal"
+)
+
+// Work-size distribution names.
+const (
+	WorkLogNormal = "lognormal"
+	WorkPareto    = "pareto"
+	WorkFixed     = "fixed"
+)
+
+// Request is one open-loop arrival: at virtual time At, a thread
+// running Prog with argument Arg is spawned preferring node Pref, on
+// behalf of cohort Cohort.
+type Request struct {
+	At     simtime.Time
+	Cohort string
+	Prog   string
+	Arg    uint32
+	Pref   int
+}
+
+// Period is one segment of a diurnal arrival curve: for DurationMicros
+// of virtual time the cohort's base rate is multiplied by Weight. The
+// period list cycles until the horizon.
+type Period struct {
+	Weight         float64
+	DurationMicros float64
+}
+
+// Cohort is one named tenant profile.
+type Cohort struct {
+	// Name identifies the cohort in SLO accounting and trace files. It
+	// must be a non-empty token without whitespace.
+	Name string
+	// Arrival selects the arrival process (default poisson).
+	Arrival string
+	// RatePerMs is the base arrival rate in requests per virtual
+	// millisecond (scaled by Spec.RateScale, and per-period by Weight
+	// under the diurnal process).
+	RatePerMs float64
+	// Periods is the diurnal curve (required iff Arrival == diurnal).
+	Periods []Period
+	// Work selects the work-size distribution (default lognormal).
+	Work string
+	// WorkScale is the distribution scale: the median for lognormal,
+	// the minimum for Pareto, the exact value for fixed.
+	WorkScale float64
+	// WorkSigma is the lognormal shape (σ of the underlying normal).
+	WorkSigma float64
+	// WorkAlpha is the Pareto tail index (smaller = heavier tail).
+	WorkAlpha float64
+	// WorkMin/WorkMax clamp every draw (0 = unclamped).
+	WorkMin, WorkMax uint32
+	// Prog is the thread profile: "worker" (compute loop of Arg
+	// iterations with private isomalloc state; the default) or "chain"
+	// (recurse to depth Arg and migrate at the deepest frame — the
+	// paper's deep-stack stress as a serving tenant).
+	Prog string
+	// Spread picks a uniform-random preferred node per request; when
+	// false every request prefers Home (a sticky tenant hammering one
+	// node).
+	Spread bool
+	// Home is the preferred node of a non-spread cohort.
+	Home int
+}
+
+// Spec is one serving workload: named cohorts arriving open-loop over a
+// fixed horizon.
+type Spec struct {
+	// Seed feeds the per-cohort splitmix64 substreams. Stored
+	// canonically (rng.CanonSeed): seed 0 means seed 1, everywhere.
+	Seed uint64
+	// HorizonMicros is the arrival window in virtual microseconds;
+	// arrivals stop at the horizon, the run drains afterwards.
+	HorizonMicros float64
+	// RateScale multiplies every cohort's rate — the saturation sweep's
+	// knob (default 1).
+	RateScale float64
+	// Cohorts lists the tenant profiles.
+	Cohorts []Cohort
+}
+
+// WithDefaults fills zero fields with their documented defaults and
+// canonicalizes the seed.
+func (s Spec) WithDefaults() Spec {
+	s.Seed = rng.CanonSeed(s.Seed)
+	if s.HorizonMicros <= 0 {
+		s.HorizonMicros = 10_000
+	}
+	if s.RateScale <= 0 {
+		s.RateScale = 1
+	}
+	out := make([]Cohort, len(s.Cohorts))
+	for i, c := range s.Cohorts {
+		if c.Arrival == "" {
+			c.Arrival = ArrivalPoisson
+		}
+		if c.Work == "" {
+			c.Work = WorkLogNormal
+		}
+		if c.Prog == "" {
+			c.Prog = "worker"
+		}
+		out[i] = c
+	}
+	s.Cohorts = out
+	return s
+}
+
+// Validate rejects malformed specs with a descriptive error.
+func (s Spec) Validate() error {
+	if len(s.Cohorts) == 0 {
+		return fmt.Errorf("serve: spec has no cohorts")
+	}
+	seen := map[string]bool{}
+	for _, c := range s.Cohorts {
+		if c.Name == "" || hasSpace(c.Name) {
+			return fmt.Errorf("serve: cohort name %q must be a non-empty token", c.Name)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("serve: duplicate cohort %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.RatePerMs <= 0 {
+			return fmt.Errorf("serve: cohort %s: rate %v must be positive", c.Name, c.RatePerMs)
+		}
+		switch c.Arrival {
+		case ArrivalPoisson:
+		case ArrivalDiurnal:
+			if len(c.Periods) == 0 {
+				return fmt.Errorf("serve: cohort %s: diurnal arrivals need periods", c.Name)
+			}
+			for _, p := range c.Periods {
+				if p.Weight < 0 || p.DurationMicros <= 0 {
+					return fmt.Errorf("serve: cohort %s: bad period %+v", c.Name, p)
+				}
+			}
+		default:
+			return fmt.Errorf("serve: cohort %s: unknown arrival process %q", c.Name, c.Arrival)
+		}
+		switch c.Work {
+		case WorkLogNormal, WorkPareto, WorkFixed:
+		default:
+			return fmt.Errorf("serve: cohort %s: unknown work distribution %q", c.Name, c.Work)
+		}
+		if c.WorkScale <= 0 {
+			return fmt.Errorf("serve: cohort %s: work scale %v must be positive", c.Name, c.WorkScale)
+		}
+		if c.Work == WorkPareto && c.WorkAlpha <= 0 {
+			return fmt.Errorf("serve: cohort %s: pareto needs a positive alpha", c.Name)
+		}
+		switch c.Prog {
+		case "worker", "chain":
+		default:
+			return fmt.Errorf("serve: cohort %s: unknown program profile %q", c.Name, c.Prog)
+		}
+	}
+	return nil
+}
+
+func hasSpace(s string) bool {
+	for _, r := range s {
+		if r == ' ' || r == '\t' || r == '\n' || r == '\r' {
+			return true
+		}
+	}
+	return false
+}
+
+// DeriveSpec is the registered serve generator's default workload: three
+// tenant cohorts over a 10 ms horizon —
+//
+//   - api: open-loop Poisson, moderate lognormal works, spread prefs
+//     (the steady interactive tenant);
+//   - batch: diurnal two-period curve (quiet quarter-rate, then a
+//     7/4-rate burst), Pareto heavy-tail works, homed on node 0 (the
+//     sticky bulk tenant that stresses balancing);
+//   - deep: sparse Poisson chain threads with Pareto stack depths (the
+//     paper's deep-stack migration stress as a serving tenant).
+//
+// Deterministic in (seed, nodes); the scenario goldens pin its stream.
+func DeriveSpec(seed uint64, nodes int) Spec {
+	_ = nodes // profiles are cluster-size independent; prefs are drawn at synthesis
+	return Spec{
+		Seed:          rng.CanonSeed(seed),
+		HorizonMicros: 10_000,
+		RateScale:     1,
+		Cohorts: []Cohort{
+			{
+				Name: "api", Arrival: ArrivalPoisson, RatePerMs: 1.2,
+				Work: WorkLogNormal, WorkScale: 6000, WorkSigma: 0.6,
+				WorkMin: 2000, WorkMax: 24000, Prog: "worker", Spread: true,
+			},
+			{
+				Name: "batch", Arrival: ArrivalDiurnal, RatePerMs: 0.8,
+				Periods: []Period{{Weight: 0.25, DurationMicros: 2500}, {Weight: 1.75, DurationMicros: 2500}},
+				Work:    WorkPareto, WorkScale: 8000, WorkAlpha: 1.5,
+				WorkMin: 8000, WorkMax: 40000, Prog: "worker", Home: 0,
+			},
+			{
+				Name: "deep", Arrival: ArrivalPoisson, RatePerMs: 0.35,
+				Work: WorkPareto, WorkScale: 10, WorkAlpha: 1.2,
+				WorkMin: 8, WorkMax: 28, Prog: "chain", Spread: true,
+			},
+		},
+	}
+}
+
+// Synthesize expands the spec into its deterministic request stream for
+// a cluster of the given size: per-cohort substreams are drawn
+// independently (seeded from Spec.Seed and the cohort name), then
+// merged into one stream ordered by arrival time, with cohort order as
+// the tiebreak. Arrival times are quantized to whole microseconds so
+// the stream is robust to sub-µs float noise.
+func (s Spec) Synthesize(nodes int) ([]Request, error) {
+	s = s.WithDefaults()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if nodes <= 0 {
+		return nil, fmt.Errorf("serve: synthesize needs a positive node count")
+	}
+	var all []Request
+	for _, c := range s.Cohorts {
+		r := rng.New(s.Seed ^ cohortSalt(c.Name))
+		for _, atUs := range arrivals(r, c, s) {
+			at := simtime.Time(atUs) * simtime.Microsecond
+			arg := drawWork(r, c)
+			pref := c.Home % nodes
+			if c.Spread {
+				pref = r.Intn(nodes)
+			}
+			all = append(all, Request{At: at, Cohort: c.Name, Prog: c.Prog, Arg: arg, Pref: pref})
+		}
+	}
+	// Stable merge: arrival time first, then cohort order as listed in
+	// the spec (SliceStable keeps per-cohort draw order within ties).
+	order := map[string]int{}
+	for i, c := range s.Cohorts {
+		order[c.Name] = i
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].At != all[j].At {
+			return all[i].At < all[j].At
+		}
+		return order[all[i].Cohort] < order[all[j].Cohort]
+	})
+	return all, nil
+}
+
+// cohortSalt folds a cohort name into a 64-bit FNV-1a salt so each
+// cohort draws an independent substream of the spec seed.
+func cohortSalt(name string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime
+	}
+	return h
+}
+
+// arrivals generates the cohort's arrival times in whole microseconds.
+func arrivals(r *rng.Rand, c Cohort, s Spec) []int64 {
+	ratePerUs := c.RatePerMs * s.RateScale / 1000
+	var out []int64
+	switch c.Arrival {
+	case ArrivalPoisson:
+		t := 0.0
+		for {
+			t += r.Exp(ratePerUs)
+			if t >= s.HorizonMicros {
+				return out
+			}
+			out = append(out, int64(math.Floor(t)))
+		}
+	case ArrivalDiurnal:
+		// Piecewise-constant-rate Poisson by inversion: draw a
+		// unit-exponential target and advance time, consuming
+		// rate×duration area period by period until the target is met.
+		// Correct across period boundaries (no residual is discarded).
+		t := 0.0
+		for {
+			need := r.Exp(1)
+			for {
+				if t >= s.HorizonMicros {
+					return out
+				}
+				w := periodAt(c.Periods, t)
+				end := periodEnd(c.Periods, t)
+				if end > s.HorizonMicros {
+					end = s.HorizonMicros
+				}
+				rate := ratePerUs * w
+				if rate <= 0 {
+					t = end
+					continue
+				}
+				span := end - t
+				area := rate * span
+				if need <= area {
+					t += need / rate
+					break
+				}
+				need -= area
+				t = end
+			}
+			if t >= s.HorizonMicros {
+				return out
+			}
+			out = append(out, int64(math.Floor(t)))
+		}
+	}
+	return out
+}
+
+// periodAt returns the weight of the period covering time t (the
+// period list cycles).
+func periodAt(ps []Period, t float64) float64 {
+	var cycle float64
+	for _, p := range ps {
+		cycle += p.DurationMicros
+	}
+	t = math.Mod(t, cycle)
+	for _, p := range ps {
+		if t < p.DurationMicros {
+			return p.Weight
+		}
+		t -= p.DurationMicros
+	}
+	return ps[len(ps)-1].Weight
+}
+
+// periodEnd returns the absolute end time of the period covering t.
+func periodEnd(ps []Period, t float64) float64 {
+	var cycle float64
+	for _, p := range ps {
+		cycle += p.DurationMicros
+	}
+	base := math.Floor(t/cycle) * cycle
+	off := t - base
+	var acc float64
+	for _, p := range ps {
+		acc += p.DurationMicros
+		if off < acc {
+			return base + acc
+		}
+	}
+	return base + cycle
+}
+
+// drawWork draws one work size (or chain depth) from the cohort's
+// distribution, clamped to [WorkMin, WorkMax].
+func drawWork(r *rng.Rand, c Cohort) uint32 {
+	var v float64
+	switch c.Work {
+	case WorkLogNormal:
+		v = r.LogNormal(math.Log(c.WorkScale), c.WorkSigma)
+	case WorkPareto:
+		v = r.Pareto(c.WorkScale, c.WorkAlpha)
+	case WorkFixed:
+		v = c.WorkScale
+	}
+	w := int64(math.Floor(v))
+	if c.WorkMin > 0 && w < int64(c.WorkMin) {
+		w = int64(c.WorkMin)
+	}
+	if c.WorkMax > 0 && w > int64(c.WorkMax) {
+		w = int64(c.WorkMax)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return uint32(w)
+}
