@@ -2,21 +2,28 @@
 // generated pm2bench -json reports against their committed baselines and
 // exits non-zero on a regression beyond tolerance (default 25%).
 //
-// Three reports are gated. BENCH_negotiation.json: any gather strategy's
+// Four reports are gated. BENCH_negotiation.json: any gather strategy's
 // cold or warm per-node slope. BENCH_migration.json: the ping-pong
 // migration µs/hop (legacy and zero-copy pipeline) and the convoy path's
 // per-thread µs and wire bytes/thread at each measured batch size.
 // BENCH_serve.json: each cluster size's saturation knee — gated as a
 // FLOOR, a knee that falls below baseline is lost serving capacity.
+// BENCH_scale.json: the kernel-scaling figure's virtual quantities
+// (events, migrations, virtual time per cluster size) — gated EXACTLY,
+// no tolerance: they are deterministic event counts, so any drift is a
+// kernel behavior change, not measurement noise. Its wall-clock columns
+// measure the CI machine and are never gated.
 //
 // Usage:
 //
 //	benchcheck -baseline ci/BENCH_negotiation.baseline.json -current BENCH_negotiation.json \
 //	           -mig-baseline ci/BENCH_migration.baseline.json -mig-current BENCH_migration.json \
-//	           -serve-baseline ci/BENCH_serve.baseline.json -serve-current BENCH_serve.json
+//	           -serve-baseline ci/BENCH_serve.baseline.json -serve-current BENCH_serve.json \
+//	           -scale-baseline ci/BENCH_scale.baseline.json -scale-current BENCH_scale.json
 //	benchcheck -tolerance 0.10 ...   # tighten the gate to 10%
 //	benchcheck -mig-current ""       # skip the migration gate
 //	benchcheck -serve-current ""     # skip the serve gate
+//	benchcheck -scale-current ""     # skip the scale gate
 //
 // Merged-byte counts are reported for context but not gated: they are
 // exact protocol quantities already pinned by unit tests, while the
@@ -163,6 +170,75 @@ func checkServe(g *gate, basePath, curPath string) {
 	}
 }
 
+func loadScale(path string) (bench.ScaleReport, error) {
+	var r bench.ScaleReport
+	if err := loadJSON(path, &r); err != nil {
+		return r, err
+	}
+	if r.Figure != "scale" || len(r.Clusters) == 0 {
+		return r, fmt.Errorf("%s: not a scale report", path)
+	}
+	return r, nil
+}
+
+// checkExact records an exact-equality check: the figure is a
+// deterministic virtual quantity, so the only acceptable current value
+// is the baseline itself.
+func (g *gate) checkExact(label, unit string, baseVal, curVal float64) {
+	status := "ok"
+	if curVal != baseVal {
+		status = "CHANGED"
+		g.failed = true
+	}
+	fmt.Printf("%-34s %12.1f %s (baseline %12.1f, exact)  %s\n", label, curVal, unit, baseVal, status)
+}
+
+// checkScale gates the kernel-scaling figure. Everything virtual is
+// exact: the workload parameters, and per cluster size the thread
+// count, total events, migrations and final virtual clock. pm2bench
+// already asserts every worker count reproduces the serial run, so one
+// gated row per cluster covers all worker counts. Wall-clock and
+// events/sec are printed for context only.
+func checkScale(g *gate, basePath, curPath string) {
+	base, err := loadScale(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := loadScale(curPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	if base.Hops != cur.Hops || base.Spin != cur.Spin {
+		fmt.Fprintf(os.Stderr, "benchcheck: scale workload mismatch: baseline hops=%d spin=%d, current hops=%d spin=%d\n",
+			base.Hops, base.Spin, cur.Hops, cur.Spin)
+		os.Exit(2)
+	}
+	curByNodes := make(map[int]bench.ScaleClusterReport, len(cur.Clusters))
+	for _, c := range cur.Clusters {
+		curByNodes[c.Nodes] = c
+	}
+	// Drive from the baseline: a cluster size that vanishes from the
+	// current report must fail, not silently skip its checks.
+	for _, b := range base.Clusters {
+		c, ok := curByNodes[b.Nodes]
+		if !ok {
+			fmt.Printf("scale n=%d MISSING from current report\n", b.Nodes)
+			g.failed = true
+			continue
+		}
+		g.checkExact(fmt.Sprintf("scale n=%d threads", b.Nodes), "", float64(b.Threads), float64(c.Threads))
+		g.checkExact(fmt.Sprintf("scale n=%d events", b.Nodes), "", float64(b.Events), float64(c.Events))
+		g.checkExact(fmt.Sprintf("scale n=%d migrations", b.Nodes), "", float64(b.Migrations), float64(c.Migrations))
+		g.checkExact(fmt.Sprintf("scale n=%d virtual", b.Nodes), "µs", b.VirtualMicros, c.VirtualMicros)
+		for _, r := range c.Runs {
+			fmt.Printf("scale n=%d workers=%d wall %.1f ms, %.0f events/sec, %.2fx (informational)\n",
+				c.Nodes, r.Workers, r.WallMs, r.EventsPerSec, r.Speedup)
+		}
+	}
+}
+
 func checkNegotiation(g *gate, basePath, curPath string) {
 	base, err := loadNegotiation(basePath)
 	if err != nil {
@@ -251,6 +327,8 @@ func main() {
 	migCurrent := flag.String("mig-current", "BENCH_migration.json", "freshly generated migration report (empty to skip the migration gate)")
 	serveBaseline := flag.String("serve-baseline", "ci/BENCH_serve.baseline.json", "committed serve baseline report")
 	serveCurrent := flag.String("serve-current", "BENCH_serve.json", "freshly generated serve report (empty to skip the serve gate)")
+	scaleBaseline := flag.String("scale-baseline", "ci/BENCH_scale.baseline.json", "committed kernel-scaling baseline report")
+	scaleCurrent := flag.String("scale-current", "BENCH_scale.json", "freshly generated kernel-scaling report (empty to skip the scale gate)")
 	tolerance := flag.Float64("tolerance", 0.25, "maximum allowed relative regression")
 	flag.Parse()
 
@@ -268,6 +346,13 @@ func main() {
 			fmt.Printf("%s not present; skipping the serve gate\n", *serveCurrent)
 		} else {
 			checkServe(g, *serveBaseline, *serveCurrent)
+		}
+	}
+	if *scaleCurrent != "" {
+		if _, err := os.Stat(*scaleCurrent); err != nil && os.IsNotExist(err) {
+			fmt.Printf("%s not present; skipping the scale gate\n", *scaleCurrent)
+		} else {
+			checkScale(g, *scaleBaseline, *scaleCurrent)
 		}
 	}
 	if g.failed {

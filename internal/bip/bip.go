@@ -31,7 +31,6 @@ type Network struct {
 	eng   *simtime.Engine
 	model *cost.Model
 	nics  []*NIC
-	stats Stats
 }
 
 // NewNetwork creates a network for n nodes. Each node i must later attach a
@@ -46,8 +45,20 @@ func NewNetwork(eng *simtime.Engine, model *cost.Model, n int) *Network {
 // Size returns the number of node ports on the network.
 func (nw *Network) Size() int { return len(nw.nics) }
 
-// Stats returns a copy of the traffic counters.
-func (nw *Network) Stats() Stats { return nw.stats }
+// Stats returns the traffic counters, summed over the per-NIC tallies.
+// Each NIC counts its own sends (lane-affine under the parallel
+// executor); the sum is order-independent, so it is identical at any
+// worker count.
+func (nw *Network) Stats() Stats {
+	var s Stats
+	for _, nic := range nw.nics {
+		if nic != nil {
+			s.Messages += nic.sent
+			s.Bytes += nic.sentBytes
+		}
+	}
+	return s
+}
 
 // Attach creates node id's NIC, bound to its CPU actor and inbound handler.
 func (nw *Network) Attach(id int, actor *simtime.Actor, h Handler) *NIC {
@@ -71,6 +82,11 @@ type NIC struct {
 	// linkFreeAt is the instant the outgoing link finishes its current
 	// transmission; later sends serialize behind it.
 	linkFreeAt simtime.Time
+	// sent / sentBytes are this NIC's outbound traffic counters, mutated
+	// only from the owning node's handlers (lane-affine) and summed by
+	// Network.Stats.
+	sent      uint64
+	sentBytes uint64
 }
 
 // ID returns the node id of this NIC.
@@ -113,8 +129,8 @@ func (n *NIC) sendGathered(dst int, tag uint32, segs [][]byte, cpuBytes int) {
 	for _, s := range segs {
 		total += len(s)
 	}
-	nw.stats.Messages++
-	nw.stats.Bytes += uint64(total)
+	n.sent++
+	n.sentBytes += uint64(total)
 
 	// Gather once: this is the single host-side copy of the data path,
 	// and it doubles as the delivery body (the receiver owns it).
@@ -146,9 +162,14 @@ func (n *NIC) sendGathered(dst int, tag uint32, segs [][]byte, cpuBytes int) {
 	arrive := start + m.WireTime(total)
 	n.linkFreeAt = arrive
 
+	// Cross-lane delivery: PostTo buffers the arrival on the sending lane
+	// during a parallel window and the commit phase delivers it in serial
+	// merge order. The wire latency floor (cost.Model.WireLatencyNs) is
+	// the executor's conservative horizon, so arrive always lands at or
+	// beyond the window bound.
 	dstNIC := nw.nics[dst]
 	src := n.id
-	dstNIC.actor.Post(arrive, func() {
+	n.actor.PostTo(dstNIC.actor, arrive, func() {
 		dstNIC.actor.Charge(m.Recv(cpuBytes))
 		dstNIC.handler(src, tag, body)
 	})

@@ -162,14 +162,21 @@ func (b *Balancer) execute(mv policy.Move) {
 				batch = append(batch, t.TID)
 			}
 		}
+		// b.moves is balancer-shared state mutated from a node handler:
+		// count locally, commit in merge order.
 		if convoy && len(batch) > 1 {
-			b.moves += n.MigrateBatch(batch, mv.Dst)
+			moved := n.MigrateBatch(batch, mv.Dst)
+			n.Actor().Commit(func() { b.moves += moved })
 			return
 		}
+		moved := 0
 		for _, tid := range batch {
 			if n.Scheduler().RequestMigration(tid, mv.Dst) {
-				b.moves++
+				moved++
 			}
+		}
+		if moved > 0 {
+			n.Actor().Commit(func() { b.moves += moved })
 		}
 	})
 }

@@ -126,14 +126,20 @@ func (n *Node) onConvoyMsg(src int, msg *madeleine.Buffer) {
 
 	// All slot groups are in place: resume every thread (paper step 3),
 	// then run the scheduler once for the whole batch.
+	lats := make([]simtime.Time, len(descs))
 	for i, desc := range descs {
 		if _, err := n.sched.Thaw(desc); err != nil {
 			panic(fmt.Sprintf("pm2: thawing convoy thread on node %d: %v", n.id, err))
 		}
-		n.c.stats.Migrations++
-		n.c.stats.MigrationLatencies = append(n.c.stats.MigrationLatencies, n.actor.Now()-starts[i])
+		lats[i] = n.actor.Now() - starts[i]
 	}
 	n.kick()
-	n.c.stats.Convoys++
-	n.c.stats.MigratedBytes += uint64(installed)
+	n.actor.Commit(func() {
+		for _, lat := range lats {
+			n.c.stats.Migrations++
+			n.c.stats.MigrationLatencies = append(n.c.stats.MigrationLatencies, lat)
+		}
+		n.c.stats.Convoys++
+		n.c.stats.MigratedBytes += uint64(installed)
+	})
 }

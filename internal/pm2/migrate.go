@@ -239,7 +239,10 @@ func (n *Node) onMigrateMsg(src int, msg *madeleine.Buffer) {
 	}
 	n.kick()
 
-	n.c.stats.Migrations++
-	n.c.stats.MigratedBytes += uint64(installed)
-	n.c.stats.MigrationLatencies = append(n.c.stats.MigrationLatencies, n.actor.Now()-start)
+	lat := n.actor.Now() - start
+	n.actor.Commit(func() {
+		n.c.stats.Migrations++
+		n.c.stats.MigratedBytes += uint64(installed)
+		n.c.stats.MigrationLatencies = append(n.c.stats.MigrationLatencies, lat)
+	})
 }

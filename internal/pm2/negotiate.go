@@ -48,16 +48,19 @@ const (
 func (n *Node) negotiate(k int, done func(bool)) {
 	start := n.actor.Now()
 	finish := func(ok bool) {
-		n.c.stats.Negotiations++
-		if ok {
-			// Only successful negotiations enter the latency series the
-			// percentiles summarize; a failure (round exhaustion, cluster
-			// out of contiguous space) is counted on its own instead of
-			// skewing the p50/p95/p99 columns.
-			n.c.stats.NegotiationLatencies = append(n.c.stats.NegotiationLatencies, n.actor.Now()-start)
-		} else {
-			n.c.stats.NegotiationFailures++
-		}
+		lat := n.actor.Now() - start
+		n.actor.Commit(func() {
+			n.c.stats.Negotiations++
+			if ok {
+				// Only successful negotiations enter the latency series the
+				// percentiles summarize; a failure (round exhaustion, cluster
+				// out of contiguous space) is counted on its own instead of
+				// skewing the p50/p95/p99 columns.
+				n.c.stats.NegotiationLatencies = append(n.c.stats.NegotiationLatencies, lat)
+			} else {
+				n.c.stats.NegotiationFailures++
+			}
+		})
 		done(ok)
 	}
 	if n.c.cfg.Arbiter == ArbiterGlobal {
@@ -255,7 +258,7 @@ func (n *Node) onGatherTreeCall(src int, req *madeleine.Call) {
 // Stats.GatherMergedBytes — the merge term the delta gather attacks.
 func (n *Node) mergeCharge(bytes int) {
 	n.actor.Charge(n.c.cfg.Model.BitmapScan(bytes))
-	n.c.stats.GatherMergedBytes += uint64(bytes)
+	n.actor.Commit(func() { n.c.stats.GatherMergedBytes += uint64(bytes) })
 }
 
 // unpackBitmap decodes a gathered bitmap reply.
@@ -457,7 +460,7 @@ type pendingReturn struct {
 // different virtual times instead of re-colliding forever, and the
 // attempt count of any race is reproducible run to run.
 func (n *Node) retryAfterReturns(k, round int, returns []pendingReturn, done func(bool)) {
-	n.c.stats.NegotiationRetries++
+	n.actor.Commit(func() { n.c.stats.NegotiationRetries++ })
 	n.releaseRunLocks()
 	retry := func() {
 		if n.c.cfg.Arbiter == ArbiterGlobal {
@@ -709,7 +712,7 @@ func (n *Node) onBuyCall(src int, req *madeleine.Call) {
 			}
 		}
 		if stale {
-			n.c.noteVersionDecline(src)
+			n.actor.Commit(func() { n.c.noteVersionDecline(src) })
 			decline()
 			return
 		}

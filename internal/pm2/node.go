@@ -131,7 +131,8 @@ func newNode(c *Cluster, id int) *Node {
 	n.sched.SetHooks(marcel.Hooks{
 		Exit: func(t *marcel.Thread) {
 			delete(n.regPtrs, t.TID)
-			c.noteCohortExit(t.TID, n.actor.Now())
+			tid, at := t.TID, n.actor.Now()
+			n.actor.Commit(func() { c.noteCohortExit(tid, at) })
 		},
 		Fault:   n.onFault,
 		Migrate: n.migrateOut,
@@ -231,14 +232,19 @@ func (n *Node) kick() {
 	})
 }
 
-// onFault reports a dying thread the way the paper's traces do.
+// onFault reports a dying thread the way the paper's traces do. The
+// trace writes commit in merge order so the log bytes match a serial
+// run at any worker count.
 func (n *Node) onFault(t *marcel.Thread, err error) {
-	n.c.log.Flush(n.id)
-	if vmem.IsSegfault(err) {
-		n.c.log.Raw("Segmentation fault")
-	} else {
-		n.c.log.Raw(fmt.Sprintf("thread %#x killed: %v", t.TID, err))
-	}
+	tid := t.TID
+	n.actor.Commit(func() {
+		n.c.log.Flush(n.id)
+		if vmem.IsSegfault(err) {
+			n.c.log.Raw("Segmentation fault")
+		} else {
+			n.c.log.Raw(fmt.Sprintf("thread %#x killed: %v", tid, err))
+		}
+	})
 	delete(n.regPtrs, t.TID)
 }
 
@@ -277,9 +283,12 @@ func (n *Node) Builtin(id uint32, args [4]uint32) vm.BuiltinResult {
 		start := n.actor.Now()
 		addr, err := n.heap.Malloc(args[0])
 		if n.c.cfg.RecordAllocs {
-			n.c.allocSamples = append(n.c.allocSamples, AllocSample{
+			sample := AllocSample{
 				Node: n.id, Size: args[0], Iso: false,
 				Latency: n.actor.Now() - start, OK: err == nil,
+			}
+			n.actor.Commit(func() {
+				n.c.allocSamples = append(n.c.allocSamples, sample)
 			})
 		}
 		if err != nil {
@@ -404,8 +413,11 @@ func (n *Node) doIsomalloc(t *marcel.Thread, size uint32) vm.BuiltinResult {
 	start := n.actor.Now()
 	record := func(latency simtime.Time, ok bool) {
 		if n.c.cfg.RecordAllocs {
-			n.c.allocSamples = append(n.c.allocSamples, AllocSample{
+			sample := AllocSample{
 				Node: n.id, Size: size, Iso: true, Latency: latency, OK: ok,
+			}
+			n.actor.Commit(func() {
+				n.c.allocSamples = append(n.c.allocSamples, sample)
 			})
 		}
 	}
@@ -446,7 +458,7 @@ func (n *Node) doPrintf(args [4]uint32) vm.BuiltinResult {
 		return vm.BuiltinResult{Ctl: vm.CtlFault, Err: err}
 	}
 	n.actor.Charge(n.c.cfg.Model.Probes(len(text)))
-	n.c.log.Printf(n.id, text)
+	n.actor.Commit(func() { n.c.log.Printf(n.id, text) })
 	return vm.BuiltinResult{Ctl: vm.CtlReturn}
 }
 

@@ -1,0 +1,65 @@
+package pm2
+
+import (
+	"reflect"
+	"testing"
+)
+
+// runParallelWorkload drives a migration- and negotiation-heavy workload
+// on a cluster with the given kernel worker count and returns its
+// observable outcome: the full trace bytes and the cluster stats.
+func runParallelWorkload(t *testing.T, workers int) (string, Stats) {
+	t.Helper()
+	c := newCluster(t, Config{Nodes: 8, Workers: workers})
+	// Ping-pong threads hop between nodes (cross-lane migrations), and
+	// multi-slot isomallocs force §4.4 negotiations through node 0's
+	// lock manager — initiators, sellers and the lock queue all live on
+	// different lanes.
+	for i := 0; i < 8; i++ {
+		c.Spawn(i, "pingpong", 6)
+		c.Spawn(i, "allocone", 200_000)
+	}
+	c.Run(0)
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	return c.Trace().String(), c.Stats()
+}
+
+// TestParallelClusterMatchesSerial exercises the full pm2 runtime on the
+// parallel kernel — this is the test `go test -race ./internal/pm2` uses
+// to shake out the windowed executor — and pins that the trace bytes and
+// every stat match the serial run exactly.
+func TestParallelClusterMatchesSerial(t *testing.T) {
+	serialTrace, serialStats := runParallelWorkload(t, 1)
+	if serialStats.Migrations == 0 || serialStats.Negotiations == 0 {
+		t.Fatalf("workload performed %d migrations / %d negotiations — not exercising the kernel",
+			serialStats.Migrations, serialStats.Negotiations)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		gotTrace, gotStats := runParallelWorkload(t, workers)
+		if gotTrace != serialTrace {
+			t.Fatalf("workers=%d trace deviates from serial run:\ngot:\n%s\nwant:\n%s",
+				workers, gotTrace, serialTrace)
+		}
+		if !reflect.DeepEqual(gotStats, serialStats) {
+			t.Fatalf("workers=%d stats deviate:\ngot:  %+v\nwant: %+v", workers, gotStats, serialStats)
+		}
+	}
+}
+
+// TestParallelRejectsBatchedGather pins the construction-time guard: the
+// batched/tree gather initiators read peer hints cross-lane, which a
+// parallel kernel cannot allow.
+func TestParallelRejectsBatchedGather(t *testing.T) {
+	for _, gather := range []GatherMode{GatherBatched, GatherTree} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Workers=4 with %v gather: expected panic", gather)
+				}
+			}()
+			newCluster(t, Config{Nodes: 4, Workers: 4, Gather: gather})
+		}()
+	}
+}

@@ -122,6 +122,15 @@ type Config struct {
 	// k. Default off: every migration uses the paper-faithful copying
 	// path, byte- and charge-identical to the seed.
 	Convoy bool
+	// Workers sets the simulation kernel's worker count. The default (0
+	// or 1) is the exact serial executor; >1 runs node lanes on a worker
+	// pool under the conservative time-window scheme, with all traces,
+	// stats and goldens bit-identical to the serial run (the window
+	// horizon is Model.WireLatencyNs, the cross-node latency floor).
+	// Incompatible with GatherBatched and GatherTree, whose initiators
+	// read other nodes' published hints directly instead of by message —
+	// New panics on that combination rather than racing.
+	Workers int
 }
 
 // AllocSample is one recorded allocation.
@@ -265,6 +274,12 @@ func New(cfg Config, im *isa.Image) *Cluster {
 		im:  im,
 		log: trace.New(),
 	}
+	if cfg.Workers > 1 {
+		if cfg.Gather == GatherBatched || cfg.Gather == GatherTree {
+			panic("pm2: Workers > 1 is incompatible with the batched/tree gathers (initiators read peer hints cross-lane)")
+		}
+		c.eng.SetParallel(cfg.Workers, simtime.Time(cfg.Model.WireLatencyNs))
+	}
 	c.pol = policy.NewEngine(cfg.Placement, cfg.Nodes)
 	c.shardMap = core.NewShardMap(layout.SlotCount, cfg.ArbiterShards)
 	c.bufPool = madeleine.NewPool()
@@ -384,7 +399,8 @@ func (c *Cluster) spawn(i int, prog string, arg uint32, sample int) {
 	}
 	c.At(i, func(n *Node) {
 		if th, err := n.sched.Create(entry, arg); err == nil {
-			c.noteCohortPlaced(sample, n.id, th.TID, n.actor.Now())
+			tid, at := th.TID, n.actor.Now()
+			n.actor.Commit(func() { c.noteCohortPlaced(sample, n.id, tid, at) })
 			n.kick()
 			return
 		}
@@ -392,7 +408,8 @@ func (c *Cluster) spawn(i int, prog string, arg uint32, sample int) {
 			if tid == 0 {
 				panic(fmt.Sprintf("pm2: spawn %s on node %d: cluster out of slots", prog, i))
 			}
-			c.noteCohortPlaced(sample, n.id, tid, n.actor.Now())
+			at := n.actor.Now()
+			n.actor.Commit(func() { c.noteCohortPlaced(sample, n.id, tid, at) })
 			n.kick()
 		})
 	})

@@ -180,6 +180,10 @@ func run(spec Spec, replay []serve.Request) (*Result, error) {
 		return nil, err
 	}
 	spec.Arbiter = arbiter.String()
+	if spec.Workers > 1 && (gather == ipm2.GatherBatched || gather == ipm2.GatherTree) {
+		return nil, fmt.Errorf("scenario: workers=%d is incompatible with the %s gather (initiators read peer hints cross-lane)",
+			spec.Workers, gather)
+	}
 
 	rec := &recorder{}
 	cl := ipm2.New(ipm2.Config{
@@ -187,6 +191,7 @@ func run(spec Spec, replay []serve.Request) (*Result, error) {
 		Gather:    gather,
 		Arbiter:   arbiter,
 		Placement: &recordingPolicy{inner: pol, rec: rec},
+		Workers:   spec.Workers,
 	}, Image())
 
 	rec.logf("scenario=%s policy=%s nodes=%d seed=%d", spec.Scenario, spec.Policy, spec.Nodes, spec.Seed)
@@ -246,8 +251,11 @@ func run(spec Spec, replay []serve.Request) (*Result, error) {
 	return res, nil
 }
 
-// recorder accumulates the canonical trace. The cluster's event loop is
-// single-threaded, so appends happen in deterministic event order.
+// recorder accumulates the canonical trace. Appends happen from ambient
+// (barrier) events and from the node handlers' commit closures, both of
+// which the kernel runs in deterministic serial merge order at any
+// worker count — so the trace bytes are identical whether the event
+// lanes execute on one goroutine or a pool (see internal/simtime).
 type recorder struct {
 	lines []string
 }

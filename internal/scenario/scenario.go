@@ -46,6 +46,12 @@ type Spec struct {
 	// pm2.ParseArbiterMode); empty selects the paper-faithful global
 	// lock on node 0.
 	Arbiter string
+	// Workers is the simulation kernel's worker count (pm2.Config.Workers):
+	// 0 or 1 is the exact serial executor, >1 runs node lanes on a worker
+	// pool. Traces and stats are bit-identical at any worker count, so
+	// Workers is not part of the trace header — the same golden pins every
+	// setting. Incompatible with the batched/tree gathers.
+	Workers int
 	// MaxSteps overrides the engine step budget (default 10M). The
 	// saturation sweep sets a small budget so past-knee runs cut off
 	// cheaply — virtual steps are deterministic, so the cutoff is too.

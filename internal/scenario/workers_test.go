@@ -1,0 +1,76 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestWorkersIdentity pins the tentpole's end-to-end guarantee at the
+// harness level: Workers=1 and Workers=N produce byte-identical traces
+// and identical Stats on the contend, negostress and serve workloads —
+// and both match the committed serial goldens, so enabling the parallel
+// executor can never move a golden.
+func TestWorkersIdentity(t *testing.T) {
+	cases := []struct {
+		spec   Spec
+		golden string
+	}{
+		{Spec{Scenario: "contend", Policy: "negotiation", Nodes: 16, Arbiter: "sharded"}, "contend_negotiation_sharded_n16"},
+		{Spec{Scenario: "negostress", Policy: "negotiation", Nodes: 16}, "negostress_negotiation_n16"},
+		{Spec{Scenario: "serve", Policy: "negotiation"}, "serve_negotiation"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("%s_%s", tc.spec.Scenario, tc.spec.Policy), func(t *testing.T) {
+			serialSpec := tc.spec
+			serialSpec.Workers = 1
+			serial, err := Run(serialSpec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 4} {
+				parSpec := tc.spec
+				parSpec.Workers = workers
+				par, err := Run(parSpec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, want := par.TraceString(), serial.TraceString(); got != want {
+					t.Fatalf("workers=%d trace deviates from serial run:\ngot:\n%s\nwant:\n%s", workers, got, want)
+				}
+				if !reflect.DeepEqual(par.Stats, serial.Stats) {
+					t.Fatalf("workers=%d stats deviate from serial run:\ngot:  %+v\nwant: %+v", workers, par.Stats, serial.Stats)
+				}
+				if par.Steps != serial.Steps || par.VirtualMicros != serial.VirtualMicros {
+					t.Fatalf("workers=%d steps/clock deviate: %d/%.3f vs %d/%.3f",
+						workers, par.Steps, par.VirtualMicros, serial.Steps, serial.VirtualMicros)
+				}
+			}
+			// The serial run must itself match the committed golden, so
+			// the identity above transitively pins the parallel runs to
+			// the pre-existing golden bytes.
+			want, err := os.ReadFile(filepath.Join("testdata", tc.golden+".golden"))
+			if err != nil {
+				t.Fatalf("reading golden: %v", err)
+			}
+			if serial.TraceString() != string(want) {
+				t.Fatalf("serial run deviates from %s.golden", tc.golden)
+			}
+		})
+	}
+}
+
+// TestWorkersRejectBatchedGather pins the documented incompatibility:
+// the batched/tree gathers read peer hints cross-lane, so the harness
+// must refuse to combine them with a parallel kernel instead of racing.
+func TestWorkersRejectBatchedGather(t *testing.T) {
+	for _, gather := range []string{"batched", "tree"} {
+		_, err := Run(Spec{Scenario: "negostress", Workers: 4, Gather: gather})
+		if err == nil {
+			t.Fatalf("workers=4 gather=%s: expected a validation error", gather)
+		}
+	}
+}

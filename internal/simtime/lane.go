@@ -1,0 +1,291 @@
+package simtime
+
+// A lane is one actor's private event queue (plus the engine's ambient
+// lane 0 for events scheduled through Engine.At). Decomposing the old
+// global event heap into lanes gives every node of the simulated
+// cluster its own queue with the three step primitives —
+// HasPendingEvents, PeekNextEventTime, ProcessNextEvent — while the
+// engine performs a deterministic earliest-(at, seq) merge across
+// lanes. Because the global sequence counter is preserved and the merge
+// comparator is the old heap comparator, the merged pop order is
+// provably identical to the monolithic heap's order (pinned by
+// TestLaneMergeMatchesReference).
+//
+// The lane heap is a concrete index-based binary heap: no
+// container/heap interface, no boxing through any, and popped event
+// structs are recycled through a per-lane free list, so the steady
+// state of the kernel allocates nothing per event (pinned by
+// TestKernelStepAllocations).
+
+// event is one scheduled closure. When actor is non-nil the event was
+// posted through Actor.Post and the busy-clock prologue/epilogue runs
+// around fn without a wrapper closure.
+type event struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	actor *Actor
+}
+
+// eventLess is the one ordering in the kernel: earliest time first,
+// scheduling order among ties. Sequence numbers are unique, so the
+// order is total.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// keyLess compares two (at, seq) keys the same way.
+func keyLess(at1 Time, seq1 uint64, at2 Time, seq2 uint64) bool {
+	if at1 != at2 {
+		return at1 < at2
+	}
+	return seq1 < seq2
+}
+
+type lane struct {
+	eng *Engine
+	id  int
+	// heap is the lane's pending events, a concrete binary min-heap
+	// ordered by eventLess.
+	heap []*event
+	// free recycles event structs popped from this lane.
+	free []*event
+	// pos is the lane's index in the engine's merge heap, -1 while the
+	// lane is empty.
+	pos int
+
+	// now is the lane-local clock: the timestamp of the event currently
+	// (or last) executing on this lane. During serial execution it
+	// always equals Engine.Now at the same instant; during a parallel
+	// window it is the lane's private view of the serial clock.
+	now Time
+	// executing marks the lane as running inside a parallel window on a
+	// worker goroutine (see parallel.go).
+	executing bool
+
+	// Parallel-window recording state (parallel.go): the ordered log of
+	// events this lane executed in the current window, the events they
+	// pushed, and the commit closures they deferred. Flat slices reused
+	// across windows.
+	recs    []execRec
+	pushes  []pushEntry
+	commits []func()
+	tempSeq uint64
+	cursor  int
+}
+
+func (e *Engine) newLane() *lane {
+	l := &lane{eng: e, id: len(e.lanes), pos: -1}
+	e.lanes = append(e.lanes, l)
+	return l
+}
+
+// HasPendingEvents reports whether the lane has queued events — the
+// first step primitive.
+func (l *lane) HasPendingEvents() bool { return len(l.heap) > 0 }
+
+// PeekNextEventTime returns the (at, seq) key of the lane's earliest
+// pending event — the second step primitive. The lane must be
+// non-empty.
+func (l *lane) PeekNextEventTime() (Time, uint64) {
+	e := l.heap[0]
+	return e.at, e.seq
+}
+
+// ProcessNextEvent pops and executes the lane's earliest pending event,
+// advancing the lane-local clock to its timestamp — the third step
+// primitive. The popped event is returned so the caller decides when to
+// recycle it (immediately in serial execution, at commit time in a
+// parallel window).
+func (l *lane) ProcessNextEvent() *event {
+	ev := l.pop()
+	l.exec(ev)
+	return ev
+}
+
+// exec runs one event on this lane, with the actor busy-clock
+// prologue/epilogue inlined for actor-posted events.
+func (l *lane) exec(ev *event) {
+	l.now = ev.at
+	if a := ev.actor; a != nil {
+		start := ev.at
+		if a.busyUntil > start {
+			start = a.busyUntil
+		}
+		a.localNow = start
+		a.inside = true
+		ev.fn()
+		a.inside = false
+		a.busyUntil = a.localNow
+	} else {
+		ev.fn()
+	}
+}
+
+// alloc takes an event struct from the lane's free list (or the heap of
+// last resort: Go's) and initializes it.
+func (l *lane) alloc(at Time, seq uint64, fn func(), a *Actor) *event {
+	var ev *event
+	if n := len(l.free); n > 0 {
+		ev = l.free[n-1]
+		l.free[n-1] = nil
+		l.free = l.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at, ev.seq, ev.fn, ev.actor = at, seq, fn, a
+	return ev
+}
+
+// recycle returns a finished event to the free list, dropping its
+// closure so it does not pin captured state.
+func (l *lane) recycle(ev *event) {
+	ev.fn, ev.actor = nil, nil
+	l.free = append(l.free, ev)
+}
+
+// push inserts ev into the lane heap.
+func (l *lane) push(ev *event) {
+	l.heap = append(l.heap, ev)
+	l.siftUp(len(l.heap) - 1)
+}
+
+// pop removes and returns the lane's earliest event.
+func (l *lane) pop() *event {
+	h := l.heap
+	ev := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = nil
+	l.heap = h[:last]
+	if last > 0 {
+		l.siftDown(0)
+	}
+	return ev
+}
+
+func (l *lane) siftUp(i int) {
+	h := l.heap
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eventLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func (l *lane) siftDown(i int) {
+	h := l.heap
+	n := len(h)
+	for {
+		least := i
+		if c := 2*i + 1; c < n && eventLess(h[c], h[least]) {
+			least = c
+		}
+		if c := 2*i + 2; c < n && eventLess(h[c], h[least]) {
+			least = c
+		}
+		if least == i {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+}
+
+// The merge heap: the engine's index of non-empty lanes, ordered by
+// each lane's head-event key. Lanes carry their position (lane.pos) so
+// a head change re-sifts in O(log lanes) without a search.
+
+func mergeLess(a, b *lane) bool { return eventLess(a.heap[0], b.heap[0]) }
+
+// mergeFix restores lane l's merge-heap position after its head event
+// changed: inserted when it became non-empty, removed when it drained,
+// re-sifted otherwise.
+func (e *Engine) mergeFix(l *lane) {
+	if len(l.heap) == 0 {
+		if l.pos >= 0 {
+			e.mergeRemove(l.pos)
+			l.pos = -1
+		}
+		return
+	}
+	if l.pos < 0 {
+		l.pos = len(e.merge)
+		e.merge = append(e.merge, l)
+	}
+	e.mergeSiftUp(l.pos)
+	e.mergeSiftDown(l.pos)
+}
+
+func (e *Engine) mergeRemove(i int) {
+	m := e.merge
+	last := len(m) - 1
+	m[i] = m[last]
+	m[i].pos = i
+	m[last] = nil
+	e.merge = m[:last]
+	if i < last {
+		e.mergeSiftUp(i)
+		e.mergeSiftDown(i)
+	}
+}
+
+func (e *Engine) mergeSiftUp(i int) {
+	m := e.merge
+	for i > 0 {
+		p := (i - 1) / 2
+		if !mergeLess(m[i], m[p]) {
+			break
+		}
+		m[i], m[p] = m[p], m[i]
+		m[i].pos, m[p].pos = i, p
+		i = p
+	}
+}
+
+func (e *Engine) mergeSiftDown(i int) {
+	m := e.merge
+	n := len(m)
+	for {
+		least := i
+		if c := 2*i + 1; c < n && mergeLess(m[c], m[least]) {
+			least = c
+		}
+		if c := 2*i + 2; c < n && mergeLess(m[c], m[least]) {
+			least = c
+		}
+		if least == i {
+			return
+		}
+		m[i], m[least] = m[least], m[i]
+		m[i].pos, m[least].pos = i, least
+		i = least
+	}
+}
+
+// rebuildMerge reconstructs the merge heap and the pending count from
+// scratch — O(lanes), used once per parallel window, where incremental
+// fixes would have to reason about many simultaneously-stale lane
+// heads.
+func (e *Engine) rebuildMerge() {
+	e.merge = e.merge[:0]
+	e.nPending = 0
+	for _, l := range e.lanes {
+		e.nPending += len(l.heap)
+		if len(l.heap) > 0 {
+			l.pos = len(e.merge)
+			e.merge = append(e.merge, l)
+		} else {
+			l.pos = -1
+		}
+	}
+	for i := len(e.merge)/2 - 1; i >= 0; i-- {
+		e.mergeSiftDown(i)
+	}
+}

@@ -1,0 +1,195 @@
+package simtime
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// refHeap is the pre-lane kernel's data structure — one global event
+// heap with a global sequence counter — kept as the oracle for the
+// merge-order property test. Identical comparator, identical
+// scheduling-order tie-break.
+type refHeap struct {
+	events []*event
+	seq    uint64
+}
+
+func (h *refHeap) push(at Time) {
+	h.seq++
+	h.events = append(h.events, &event{at: at, seq: h.seq})
+	i := len(h.events) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eventLess(h.events[i], h.events[p]) {
+			break
+		}
+		h.events[i], h.events[p] = h.events[p], h.events[i]
+		i = p
+	}
+}
+
+func (h *refHeap) pop() (Time, uint64) {
+	ev := h.events[0]
+	last := len(h.events) - 1
+	h.events[0] = h.events[last]
+	h.events[last] = nil
+	h.events = h.events[:last]
+	n := len(h.events)
+	i := 0
+	for {
+		least := i
+		if c := 2*i + 1; c < n && eventLess(h.events[c], h.events[least]) {
+			least = c
+		}
+		if c := 2*i + 2; c < n && eventLess(h.events[c], h.events[least]) {
+			least = c
+		}
+		if least == i {
+			break
+		}
+		h.events[i], h.events[least] = h.events[least], h.events[i]
+		i = least
+	}
+	return ev.at, ev.seq
+}
+
+// TestLaneMergeMatchesReference is the tentpole's property test: for
+// randomized schedules — heavy timestamp collisions, past-time clamping,
+// and events scheduled from inside running handlers — the lane-decomposed
+// engine pops the exact (at, seq) sequence the monolithic global heap
+// would have. Scheduling goes through both structures in lockstep, so
+// the sequence counters agree by construction and any divergence in pop
+// order is a lane/merge bug.
+func TestLaneMergeMatchesReference(t *testing.T) {
+	r := rng.New(0x1a4e5)
+	for trial := 0; trial < 50; trial++ {
+		e := NewEngine()
+		actors := make([]*Actor, 1+r.Intn(7))
+		for i := range actors {
+			actors[i] = NewActor(e, "n")
+		}
+		ref := &refHeap{}
+
+		// schedule queues one event on a random lane — sometimes the
+		// ambient lane, sometimes an actor — and mirrors it into the
+		// reference heap with the engine's clamped timestamp. Executed
+		// events reschedule children at nearby (often colliding, sometimes
+		// past) timestamps, up to a bounded depth.
+		var schedule func(at Time, depth int)
+		schedule = func(at Time, depth int) {
+			lane := r.Intn(len(actors) + 1)
+			kids := 0
+			if depth < 3 {
+				kids = r.Intn(3)
+			}
+			kidAt := make([]Time, kids)
+			for i := range kidAt {
+				kidAt[i] = at - 4 + Time(r.Intn(16))
+			}
+			fn := func() {
+				for _, ka := range kidAt {
+					schedule(ka, depth+1)
+				}
+			}
+			if lane == 0 {
+				e.At(at, fn)
+			} else {
+				actors[lane-1].Post(at, fn)
+			}
+			clamped := at
+			if clamped < e.Now() {
+				clamped = e.Now()
+			}
+			ref.push(clamped)
+		}
+		for i, n := 0, 20+r.Intn(60); i < n; i++ {
+			schedule(Time(r.Intn(64)), 0)
+		}
+
+		steps := 0
+		for e.Pending() > 0 {
+			wat, wseq := ref.pop()
+			gat, gseq := e.merge[0].PeekNextEventTime()
+			if gat != wat || gseq != wseq {
+				t.Fatalf("trial %d step %d: lane merge at (%d,%d), reference heap at (%d,%d)",
+					trial, steps, gat, gseq, wat, wseq)
+			}
+			e.Step()
+			steps++
+		}
+		if len(ref.events) != 0 {
+			t.Fatalf("trial %d: reference heap kept %d events after the engine drained",
+				trial, len(ref.events))
+		}
+		if steps == 0 {
+			t.Fatalf("trial %d executed no events", trial)
+		}
+	}
+}
+
+// TestStepPrimitives exercises the per-lane step interface directly:
+// HasPendingEvents / PeekNextEventTime / ProcessNextEvent on one lane
+// behave as an independent queue with a lane-local clock.
+func TestStepPrimitives(t *testing.T) {
+	e := NewEngine()
+	a := NewActor(e, "a")
+	b := NewActor(e, "b")
+	var ran []Time
+	a.Post(30, func() { ran = append(ran, 30) })
+	a.Post(10, func() { ran = append(ran, 10) })
+	b.Post(5, func() {})
+	l := a.lane
+	if !l.HasPendingEvents() {
+		t.Fatal("lane should have pending events")
+	}
+	if at, _ := l.PeekNextEventTime(); at != 10 {
+		t.Fatalf("peek = %v, want 10", at)
+	}
+	ev := l.ProcessNextEvent()
+	if ev.at != 10 || l.now != 10 {
+		t.Fatalf("processed at=%v lane now=%v, want 10/10", ev.at, l.now)
+	}
+	l.recycle(ev)
+	if at, _ := l.PeekNextEventTime(); at != 30 {
+		t.Fatalf("peek after pop = %v, want 30", at)
+	}
+	if !b.lane.HasPendingEvents() {
+		t.Fatal("lane b must be untouched by stepping lane a")
+	}
+	if len(ran) != 1 || ran[0] != 10 {
+		t.Fatalf("ran = %v", ran)
+	}
+}
+
+// TestKernelStepAllocations extends the AllocsPerRun guard from the
+// convoy path to the kernel: with warmed free lists and pre-built
+// closures, scheduling + executing an event allocates nothing.
+func TestKernelStepAllocations(t *testing.T) {
+	e := NewEngine()
+	a := NewActor(e, "a")
+	b := NewActor(e, "b")
+	var ping, pong func()
+	ping = func() {
+		a.Charge(time3)
+		b.Post(a.Now()+time2, pong)
+	}
+	pong = func() {
+		b.Charge(time3)
+		a.Post(b.Now()+time2, ping)
+	}
+	// Warm the free lists and the heap/merge capacity.
+	a.Post(0, ping)
+	e.Run(64)
+	avg := testing.AllocsPerRun(200, func() {
+		e.Run(2)
+	})
+	if avg > 0 {
+		t.Fatalf("kernel steady state allocates %.2f allocs per 2 events, want 0", avg)
+	}
+}
+
+const (
+	time2 = 2 * Microsecond
+	time3 = 3 * Microsecond
+)

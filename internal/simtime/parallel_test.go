@@ -1,0 +1,178 @@
+package simtime
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// buildMesh wires nActors actors into a randomized message mesh: every
+// handler charges local work, sometimes self-posts a continuation at a
+// small delta (lane-local descendant), sometimes sends to a random other
+// actor at now + horizon + jitter (cross-lane), and records its
+// observations through Commit. All randomness is chained through
+// per-handler seeds and all recursion depth through per-chain budgets,
+// so the workload itself is lane-affine — no shared mutable state
+// outside the Commit-protected log, which is exactly the discipline the
+// pm2 layer follows.
+func buildMesh(e *Engine, nActors, nSeeds int, horizon Time, seed uint64) *[]string {
+	r := rng.New(seed)
+	actors := make([]*Actor, nActors)
+	for i := range actors {
+		actors[i] = NewActor(e, fmt.Sprintf("n%d", i))
+	}
+	log := &[]string{}
+	var handler func(self int, hseed uint64, budget int) func()
+	handler = func(self int, hseed uint64, budget int) func() {
+		return func() {
+			hr := rng.New(hseed)
+			a := actors[self]
+			a.Charge(Time(1+hr.Intn(5)) * Microsecond)
+			at := a.Now()
+			a.Commit(func() {
+				*log = append(*log, fmt.Sprintf("n%d@%d", self, at))
+			})
+			if budget <= 0 {
+				return
+			}
+			now := a.Now()
+			switch hr.Intn(3) {
+			case 0: // lane-local descendant, possibly tying with siblings
+				a.Post(now+Time(hr.Intn(3)), handler(self, hseed*31+1, budget-1))
+			case 1: // cross-lane message, latency >= horizon
+				dst := hr.Intn(nActors)
+				if dst == self {
+					dst = (dst + 1) % nActors
+				}
+				a.PostTo(actors[dst], now+horizon+Time(hr.Intn(2000)), handler(dst, hseed*31+2, budget-1))
+			default: // both
+				a.Post(now, handler(self, hseed*31+3, budget-1))
+				dst := hr.Intn(nActors)
+				if dst == self {
+					dst = (dst + 1) % nActors
+				}
+				a.PostTo(actors[dst], now+horizon, handler(dst, hseed*31+4, budget-1))
+			}
+		}
+	}
+	for i := 0; i < nSeeds; i++ {
+		self := r.Intn(nActors)
+		actors[self].Post(Time(r.Intn(20))*Microsecond, handler(self, seed+uint64(i)*977, 8))
+	}
+	// A few ambient barriers mid-run, reading the global clock.
+	for i := 0; i < 3; i++ {
+		at := Time(200+500*i) * Microsecond
+		e.At(at, func() {
+			now := e.Now()
+			*log = append(*log, fmt.Sprintf("ambient@%d", now))
+		})
+	}
+	return log
+}
+
+// TestParallelMatchesSerial pins the tentpole's core guarantee: the
+// windowed parallel executor produces bit-identical observable state —
+// commit-ordered shared log, virtual clock, step count — for any worker
+// count, on a workload mixing lane-local descendants, cross-lane
+// messages at the horizon, timestamp ties, and ambient barriers.
+func TestParallelMatchesSerial(t *testing.T) {
+	const horizon = 9 * Microsecond
+	run := func(workers int, seed uint64) ([]string, Time, uint64) {
+		e := NewEngine()
+		e.SetParallel(workers, horizon)
+		log := buildMesh(e, 16, 24, horizon, seed)
+		e.Run(0)
+		return *log, e.Now(), e.Steps()
+	}
+	for _, seed := range []uint64{1, 42, 0xdecaf} {
+		wantLog, wantNow, wantSteps := run(1, seed)
+		if len(wantLog) == 0 {
+			t.Fatalf("seed %d: empty serial log", seed)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			gotLog, gotNow, gotSteps := run(workers, seed)
+			if gotNow != wantNow || gotSteps != wantSteps {
+				t.Fatalf("seed %d workers %d: now/steps %v/%d, serial %v/%d",
+					seed, workers, gotNow, gotSteps, wantNow, wantSteps)
+			}
+			if len(gotLog) != len(wantLog) {
+				t.Fatalf("seed %d workers %d: log length %d, serial %d",
+					seed, workers, len(gotLog), len(wantLog))
+			}
+			for i := range wantLog {
+				if gotLog[i] != wantLog[i] {
+					t.Fatalf("seed %d workers %d: log[%d] = %q, serial %q",
+						seed, workers, i, gotLog[i], wantLog[i])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelRunUntil pins that the deadline bound composes with
+// windows: no event past the deadline executes, and Now lands on the
+// deadline exactly as in a serial run.
+func TestParallelRunUntil(t *testing.T) {
+	const horizon = 9 * Microsecond
+	run := func(workers int) ([]string, Time, uint64) {
+		e := NewEngine()
+		e.SetParallel(workers, horizon)
+		log := buildMesh(e, 8, 12, horizon, 7)
+		e.RunUntil(300 * Microsecond)
+		return *log, e.Now(), e.Steps()
+	}
+	wantLog, wantNow, wantSteps := run(1)
+	if wantNow != 300*Microsecond {
+		t.Fatalf("serial RunUntil now = %v", wantNow)
+	}
+	gotLog, gotNow, gotSteps := run(4)
+	if gotNow != wantNow || gotSteps != wantSteps || len(gotLog) != len(wantLog) {
+		t.Fatalf("parallel RunUntil diverged: now %v/%v steps %d/%d log %d/%d",
+			gotNow, wantNow, gotSteps, wantSteps, len(gotLog), len(wantLog))
+	}
+	for i := range wantLog {
+		if gotLog[i] != wantLog[i] {
+			t.Fatalf("log[%d] = %q, serial %q", i, gotLog[i], wantLog[i])
+		}
+	}
+}
+
+// TestHorizonViolationPanics pins the conservative-window safety check:
+// a cross-lane message below the configured horizon is a model bug and
+// must be caught, not silently reordered.
+func TestHorizonViolationPanics(t *testing.T) {
+	e := NewEngine()
+	e.SetParallel(4, 100*Microsecond)
+	a := NewActor(e, "a")
+	b := NewActor(e, "b")
+	c := NewActor(e, "c")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected horizon-violation panic")
+		}
+	}()
+	// Two lanes must have sub-bound work for a true parallel window (a
+	// single participant falls back to the serial path, where any
+	// latency is legal).
+	a.Post(0, func() { a.PostTo(b, a.Now()+Microsecond, func() {}) })
+	c.Post(0, func() { c.Charge(Microsecond) })
+	e.Run(0)
+}
+
+// TestAmbientDuringWindowPanics pins that Engine.At cannot be called
+// from inside a parallel window: ambient events are barriers.
+func TestAmbientDuringWindowPanics(t *testing.T) {
+	e := NewEngine()
+	e.SetParallel(4, 100*Microsecond)
+	a := NewActor(e, "a")
+	b := NewActor(e, "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected ambient-during-window panic")
+		}
+	}()
+	a.Post(0, func() { e.At(Microsecond, func() {}) })
+	b.Post(0, func() { b.Charge(Microsecond) })
+	e.Run(0)
+}

@@ -5,15 +5,17 @@
 // than 75 µs, slot negotiations of a few hundred µs) taken on a 1999 PoPC
 // cluster. We reproduce those measurements in virtual time: nodes are actors
 // with private busy clocks, every simulated operation charges a calibrated
-// cost, and network messages are future events. The whole simulation is
-// single-threaded and deterministic: equal seeds yield bit-identical event
-// orders and timings.
+// cost, and network messages are future events. Every actor owns a private
+// event lane (lane.go) and the engine merges lanes in earliest-(at, seq)
+// order, so execution is deterministic: equal seeds yield bit-identical
+// event orders and timings. By default the merge runs on one goroutine;
+// SetParallel enables the conservative time-window executor (parallel.go),
+// which runs lanes on a worker pool while keeping handler state lane-affine
+// and shared-state updates commit-ordered — results are bit-identical at
+// any worker count.
 package simtime
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a point in virtual time, in nanoseconds.
 type Time int64
@@ -32,43 +34,43 @@ func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
 // String formats the time as microseconds, the natural unit of the paper.
 func (t Time) String() string { return fmt.Sprintf("%.3fµs", t.Micros()) }
 
-type event struct {
-	at  Time
-	seq uint64
-	fn  func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-
-// Engine is a deterministic discrete-event scheduler. It is not safe for
-// concurrent use; the entire cluster simulation runs on one goroutine.
+// Engine is a deterministic discrete-event scheduler over per-actor event
+// lanes. Scheduling and stepping happen on the driving goroutine; during a
+// parallel window (SetParallel) worker goroutines execute their own lanes
+// only, and everything cross-lane is applied in merge order by the commit
+// phase — so all observable state evolves exactly as in a serial run.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	nSteps uint64
+	now      Time
+	seq      uint64
+	nSteps   uint64
+	nPending int
+	// lanes[0] is the ambient lane: events scheduled through Engine.At
+	// (drivers, balancers, public cluster API) rather than on an actor.
+	// Ambient events may touch any lane's state, so the parallel
+	// executor treats them as barriers.
+	ambient *lane
+	lanes   []*lane
+	// merge is the index heap of non-empty lanes by head-event key.
+	merge []*lane
+
+	// Parallel execution configuration and window state (parallel.go).
+	workers       int
+	horizon       Time
+	inWindow      bool
+	windowBoundAt Time
+	inCommit      bool
+	participants  []*lane
+	cursorHeap    []*lane
+	deferred      []pushEntry
+	wstats        WindowStats
 }
 
 // NewEngine returns an engine with an empty event queue at time zero.
-func NewEngine() *Engine { return &Engine{} }
+func NewEngine() *Engine {
+	e := &Engine{}
+	e.ambient = e.newLane()
+	return e
+}
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
@@ -77,37 +79,70 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Steps() uint64 { return e.nSteps }
 
 // Pending returns the number of queued events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.nPending }
 
-// At schedules fn to run at absolute virtual time t. Times in the past are
-// clamped to Now; ties run in scheduling order.
+// At schedules fn to run at absolute virtual time t, on the ambient lane.
+// Times in the past are clamped to Now; ties run in scheduling order.
+// Ambient events are cross-lane by nature (they may read or mutate any
+// node's state), so scheduling one from inside a parallel window is a
+// bug: post to an actor instead, or schedule before/after the window.
 func (e *Engine) At(t Time, fn func()) {
-	if t < e.now {
-		t = e.now
+	if e.inWindow {
+		panic("simtime: Engine.At during a parallel window (ambient events are barriers; post to an actor instead)")
 	}
-	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	e.schedule(e.ambient, t, fn, nil)
 }
 
 // After schedules fn to run d after the current virtual time.
 func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
 
-// Step executes the earliest pending event, advancing Now to its timestamp.
-// It reports whether an event was executed.
+// schedule assigns the next global sequence number and queues the event
+// on lane l. Serial contexts only (including barriers and the commit
+// phase's deferred delivery); parallel windows record pushes per lane
+// instead (parallel.go).
+func (e *Engine) schedule(l *lane, t Time, fn func(), a *Actor) {
+	if e.inCommit {
+		panic("simtime: scheduling from a commit closure (commits are state application only)")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	ev := l.alloc(t, e.seq, fn, a)
+	l.push(ev)
+	e.nPending++
+	if l.heap[0] == ev {
+		e.mergeFix(l)
+	}
+}
+
+// Step executes the earliest pending event across all lanes, advancing
+// Now to its timestamp. It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	if len(e.merge) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*event)
+	l := e.merge[0]
+	ev := l.pop()
+	e.nPending--
+	e.mergeFix(l)
 	e.now = ev.at
 	e.nSteps++
-	ev.fn()
+	l.exec(ev)
+	l.recycle(ev)
 	return true
 }
 
 // Run executes events until the queue is empty or the step limit is hit.
 // A limit of 0 means no limit. It returns the number of events executed.
+// With SetParallel(workers > 1) the events run window-by-window; a window
+// is committed whole, so a saturated run may overshoot the limit by the
+// tail of its last window (drained runs are unaffected, and execute the
+// exact serial event sequence).
 func (e *Engine) Run(limit uint64) uint64 {
+	if e.workers > 1 {
+		return e.runParallel(limit, 0, false)
+	}
 	var n uint64
 	for limit == 0 || n < limit {
 		if !e.Step() {
@@ -118,11 +153,15 @@ func (e *Engine) Run(limit uint64) uint64 {
 	return n
 }
 
-// RunUntil executes events with timestamps <= deadline and then advances Now
-// to deadline (if the queue drained earlier).
+// RunUntil executes events with timestamps <= deadline and then advances
+// Now to deadline (if the queue drained earlier).
 func (e *Engine) RunUntil(deadline Time) {
-	for len(e.events) > 0 && e.events[0].at <= deadline {
-		e.Step()
+	if e.workers > 1 {
+		e.runParallel(0, deadline, true)
+	} else {
+		for len(e.merge) > 0 && e.merge[0].heap[0].at <= deadline {
+			e.Step()
+		}
 	}
 	if e.now < deadline {
 		e.now = deadline
@@ -131,9 +170,12 @@ func (e *Engine) RunUntil(deadline Time) {
 
 // Actor models a sequential resource (a node's CPU): events destined for the
 // actor serialize on its busy clock, and handlers charge virtual time for
-// the work they model.
+// the work they model. Each actor owns one event lane; all of the actor's
+// state is lane-affine, mutated only by its own handlers (or by ambient
+// events, which the parallel executor runs as barriers).
 type Actor struct {
 	eng  *Engine
+	lane *lane
 	name string
 	// busyUntil is the first instant at which the actor is free.
 	busyUntil Time
@@ -142,10 +184,10 @@ type Actor struct {
 	inside   bool
 }
 
-// NewActor returns an actor bound to engine eng. The name is used in panics
-// and debugging output only.
+// NewActor returns an actor bound to engine eng, owning a fresh lane. The
+// name is used in panics and debugging output only.
 func NewActor(eng *Engine, name string) *Actor {
-	return &Actor{eng: eng, name: name}
+	return &Actor{eng: eng, lane: eng.newLane(), name: name}
 }
 
 // Name returns the actor's debug name.
@@ -154,37 +196,103 @@ func (a *Actor) Name() string { return a.name }
 // Engine returns the engine the actor is bound to.
 func (a *Actor) Engine() *Engine { return a.eng }
 
+// base returns the actor's view of the serial clock: the lane-local clock
+// while the lane executes inside a parallel window (where Engine.Now is
+// frozen at the window start), the engine clock otherwise (where the two
+// agree).
+func (a *Actor) base() Time {
+	if a.lane.executing {
+		return a.lane.now
+	}
+	return a.eng.now
+}
+
 // Now returns the actor-local clock: inside a handler this includes time
 // charged so far; outside it is the instant the actor becomes free.
 func (a *Actor) Now() Time {
 	if a.inside {
 		return a.localNow
 	}
-	if a.busyUntil > a.eng.Now() {
-		return a.busyUntil
+	if b := a.base(); a.busyUntil <= b {
+		return b
 	}
-	return a.eng.Now()
+	return a.busyUntil
 }
 
 // Post schedules fn on the actor at or after absolute time at. If the actor
 // is still busy at that instant the handler is delayed until it frees up, so
 // handlers on one actor never overlap in virtual time.
+//
+// During a parallel window, Post is lane-local: it may only be called from
+// this actor's own executing handlers (self-posts, quantum pumps, timer
+// continuations). Cross-actor messages sent from inside a handler go
+// through PostTo on the sending actor.
 func (a *Actor) Post(at Time, fn func()) {
-	a.eng.At(at, func() {
-		start := a.eng.Now()
-		if a.busyUntil > start {
-			start = a.busyUntil
+	e := a.eng
+	if e.inWindow {
+		l := a.lane
+		if !l.executing {
+			panic("simtime: Post to " + a.name + " from a parallel window it is not part of (use PostTo from the sending actor)")
 		}
-		a.localNow = start
-		a.inside = true
-		fn()
-		a.inside = false
-		a.busyUntil = a.localNow
-	})
+		l.postLocal(at, fn, a)
+		return
+	}
+	e.schedule(a.lane, at, fn, a)
 }
 
-// PostAfter schedules fn on the actor d after the current engine time.
-func (a *Actor) PostAfter(d Time, fn func()) { a.Post(a.eng.Now()+d, fn) }
+// PostAfter schedules fn on the actor d after the current virtual time.
+func (a *Actor) PostAfter(d Time, fn func()) {
+	if a.lane.executing {
+		a.Post(a.lane.now+d, fn)
+		return
+	}
+	a.Post(a.eng.now+d, fn)
+}
+
+// PostTo schedules fn on actor dst at absolute time at, from a handler
+// running on actor a — the cross-lane message primitive (network
+// delivery). Serially it is identical to dst.Post(at, fn). During a
+// parallel window the event is buffered on the sending lane and delivered
+// by the commit phase with its serial-equivalent sequence number; at must
+// then lie at or beyond the window bound, which the conservative horizon
+// (the minimum cross-lane message latency) guarantees for any
+// latency-respecting model.
+func (a *Actor) PostTo(dst *Actor, at Time, fn func()) {
+	e := a.eng
+	if !e.inWindow || dst.lane == a.lane {
+		dst.Post(at, fn)
+		return
+	}
+	l := a.lane
+	if !l.executing {
+		panic("simtime: PostTo from " + a.name + " outside its own executing handler")
+	}
+	if at < e.windowBoundAt {
+		panic("simtime: PostTo from " + a.name + " to " + dst.name +
+			" inside the safe horizon — cross-lane latency below the configured window bound")
+	}
+	ev := l.alloc(at, 0, fn, dst)
+	l.pushes = append(l.pushes, pushEntry{ev: ev, dst: dst.lane})
+}
+
+// Commit runs fn in serial merge order: immediately when execution is
+// already serial (the default, barriers, setup code), or deferred to the
+// window's commit phase when the actor's lane is executing in parallel —
+// where all commit closures apply in the exact (at, seq) order of the
+// events that issued them. Handlers wrap their mutations of cluster-shared
+// state (stats series, trace log, cohort accounting) in Commit, with the
+// values to record captured at execution time.
+func (a *Actor) Commit(fn func()) {
+	if a.eng.inWindow {
+		l := a.lane
+		if !l.executing {
+			panic("simtime: Commit on " + a.name + " from a parallel window it is not part of")
+		}
+		l.commits = append(l.commits, fn)
+		return
+	}
+	fn()
+}
 
 // Charge advances the actor-local clock by d, modeling d of CPU work. It
 // must be called from within a handler posted via Post.

@@ -10,8 +10,12 @@ import (
 	"strings"
 )
 
-// Log accumulates cluster output. It is not safe for concurrent use; the
-// simulation is single-threaded.
+// Log accumulates cluster output. It has no locking of its own: under
+// the parallel kernel every append reaches it through an ambient event
+// or an Actor.Commit closure, both of which internal/simtime runs on
+// the driving goroutine in deterministic merge order — so the log is
+// effectively lane-confined and its bytes are identical at any worker
+// count.
 type Log struct {
 	lines   []string
 	partial map[int]*strings.Builder

@@ -68,8 +68,11 @@ func IsSegfault(err error) bool {
 
 type page [layout.PageSize]byte
 
-// Space is one node's simulated virtual address space. It is not safe for
-// concurrent use; the discrete-event simulation is single-threaded.
+// Space is one node's simulated virtual address space. It has no
+// locking: a Space belongs to exactly one node, every access happens
+// inside that node's event lane, and the parallel kernel never runs
+// two events of one lane concurrently (see internal/simtime) — the
+// space is lane-affine state, like the scheduler and the slot table.
 type Space struct {
 	pages map[uint32]*page
 	// mappedBytes counts currently mapped memory, for accounting tests.
