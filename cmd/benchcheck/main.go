@@ -195,10 +195,15 @@ func (g *gate) checkExact(label, unit string, baseVal, curVal float64) {
 
 // checkScale gates the kernel-scaling figure. Everything virtual is
 // exact: the workload parameters, and per cluster size the thread
-// count, total events, migrations and final virtual clock. pm2bench
-// already asserts every worker count reproduces the serial run, so one
-// gated row per cluster covers all worker counts. Wall-clock and
-// events/sec are printed for context only.
+// count, total events, migrations and final virtual clock — plus, per
+// gather strategy, the negotiation burst's events, negotiation and
+// failure counts, merged bytes and virtual clock. pm2bench already
+// asserts every worker count reproduces the serial run, so one gated
+// row per workload covers all worker counts. Wall-clock and events/sec
+// are printed for context only, and how they are presented follows the
+// report's recorded GOMAXPROCS: on a single-core runner the pool cannot
+// physically run lanes concurrently, so speedups are suppressed there —
+// parity is carried entirely by the exact virtual rows.
 func checkScale(g *gate, basePath, curPath string) {
 	base, err := loadScale(basePath)
 	if err != nil {
@@ -215,12 +220,32 @@ func checkScale(g *gate, basePath, curPath string) {
 			base.Hops, base.Spin, cur.Hops, cur.Spin)
 		os.Exit(2)
 	}
+	multicore := cur.MaxProcs > 1
+	if multicore {
+		fmt.Printf("scale GOMAXPROCS=%d: wall-clock speedups reported (informational, this host)\n", cur.MaxProcs)
+	} else {
+		fmt.Println("scale GOMAXPROCS=1: single-core runner — speedups suppressed, parity asserted by exact virtual counts")
+	}
+	// scaleRuns prints one workload's wall-clock rows, speedups only on a
+	// multicore runner.
+	scaleRuns := func(prefix string, runs []bench.ScaleWorkerRun) {
+		for _, r := range runs {
+			if multicore {
+				fmt.Printf("%s workers=%d wall %.1f ms, %.0f events/sec, %.2fx (informational)\n",
+					prefix, r.Workers, r.WallMs, r.EventsPerSec, r.Speedup)
+			} else {
+				fmt.Printf("%s workers=%d wall %.1f ms, %.0f events/sec (informational)\n",
+					prefix, r.Workers, r.WallMs, r.EventsPerSec)
+			}
+		}
+	}
 	curByNodes := make(map[int]bench.ScaleClusterReport, len(cur.Clusters))
 	for _, c := range cur.Clusters {
 		curByNodes[c.Nodes] = c
 	}
-	// Drive from the baseline: a cluster size that vanishes from the
-	// current report must fail, not silently skip its checks.
+	// Drive from the baseline: a cluster size (or a gather column) that
+	// vanishes from the current report must fail, not silently skip its
+	// checks.
 	for _, b := range base.Clusters {
 		c, ok := curByNodes[b.Nodes]
 		if !ok {
@@ -232,9 +257,25 @@ func checkScale(g *gate, basePath, curPath string) {
 		g.checkExact(fmt.Sprintf("scale n=%d events", b.Nodes), "", float64(b.Events), float64(c.Events))
 		g.checkExact(fmt.Sprintf("scale n=%d migrations", b.Nodes), "", float64(b.Migrations), float64(c.Migrations))
 		g.checkExact(fmt.Sprintf("scale n=%d virtual", b.Nodes), "µs", b.VirtualMicros, c.VirtualMicros)
-		for _, r := range c.Runs {
-			fmt.Printf("scale n=%d workers=%d wall %.1f ms, %.0f events/sec, %.2fx (informational)\n",
-				c.Nodes, r.Workers, r.WallMs, r.EventsPerSec, r.Speedup)
+		scaleRuns(fmt.Sprintf("scale n=%d", c.Nodes), c.Runs)
+		curByGather := make(map[string]bench.ScaleGatherReport, len(c.Gathers))
+		for _, gr := range c.Gathers {
+			curByGather[gr.Gather] = gr
+		}
+		for _, bg := range b.Gathers {
+			cg, ok := curByGather[bg.Gather]
+			if !ok {
+				fmt.Printf("scale n=%d gather=%s MISSING from current report\n", b.Nodes, bg.Gather)
+				g.failed = true
+				continue
+			}
+			label := fmt.Sprintf("scale n=%d %s", b.Nodes, bg.Gather)
+			g.checkExact(label+" events", "", float64(bg.Events), float64(cg.Events))
+			g.checkExact(label+" negotiations", "", float64(bg.Negotiations), float64(cg.Negotiations))
+			g.checkExact(label+" failures", "", float64(bg.Failures), float64(cg.Failures))
+			g.checkExact(label+" merged", "B", float64(bg.MergedBytes), float64(cg.MergedBytes))
+			g.checkExact(label+" virtual", "µs", bg.VirtualMicros, cg.VirtualMicros)
+			scaleRuns(label, cg.Runs)
 		}
 	}
 }

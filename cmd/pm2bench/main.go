@@ -20,8 +20,9 @@
 //	pm2bench -fig scenarios -arbiter sharded
 //	pm2bench -fig serve        # serving workload: per-cohort SLO + saturation knee
 //	pm2bench -fig serve -json  # also write BENCH_serve.json
-//	pm2bench -fig scale        # kernel scaling: 64/256/1024 nodes × worker pool
+//	pm2bench -fig scale        # kernel scaling: 64/256/1024/4096 nodes × worker pool × gather burst
 //	pm2bench -fig scale -workers 1,8 -cpuprofile scale.pprof
+//	pm2bench -fig scale -nodes 4096 -gather tree   # one size, one gather column
 //
 // The scale figure is the only one whose wall-clock columns measure the
 // host machine; its virtual columns (events, migrations, virtual time)
@@ -53,8 +54,8 @@ func main() {
 	trials := flag.Int("trials", 3, "trials per Figure 11 point")
 	pol := flag.String("policy", "", "restrict -fig scenarios to one placement policy")
 	seed := flag.Uint64("seed", 1, "workload seed for -fig scenarios")
-	nodes := flag.Int("nodes", 4, "cluster size for -fig scenarios (e.g. 4, 16, 64)")
-	gather := flag.String("gather", "", "gather strategy for -fig scenarios/contention: "+strings.Join(pm2pub.GatherNames(), " | "))
+	nodes := flag.Int("nodes", 4, "cluster size for -fig scenarios (e.g. 4, 16, 64); when set explicitly it also overrides the -fig scale sweep to that one size")
+	gather := flag.String("gather", "", "gather strategy for -fig scenarios/contention, or restrict the -fig scale burst columns to one: "+strings.Join(pm2pub.GatherNames(), " | "))
 	arbiter := flag.String("arbiter", "", "negotiation arbiter for -fig scenarios, or restrict -fig contention to one: "+strings.Join(pm2pub.ArbiterNames(), " | "))
 	jsonOut := flag.Bool("json", false, "with -fig negotiation/migration, also write the machine-readable report to -out")
 	out := flag.String("out", "", "path of the -json report (default BENCH_<figure>.json)")
@@ -62,6 +63,12 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file when the run ends")
 	flag.Parse()
+	nodesSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "nodes" {
+			nodesSet = true
+		}
+	})
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -118,6 +125,17 @@ func main() {
 		}
 		return def
 	}
+	// The scale figure's default sweep; an explicit -nodes narrows it to
+	// one size (e.g. a quick 4096-only smoke), and -gather restricts the
+	// negotiation-burst columns to one strategy.
+	scaleNodes := []int{64, 256, 1024, 4096}
+	if nodesSet {
+		scaleNodes = []int{*nodes}
+	}
+	scaleGathers := pm2.GatherModeNames()
+	if *gather != "" {
+		scaleGathers = []string{gatherName}
+	}
 
 	switch *fig {
 	case "all":
@@ -131,7 +149,7 @@ func main() {
 		ablations()
 		scenarios(*pol, *seed, *nodes, gatherName, arbiterName)
 		serveFig(*pol, *seed, jsonPath("BENCH_serve.json"))
-		scaleFig(*workers, jsonPath("BENCH_scale.json"))
+		scaleFig(*workers, scaleNodes, scaleGathers, jsonPath("BENCH_scale.json"))
 	case "5":
 		layoutFig()
 	case "11a":
@@ -153,7 +171,7 @@ func main() {
 	case "serve":
 		serveFig(*pol, *seed, jsonPath("BENCH_serve.json"))
 	case "scale":
-		scaleFig(*workers, jsonPath("BENCH_scale.json"))
+		scaleFig(*workers, scaleNodes, scaleGathers, jsonPath("BENCH_scale.json"))
 	default:
 		fmt.Fprintf(os.Stderr, "pm2bench: unknown figure %q\n", *fig)
 		os.Exit(2)
@@ -552,11 +570,12 @@ func serveFig(only string, seed uint64, jsonPath string) {
 }
 
 // scaleFig prints the kernel-scaling figure: the lane-decomposed event
-// kernel executing the ring-hop workload at 64/256/1024 nodes, serially
-// and on a worker pool. The virtual columns are exact (and asserted
+// kernel executing the ring-hop workload at 64/256/1024/4096 nodes,
+// serially and on a worker pool, plus one negotiation burst per gather
+// strategy at every size. The virtual columns are exact (and asserted
 // identical at every worker count inside bench.Scale); wall-clock and
 // events/sec measure the host machine.
-func scaleFig(workerList, jsonPath string) {
+func scaleFig(workerList string, nodeCounts []int, gatherNames []string, jsonPath string) {
 	var workerCounts []int
 	for _, part := range strings.Split(workerList, ",") {
 		w, err := strconv.Atoi(strings.TrimSpace(part))
@@ -570,8 +589,17 @@ func scaleFig(workerList, jsonPath string) {
 		fmt.Fprintln(os.Stderr, "pm2bench: -workers must start at 1 (the serial reference run)")
 		os.Exit(2)
 	}
+	gathers := make([]pm2.GatherMode, len(gatherNames))
+	for i, name := range gatherNames {
+		gm, err := pm2.ParseGatherMode(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pm2bench: %v\n", err)
+			os.Exit(2)
+		}
+		gathers[i] = gm
+	}
 	header("Extension: kernel scaling — per-node event lanes × worker pool (ring-hop workload)")
-	report := bench.Scale([]int{64, 256, 1024}, workerCounts, 16, 2000)
+	report := bench.Scale(nodeCounts, workerCounts, 16, 2000, gathers)
 	fmt.Printf("%6s %8s %10s %12s %11s  %8s %10s %14s %8s\n",
 		"nodes", "threads", "events", "migrations", "virtual µs", "workers", "wall ms", "events/sec", "speedup")
 	for _, cl := range report.Clusters {
@@ -587,10 +615,35 @@ func scaleFig(workerList, jsonPath string) {
 				nodes, threads, events, migs, vus, r.Workers, r.WallMs, r.EventsPerSec, r.Speedup)
 		}
 	}
+	fmt.Println("\ngather burst: 8 initiators × 3-slot runs per cluster (every request is remote under round-robin striping)")
+	fmt.Printf("%6s %-10s %9s %6s %6s %11s %11s  %8s %10s %8s\n",
+		"nodes", "gather", "events", "negos", "fails", "merged B", "virtual µs", "workers", "wall ms", "speedup")
+	for _, cl := range report.Clusters {
+		for _, g := range cl.Gathers {
+			for i, r := range g.Runs {
+				nodes, name := fmt.Sprint(cl.Nodes), g.Gather
+				events, negos, fails := fmt.Sprint(g.Events), fmt.Sprint(g.Negotiations), fmt.Sprint(g.Failures)
+				merged, vus := fmt.Sprint(g.MergedBytes), fmt.Sprintf("%.1f", g.VirtualMicros)
+				if i > 0 {
+					nodes, name, events, negos, fails, merged, vus = "", "", "", "", "", "", ""
+				}
+				fmt.Printf("%6s %-10s %9s %6s %6s %11s %11s  %8d %10.1f %7.2fx\n",
+					nodes, name, events, negos, fails, merged, vus, r.Workers, r.WallMs, r.Speedup)
+			}
+		}
+	}
+
 	fmt.Printf("\nevents slope: %.1f events/node (virtual, exact — the CI-gated quantity)\n", report.EventsSlopePerNode)
 	fmt.Println("(every worker count replays the same event order: the virtual columns are")
 	fmt.Println(" asserted bit-identical to the serial run before a row is printed; speedup is")
 	fmt.Println(" bounded by how many lanes have work inside one wire-latency window)")
+	if report.MaxProcs <= 1 {
+		fmt.Println("(GOMAXPROCS=1: the worker pool cannot run lanes concurrently on this host —")
+		fmt.Println(" wall-clock speedups are meaningless here; parity is carried by the exact")
+		fmt.Println(" virtual columns alone)")
+	} else {
+		fmt.Printf("(GOMAXPROCS=%d: wall-clock speedups measure this host and stay informational)\n", report.MaxProcs)
+	}
 
 	if jsonPath != "" {
 		writeJSON(jsonPath, report)

@@ -1,20 +1,42 @@
 package bench
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/pm2"
+)
 
 // TestScaleDeterministic pins the scale figure's virtual quantities at
 // small sizes: Scale itself asserts every worker count reproduces the
-// serial run exactly (it panics on divergence), so a passing run is the
-// identity proof; here we additionally require the workload to exercise
-// the kernel and the event count to scale linearly with the cluster.
+// serial run exactly (it panics on divergence) — for the ring-hop drain
+// and for every gather burst — so a passing run is the identity proof;
+// here we additionally require the workloads to exercise the kernel and
+// the event count to scale linearly with the cluster.
 func TestScaleDeterministic(t *testing.T) {
-	rep := Scale([]int{8, 16}, []int{1, 2, 4}, 4, 200)
+	gathers := []pm2.GatherMode{pm2.GatherSequential, pm2.GatherBatched, pm2.GatherTree, pm2.GatherDelta}
+	rep := Scale([]int{8, 16}, []int{1, 2, 4}, 4, 200, gathers)
+	if rep.MaxProcs < 1 {
+		t.Errorf("MaxProcs = %d, want >= 1", rep.MaxProcs)
+	}
 	for _, cl := range rep.Clusters {
 		if cl.Migrations != cl.Threads*rep.Hops {
 			t.Errorf("n=%d: %d migrations, want threads*hops = %d", cl.Nodes, cl.Migrations, cl.Threads*rep.Hops)
 		}
 		if cl.Events == 0 {
 			t.Errorf("n=%d: no events", cl.Nodes)
+		}
+		if len(cl.Gathers) != len(gathers) {
+			t.Fatalf("n=%d: %d gather rows, want %d", cl.Nodes, len(cl.Gathers), len(gathers))
+		}
+		for _, g := range cl.Gathers {
+			if g.Negotiations != scaleGatherInitiators || g.Failures != 0 {
+				t.Errorf("n=%d %s: %d negotiations (%d failed), want %d clean",
+					cl.Nodes, g.Gather, g.Negotiations, g.Failures, scaleGatherInitiators)
+			}
+			if g.MergedBytes == 0 || g.Events == 0 {
+				t.Errorf("n=%d %s: merged %d bytes over %d events — burst did not gather",
+					cl.Nodes, g.Gather, g.MergedBytes, g.Events)
+			}
 		}
 	}
 	// Thread count doubles with the cluster, so total events must too —

@@ -56,7 +56,6 @@ func (n *Node) defragment(done func()) {
 	n.acquireLock(func() {
 		maps := make([]*bitmap.Bitmap, n.c.Nodes())
 		maps[n.id] = n.slots.SurrenderAll()
-		n.c.refreshHint(n.id)
 
 		order := make([]int, 0, n.c.Nodes()-1)
 		for i := 0; i < n.c.Nodes(); i++ {
@@ -77,6 +76,12 @@ func (n *Node) defragment(done func()) {
 					panic(fmt.Sprintf("pm2: bad surrendered bitmap from %d: %v", peer, err))
 				}
 				maps[peer] = bm
+				// A surrendered peer owns nothing until the scatter
+				// hands it a share back (the peer recorded that we were
+				// told — see onSurrenderCall).
+				if n.c.hintsOn() {
+					n.noteBelief(peer, true)
+				}
 				n.actor.Charge(model.BitmapScan(layout.BitmapBytes))
 				gather(i + 1)
 			})
@@ -93,7 +98,6 @@ func (n *Node) defragScatter(maps []*bitmap.Bitmap, done func()) {
 	if err := n.slots.ReplaceBitmap(newMaps[n.id]); err != nil {
 		panic(err)
 	}
-	n.c.refreshHint(n.id)
 	order := make([]int, 0, n.c.Nodes()-1)
 	for i := 0; i < n.c.Nodes(); i++ {
 		if i != n.id {
@@ -116,6 +120,12 @@ func (n *Node) defragScatter(maps []*bitmap.Bitmap, done func()) {
 		n.ep.Call(peer, chInstall, func(b *madeleine.Buffer) {
 			b.PackBytes(raw)
 		}, func(*madeleine.Buffer) {
+			// The restructured distribution is known exactly: a node
+			// handed no slots stays believed-empty (and so skippable by
+			// post-defrag gathers) without waiting for a load report.
+			if n.c.hintsOn() {
+				n.noteBelief(peer, newMaps[peer].Count() == 0)
+			}
 			scatter(i + 1)
 		})
 	}
@@ -123,12 +133,14 @@ func (n *Node) defragScatter(maps []*bitmap.Bitmap, done func()) {
 }
 
 // onSurrenderCall hands all free slots to a defrag coordinator. Like the
-// chBitmap serve paths, it publishes a fresh free-run summary — the node
-// now owns nothing, and a gather running right after the defragmentation
-// may skip it instead of paying a round trip for an empty map.
+// chBitmap serve path, surrendering tells the coordinator we are empty:
+// record it so a later slot-gaining mutation (normally the coordinator's
+// own install) invalidates the belief.
 func (n *Node) onSurrenderCall(src int, req *madeleine.Call) {
 	given := n.slots.SurrenderAll()
-	n.c.refreshHint(n.id)
+	if n.c.hintsOn() {
+		n.noteEmptyTold(src)
+	}
 	raw := given.Bytes()
 	n.actor.Charge(n.c.cfg.Model.Memcpy(len(raw)))
 	req.Reply(func(b *madeleine.Buffer) { b.PackBytes(raw) })
@@ -144,10 +156,12 @@ func (n *Node) onInstallCall(src int, req *madeleine.Call) {
 	if err := n.slots.ReplaceBitmap(bm); err != nil {
 		panic(err)
 	}
-	// The restructured distribution is known exactly: publish its
-	// summary so post-defrag gathers keep their pruning (a node handed
-	// no slots stays skippable without waiting for the next load report).
-	n.c.refreshHint(n.id)
+	// A node handed no slots is still empty: the coordinator keeps
+	// believing so, and the told-set must stay armed for the mutation
+	// that eventually gives this node slots again.
+	if n.c.hintsOn() && bm.Count() == 0 {
+		n.noteEmptyTold(src)
+	}
 	// Threads that blocked on an empty bitmap can be retried now; they
 	// are woken by their negotiation callbacks, which serialize behind
 	// the same lock.

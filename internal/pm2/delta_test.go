@@ -94,9 +94,24 @@ func TestDeltaGatherTracksRemoteChanges(t *testing.T) {
 // TestDeltaGatherJournalTruncationFallsBack: when a peer mutates more
 // distinct bitmap words than its journal holds between two contacts,
 // the journal truncates and the next request is served a full map — a
-// bandwidth fallback that must leave the outcome correct.
+// bandwidth fallback that must leave the outcome correct. The scenario
+// runs at workers 1 and 4 with identical merged-byte accounting: the
+// truncation fallback is initiator-lane state, so it composes with the
+// parallel kernel like everything else.
 func TestDeltaGatherJournalTruncationFallsBack(t *testing.T) {
-	c := New(Config{Nodes: 4, Gather: GatherDelta}, progs.NewImage())
+	warmByWorkers := make(map[int]uint64)
+	for _, workers := range []int{1, 4} {
+		warmByWorkers[workers] = deltaTruncationWarmBytes(t, workers)
+	}
+	if warmByWorkers[1] != warmByWorkers[4] {
+		t.Fatalf("truncation-fallback merged bytes deviate across worker counts: workers=1 %d, workers=4 %d",
+			warmByWorkers[1], warmByWorkers[4])
+	}
+}
+
+func deltaTruncationWarmBytes(t *testing.T, workers int) uint64 {
+	t.Helper()
+	c := New(Config{Nodes: 4, Gather: GatherDelta, Workers: workers}, progs.NewImage())
 	if !negotiateSync(t, c, 0, 2) {
 		t.Fatal("first negotiation failed")
 	}
@@ -148,6 +163,7 @@ func TestDeltaGatherJournalTruncationFallsBack(t *testing.T) {
 	if err := c.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
+	return warm
 }
 
 // TestDeltaGatherSeesDefragInstalls: a defragmentation rewrites every

@@ -2,13 +2,15 @@ package pm2
 
 import (
 	"fmt"
+
+	"repro/internal/simtime"
 )
 
 // The §4.4 bitmap gather is the dominant term of the negotiation cost:
 // the paper's sequential one-peer-at-a-time protocol is what produces the
 // "+165 µs per extra node" slope. This file holds the pluggable gather
-// strategies (Config.Gather) and the free-run summary hints that let an
-// initiator skip peers known to own nothing.
+// strategies (Config.Gather) and the lane-affine free-run hints that let
+// an initiator skip peers believed to own nothing.
 
 // GatherMode selects how a negotiation initiator collects the other
 // nodes' slot bitmaps (paper §4.4, step 2b).
@@ -110,39 +112,126 @@ func subtreeRanks(self, root, n int) []int {
 	return out
 }
 
-// gatherHint is one node's published free-run summary: the length of the
-// longest run of contiguous free slots it owns. Hints piggyback on the
-// control-plane load reports (Cluster.ReportLoads) and on served bitmap
-// gathers, and are invalidated the moment the node's ownership bitmap
-// changes — so a known hint is always current, and skipping a peer whose
-// known longest run is zero can never lose slots the cluster still has.
-type gatherHint struct {
-	known  bool
-	maxRun int
-}
-
-// refreshHint publishes node i's current free-run summary. Pure
-// control-plane metadata: no virtual time is charged and no events are
-// scheduled. Only the batched and tree gathers consult hints — the
+// Lane-affine free-run hints (batched and tree gathers only — the
 // sequential gather is paper-faithful and the delta gather prunes with
-// "unchanged" replies instead — so under the other modes the whole
-// mechanism stays off: no host-side bitmap scans on the load-report or
-// serve paths.
-func (c *Cluster) refreshHint(i int) {
-	switch c.cfg.Gather {
-	case GatherBatched, GatherTree:
-		c.hints[i] = gatherHint{known: true, maxRun: c.nodes[i].slots.Bitmap().LongestRun()}
+// "unchanged" replies instead).
+//
+// Each hint is split across two lane-owned tables:
+//
+//   - hintEmpty is the initiator half: node R's belief, per peer S,
+//     that S owns no free slots at all. Owned by R's lane, read only by
+//     R's own gather handlers. Emptiness is the only skippable state —
+//     a peer with any free slot could still contribute to a multi-owner
+//     run.
+//   - emptyTold is the server half: node S's record of which peers it
+//     has told "I am empty". Owned by S's lane, written only by S's own
+//     serve handlers and ReportLoads.
+//
+// Truth moves between the halves in three ways, none of which touches
+// another lane's state from a handler:
+//
+//   - Cluster.ReportLoads is an ambient event — a barrier under the
+//     parallel executor — so it may refresh every table directly.
+//   - A served gather implies emptiness: when S serves a bitmap (or
+//     surrenders, or installs a defrag share) while owning nothing, it
+//     marks emptyTold[initiator] on its own lane, and the initiator
+//     derives believesEmpty(S) from the reply content on its own lane.
+//     The tree gather's interior servers reply to their parent, not the
+//     root, so an empty server instead posts the root a zero-charge
+//     control event carrying the fact.
+//   - Invalidation is a message: when a mutation gives a told-empty
+//     node slots again, its bitmap on-change hook fans a zero-charge
+//     control event to every peer in emptyTold, one wire latency out —
+//     which also keeps it beyond the parallel executor's window bound.
+//
+// Beliefs are therefore stale for at most a wire latency. A stale
+// "empty" can make an initiator skip a peer that just gained slots; the
+// gathers compensate by re-running with hints disabled before reporting
+// plan failure (see gatherBatchedFrom / planAndBuyRange), so a skip can
+// never turn "the cluster still has space" into a failed negotiation.
+// Control events charge no virtual time and are not network messages,
+// so message counts, charges and the serial golden traces are all
+// byte-identical to the pre-hint protocol.
+
+// hintsOn reports whether the lane-affine hint machinery is active.
+// Under the other gather modes the whole mechanism stays off: no
+// host-side bitmap scans on the load-report or serve paths.
+func (c *Cluster) hintsOn() bool {
+	return c.cfg.Gather == GatherBatched || c.cfg.Gather == GatherTree
+}
+
+// believesEmpty reports this node's belief that peer p owns no free
+// slots. Initiator-lane state: callable only from this node's handlers
+// (or an ambient barrier).
+func (n *Node) believesEmpty(p int) bool {
+	return n.hintEmpty != nil && n.hintEmpty[p]
+}
+
+// noteBelief records this node's belief about peer p's emptiness.
+func (n *Node) noteBelief(p int, empty bool) {
+	if n.hintEmpty == nil {
+		if !empty {
+			return
+		}
+		n.hintEmpty = make([]bool, len(n.c.nodes))
 	}
+	n.hintEmpty[p] = empty
 }
 
-// invalidateHint forgets node i's summary after a bitmap mutation.
-func (c *Cluster) invalidateHint(i int) {
-	c.hints[i].known = false
+// noteEmptyTold records that peer p has been told this node is empty,
+// arming the invalidation fan-out for the next slot-gaining mutation.
+// Server-lane state: callable only from this node's handlers (or an
+// ambient barrier).
+func (n *Node) noteEmptyTold(p int) {
+	if n.emptyTold == nil {
+		n.emptyTold = make([]bool, len(n.c.nodes))
+	}
+	n.emptyTold[p] = true
+	n.emptyToldAny = true
 }
 
-// hintEmpty reports whether node i is known to own no free slots at all —
-// the only condition under which skipping it from a gather is safe: a
-// peer with any free slot could still contribute to a multi-owner run.
-func (c *Cluster) hintEmpty(i int) bool {
-	return c.hints[i].known && c.hints[i].maxRun == 0
+// hintInvalidate clears every outstanding "I am empty" claim after this
+// node gained free slots: each told peer receives a zero-charge control
+// event one wire latency out that flips its belief back to unknown.
+// The delay keeps the cross-lane write ordered after any reply the
+// mutating handler is about to send (the busy clock serializes both),
+// and at or beyond the parallel executor's window bound.
+func (n *Node) hintInvalidate() {
+	at := n.actor.Now() + simtime.Time(n.c.cfg.Model.WireLatencyNs)
+	self := n.id
+	for p, told := range n.emptyTold {
+		if !told {
+			continue
+		}
+		n.emptyTold[p] = false
+		peer := n.c.nodes[p]
+		n.actor.PostTo(peer.actor, at, func() {
+			peer.noteBelief(self, false)
+		})
+	}
+	n.emptyToldAny = false
+}
+
+// refreshHintsBarrier rewrites every node's hint tables to ground
+// truth. Ambient contexts only (ReportLoads): under the parallel
+// executor these run as barriers, which is what licenses the direct
+// cross-lane writes below.
+func (c *Cluster) refreshHintsBarrier() {
+	for i, src := range c.nodes {
+		empty := src.slots.Bitmap().Count() == 0
+		for j, dst := range c.nodes {
+			if j == i {
+				continue
+			}
+			dst.noteBelief(i, empty)
+			if empty {
+				src.noteEmptyTold(j)
+			} else if src.emptyTold != nil {
+				src.emptyTold[j] = false
+			}
+		}
+		if !empty {
+			src.emptyToldAny = false
+		}
+	}
 }

@@ -7,10 +7,10 @@ import (
 )
 
 // TestDefragPublishesHints is the post-defragmentation hint regression:
-// serving a surrender or installing a replacement bitmap must publish a
-// fresh free-run summary, so a batched gather running right after
-// DefragmentSync skips the peers the restructuring emptied instead of
-// paying a round trip for an all-zero map.
+// gathering surrenders and scattering replacement bitmaps must leave the
+// coordinator's emptiness beliefs at ground truth, so a batched gather
+// running right after DefragmentSync skips the peers the restructuring
+// emptied instead of paying a round trip for an all-zero map.
 func TestDefragPublishesHints(t *testing.T) {
 	run := func(defrag bool) (msgs uint64, ok bool) {
 		c := New(Config{Nodes: 4, Gather: GatherBatched}, progs.NewImage())
@@ -19,8 +19,13 @@ func TestDefragPublishesHints(t *testing.T) {
 		c.Node(3).Slots().SurrenderAll()
 		if defrag {
 			c.DefragmentSync(0)
-			if !c.hintEmpty(3) {
-				t.Fatal("emptied node not hinted empty right after defragmentation")
+			if !c.Node(0).believesEmpty(3) {
+				t.Fatal("coordinator does not believe the emptied node empty right after defragmentation")
+			}
+			for _, full := range []int{1, 2} {
+				if c.Node(0).believesEmpty(full) {
+					t.Fatalf("coordinator believes node %d empty after the scatter handed it slots", full)
+				}
 			}
 		}
 		before := c.Stats().Net.Messages

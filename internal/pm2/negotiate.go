@@ -8,6 +8,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/madeleine"
 	"repro/internal/policy"
+	"repro/internal/simtime"
 )
 
 // The negotiation protocol (paper §4.4, step 2). When a node cannot satisfy
@@ -142,20 +143,43 @@ func (n *Node) gatherSequential(k, round int, done func(bool)) {
 // gatherBatched fires the whole gather as one round of concurrent Calls:
 // the replies' wire time overlaps, so the round costs roughly the slowest
 // peer plus the initiator's per-reply merge work, instead of the sum of
-// all round trips. Peers whose published free-run summary proves they own
-// nothing are skipped outright.
+// all round trips. Peers this node believes own nothing are skipped
+// outright; a belief can be stale for up to a wire latency, so a failed
+// plan after any skip re-runs the round with hints disabled before
+// giving up.
 func (n *Node) gatherBatched(k, round int, done func(bool)) {
+	n.gatherBatchedFrom(k, round, true, done)
+}
+
+func (n *Node) gatherBatchedFrom(k, round int, useHints bool, done func(bool)) {
 	maps := make([]*bitmap.Bitmap, n.c.Nodes())
 	maps[n.id] = n.slots.Bitmap().Clone()
 
+	skipped := false
 	peers := make([]int, 0, n.c.Nodes()-1)
 	for i := 0; i < n.c.Nodes(); i++ {
-		if i != n.id && !n.c.hintEmpty(i) {
-			peers = append(peers, i)
+		if i == n.id {
+			continue
 		}
+		if useHints && n.believesEmpty(i) {
+			skipped = true
+			continue
+		}
+		peers = append(peers, i)
+	}
+	planFail := func() {
+		if skipped {
+			// A skipped peer may have gained slots after the belief
+			// formed (its invalidation is at most a wire latency
+			// behind): re-gather everything before concluding the
+			// cluster is out of contiguous space.
+			n.gatherBatchedFrom(k, round, false, done)
+			return
+		}
+		done(false)
 	}
 	if len(peers) == 0 {
-		n.planAndBuy(k, round, maps, done)
+		n.planAndBuyOr(k, round, maps, done, planFail)
 		return
 	}
 	outstanding := len(peers)
@@ -163,10 +187,13 @@ func (n *Node) gatherBatched(k, round int, done func(bool)) {
 		p := peer
 		n.ep.Call(p, chBitmap, nil, func(reply *madeleine.Buffer) {
 			maps[p] = n.unpackGathered(p, reply)
+			// The reply content is ground truth about the peer's
+			// emptiness; the peer recorded who it told (emptyTold).
+			n.noteBelief(p, maps[p].Count() == 0)
 			n.mergeCharge(layout.BitmapBytes)
 			outstanding--
 			if outstanding == 0 {
-				n.planAndBuy(k, round, maps, done)
+				n.planAndBuyOr(k, round, maps, done, planFail)
 			}
 		})
 	}
@@ -175,28 +202,40 @@ func (n *Node) gatherBatched(k, round int, done func(bool)) {
 // gatherTree routes the gather through the binomial combining tree rooted
 // at this node: each child returns the OR of its whole subtree, so the
 // initiator receives O(log n) messages. Subtrees in which every member is
-// known to own nothing are pruned. The merged map has no per-slot
-// ownership, so the purchase proceeds as a range buy (planAndBuyRange).
+// believed to own nothing are pruned; a failed plan after any pruning
+// re-runs the round with hints disabled before giving up. The merged map
+// has no per-slot ownership, so the purchase proceeds as a range buy
+// (planAndBuyRange).
 func (n *Node) gatherTree(k, round int, done func(bool)) {
+	n.gatherTreeFrom(k, round, true, done)
+}
+
+func (n *Node) gatherTreeFrom(k, round int, useHints bool, done func(bool)) {
 	global := n.slots.Bitmap().Clone()
 	children := treeChildren(n.id, n.id, n.c.Nodes())
 
-	// Prune children whose entire subtree is known to be empty.
-	live := children[:0]
-	for _, child := range children {
-		empty := true
-		for _, r := range subtreeRanks(child, n.id, n.c.Nodes()) {
-			if !n.c.hintEmpty(r) {
-				empty = false
-				break
+	// Prune children whose entire subtree is believed empty.
+	pruned := false
+	live := children
+	if useHints {
+		live = children[:0]
+		for _, child := range children {
+			empty := true
+			for _, r := range subtreeRanks(child, n.id, n.c.Nodes()) {
+				if !n.believesEmpty(r) {
+					empty = false
+					break
+				}
 			}
-		}
-		if !empty {
-			live = append(live, child)
+			if !empty {
+				live = append(live, child)
+			} else {
+				pruned = true
+			}
 		}
 	}
 	if len(live) == 0 {
-		n.planAndBuyRange(k, round, global, done)
+		n.planAndBuyRange(k, round, global, useHints, pruned, done)
 		return
 	}
 	outstanding := len(live)
@@ -210,7 +249,7 @@ func (n *Node) gatherTree(k, round int, done func(bool)) {
 			n.mergeCharge(layout.BitmapBytes)
 			outstanding--
 			if outstanding == 0 {
-				n.planAndBuyRange(k, round, global, done)
+				n.planAndBuyRange(k, round, global, useHints, pruned, done)
 			}
 		})
 	}
@@ -225,7 +264,17 @@ func (n *Node) onGatherTreeCall(src int, req *madeleine.Call) {
 		panic("pm2: corrupt tree-gather request")
 	}
 	merged := n.slots.Bitmap().Clone()
-	n.c.refreshHint(n.id) // serving a gather publishes a fresh summary
+	// An empty server publishes the fact to the gather's root: tree
+	// replies travel to the parent, not the root, so the claim rides a
+	// separate zero-charge control event. emptyTold arms the
+	// invalidation fan-out for the next slot-gaining mutation.
+	if root != n.id && merged.Count() == 0 {
+		n.noteEmptyTold(root)
+		rootNode := n.c.nodes[root]
+		self := n.id
+		n.actor.PostTo(rootNode.actor, n.actor.Now()+simtime.Time(n.c.cfg.Model.WireLatencyNs),
+			func() { rootNode.noteBelief(self, true) })
+	}
 	reply := func() {
 		raw := merged.Bytes()
 		n.actor.Charge(n.c.cfg.Model.Memcpy(len(raw)))
@@ -305,11 +354,18 @@ const purchaseCandidates = 4
 // With PreBuySlots configured, a larger run is tried first, "to pre-buy
 // slots in prevision of foreseeable large allocation requests" (§4.4).
 func (n *Node) planAndBuy(k, round int, maps []*bitmap.Bitmap, done func(bool)) {
+	n.planAndBuyOr(k, round, maps, done, func() { done(false) })
+}
+
+// planAndBuyOr is planAndBuy with an explicit plan-failure continuation,
+// so gathers that skipped believed-empty peers can retry hint-free
+// instead of reporting the cluster out of contiguous space.
+func (n *Node) planAndBuyOr(k, round int, maps []*bitmap.Bitmap, done func(bool), planFail func()) {
 	// First-fit search over the global map (step 2d).
 	n.actor.Charge(n.c.cfg.Model.BitmapScan(layout.BitmapBytes))
 	plan, ok := n.planOn(core.GlobalOr(maps), maps, k)
 	if !ok {
-		done(false)
+		planFail()
 		return
 	}
 	n.withRunLocks(plan.Start, plan.N, func() {
@@ -493,8 +549,10 @@ func (n *Node) retryAfterReturns(k, round int, returns []pendingReturn, done fun
 // map names the run but not its owners, so every peer that may own slots
 // is asked to sell its intersection with the chosen run. If the sold
 // pieces plus our own free slots cover the run, the purchase stands;
-// otherwise everything sold is given back and the round retries.
-func (n *Node) planAndBuyRange(k, round int, global *bitmap.Bitmap, done func(bool)) {
+// otherwise everything sold is given back and the round retries. When no
+// run exists but the gather pruned believed-empty subtrees, the round
+// re-runs hint-free instead of failing.
+func (n *Node) planAndBuyRange(k, round int, global *bitmap.Bitmap, useHints, pruned bool, done func(bool)) {
 	n.actor.Charge(n.c.cfg.Model.BitmapScan(layout.BitmapBytes))
 	// The merged map has no per-slot ownership, so fewest-owners ranking
 	// is impossible here; the decentralized arbiters still search from
@@ -522,15 +580,24 @@ func (n *Node) planAndBuyRange(k, round int, global *bitmap.Bitmap, done func(bo
 		}
 	}
 	if start < 0 {
+		if pruned {
+			// A pruned subtree may have gained slots after the beliefs
+			// formed (invalidations are at most a wire latency behind):
+			// re-gather everything before concluding the cluster is out
+			// of contiguous space.
+			n.gatherTreeFrom(k, round, false, done)
+			return
+		}
 		done(false)
 		return
 	}
 
 	peers := make([]int, 0, n.c.Nodes()-1)
 	for i := 0; i < n.c.Nodes(); i++ {
-		if i != n.id && !n.c.hintEmpty(i) {
-			peers = append(peers, i)
+		if i == n.id || (useHints && n.believesEmpty(i)) {
+			continue
 		}
+		peers = append(peers, i)
 	}
 	sold := make(map[int][]core.SellerShare)
 	complete := func() {
@@ -626,7 +693,12 @@ func (n *Node) returnSlots(seller int, shares []core.SellerShare, done func()) {
 // it plans on this view.
 func (n *Node) onBitmapCall(src int, req *madeleine.Call) {
 	bm := n.slots.Bitmap()
-	n.c.refreshHint(n.id) // serving a gather publishes a fresh summary
+	// Serving a gather while owning nothing tells the initiator we are
+	// empty (it derives the belief from the reply content); record who
+	// was told so a later slot-gaining mutation can invalidate.
+	if n.c.hintsOn() && bm.Count() == 0 {
+		n.noteEmptyTold(src)
+	}
 	raw := bm.Bytes()
 	n.actor.Charge(n.c.cfg.Model.Memcpy(len(raw)))
 	req.Reply(func(b *madeleine.Buffer) {

@@ -349,17 +349,18 @@ func TestNegotiationRoundsExhausted(t *testing.T) {
 	}
 }
 
-// TestHintSkipsEmptyPeer: a peer whose published free-run summary says it
-// owns nothing is skipped by the batched gather — fewer messages, same
-// successful outcome — and any bitmap mutation invalidates the hint.
+// TestHintSkipsEmptyPeer: a peer the initiator believes owns nothing is
+// skipped by the batched gather — fewer messages, same successful
+// outcome — and a slot-gaining mutation on a told-empty node fans out
+// invalidation events that clear the stale beliefs.
 func TestHintSkipsEmptyPeer(t *testing.T) {
 	run := func(hinted bool) (msgs uint64, ok bool) {
 		c := New(Config{Nodes: 3, Gather: GatherBatched}, progs.NewImage())
 		c.Node(2).Slots().SurrenderAll() // node 2 owns nothing now
 		if hinted {
-			c.refreshHint(2)
-			if !c.hintEmpty(2) {
-				t.Fatal("empty node not hinted empty after refresh")
+			c.ReportLoads() // barrier refresh of every hint table
+			if !c.Node(0).believesEmpty(2) {
+				t.Fatal("empty node not believed empty after a load report")
 			}
 		}
 		ok = negotiateSync(t, c, 0, 2)
@@ -373,22 +374,24 @@ func TestHintSkipsEmptyPeer(t *testing.T) {
 	if withHint >= without {
 		t.Fatalf("hinted gather used %d messages, unhinted %d — the empty peer was not skipped", withHint, without)
 	}
-	// A mutation invalidates the hint so a peer gaining slots is never
-	// wrongly skipped.
+	// A slot-gaining mutation invalidates every outstanding belief so a
+	// peer gaining slots is never skipped for more than a wire latency.
 	c := New(Config{Nodes: 3, Gather: GatherBatched}, progs.NewImage())
-	c.refreshHint(2)
-	if c.hintEmpty(2) {
-		t.Fatal("node with slots hinted empty")
+	c.ReportLoads()
+	if c.Node(0).believesEmpty(2) {
+		t.Fatal("node with slots believed empty")
 	}
 	c.Node(2).Slots().SurrenderAll()
-	c.refreshHint(2)
-	if !c.hintEmpty(2) {
-		t.Fatal("surrendered node not hinted empty")
+	c.ReportLoads()
+	if !c.Node(0).believesEmpty(2) || !c.Node(1).believesEmpty(2) {
+		t.Fatal("surrendered node not believed empty after a load report")
 	}
 	if err := c.Node(2).Slots().BuyRun(0, 1); err != nil {
 		t.Fatal(err)
 	}
-	if c.hintEmpty(2) {
-		t.Fatal("hint survived a bitmap mutation")
+	// The invalidation travels as control events one wire latency out.
+	c.Run(0)
+	if c.Node(0).believesEmpty(2) || c.Node(1).believesEmpty(2) {
+		t.Fatal("belief survived a slot-gaining mutation")
 	}
 }

@@ -71,6 +71,16 @@ type Node struct {
 	negBusy    bool
 	negQueue   []func()
 
+	// Lane-affine gather-hint state (batched/tree gathers; see
+	// gather.go). hintEmpty is the initiator half: this node's belief,
+	// per peer, that the peer owns no free slots. emptyTold is the
+	// server half: the peers this node has told "I am empty", with
+	// emptyToldAny as its fast-path summary for the bitmap on-change
+	// hook. Both allocated lazily.
+	hintEmpty    []bool
+	emptyTold    []bool
+	emptyToldAny bool
+
 	// gatherVersions records, per peer, the bitmap-journal version the
 	// last full-map gather observed — what the optimistic arbiter
 	// stamps into purchase messages (the delta gather tracks versions
@@ -138,22 +148,25 @@ func newNode(c *Cluster, id int) *Node {
 		Migrate: n.migrateOut,
 	})
 	n.heap = heap.New(n.space, n.actor, c.cfg.Model)
-	// Any ownership change invalidates the node's published free-run
-	// summary until the next load report or served gather refreshes it,
-	// and — under the delta gather or the optimistic arbiter — bumps
-	// the bitmap version and journals the dirtied words, so purchases,
-	// give-backs and defrag installs all invalidate cached remote views
-	// and stale optimistic plans. The paper-faithful sequential gather
-	// under a locking arbiter never reads hints or versions, so it
-	// skips the bookkeeping entirely.
+	// Any ownership change — under the delta gather or the optimistic
+	// arbiter — bumps the bitmap version and journals the dirtied
+	// words, so purchases, give-backs and defrag installs all
+	// invalidate cached remote views and stale optimistic plans. Under
+	// the batched/tree gathers, a change that gives a told-empty node
+	// slots again fans invalidation control events to the peers that
+	// still believe it empty (gather.go). The paper-faithful sequential
+	// gather under a locking arbiter never reads hints or versions, so
+	// it skips the bookkeeping entirely.
 	if c.cfg.Gather == GatherDelta || c.cfg.Arbiter == ArbiterOptimistic {
 		n.journal = bitmap.NewJournal(deltaJournalWords)
 	}
-	if c.cfg.Gather != GatherSequential || n.journal != nil {
+	if c.hintsOn() || n.journal != nil {
 		n.slots.SetOnChange(func(start, count int) {
-			c.invalidateHint(id)
 			if n.journal != nil {
 				n.journal.NoteBits(start, count)
+			}
+			if n.emptyToldAny && n.slots.Bitmap().Count() > 0 {
+				n.hintInvalidate()
 			}
 		})
 	}

@@ -127,9 +127,9 @@ type Config struct {
 	// pool under the conservative time-window scheme, with all traces,
 	// stats and goldens bit-identical to the serial run (the window
 	// horizon is Model.WireLatencyNs, the cross-node latency floor).
-	// Incompatible with GatherBatched and GatherTree, whose initiators
-	// read other nodes' published hints directly instead of by message —
-	// New panics on that combination rather than racing.
+	// Every gather strategy composes with Workers > 1: the free-run
+	// hints the batched and tree gathers consult are lane-affine,
+	// exchanged by message instead of read from peers (see gather.go).
 	Workers int
 }
 
@@ -220,8 +220,6 @@ type Cluster struct {
 	log   *trace.Log
 	pol   *policy.Engine
 	stats Stats
-	// hints holds each node's published free-run summary (see gather.go).
-	hints []gatherHint
 	// shardMap partitions the slot space for the sharded arbiter.
 	shardMap core.ShardMap
 	// allocSamples records allocation latencies when cfg.RecordAllocs.
@@ -241,10 +239,42 @@ type Cluster struct {
 	cohortByTID map[uint32]int
 }
 
-// New builds a cluster over the (sealed) program image.
-func New(cfg Config, im *isa.Image) *Cluster {
+// Validate checks the configuration for structural errors. NewChecked
+// runs it implicitly; it is exported so front-ends can report a bad
+// configuration before building anything.
+func (cfg Config) Validate() error {
 	if cfg.Nodes <= 0 {
-		panic("pm2: cluster needs at least one node")
+		return fmt.Errorf("pm2: cluster needs at least one node (Nodes = %d)", cfg.Nodes)
+	}
+	if cfg.Workers < 0 {
+		return fmt.Errorf("pm2: negative kernel worker count %d", cfg.Workers)
+	}
+	if cfg.ArbiterShards < 0 {
+		return fmt.Errorf("pm2: negative arbiter shard count %d", cfg.ArbiterShards)
+	}
+	if cfg.PreBuySlots < 0 {
+		return fmt.Errorf("pm2: negative pre-buy slot count %d", cfg.PreBuySlots)
+	}
+	return nil
+}
+
+// New builds a cluster over the (sealed) program image, panicking on an
+// invalid configuration. NewChecked is the error-returning variant.
+func New(cfg Config, im *isa.Image) *Cluster {
+	c, err := NewChecked(cfg, im)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NewChecked builds a cluster over the (sealed) program image. Any
+// configuration that passes Validate builds and runs: in particular,
+// every gather strategy composes with every worker count — the
+// historical Workers-vs-batched/tree restriction is gone.
+func NewChecked(cfg Config, im *isa.Image) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.Dist == nil {
 		cfg.Dist = core.RoundRobin{}
@@ -275,9 +305,6 @@ func New(cfg Config, im *isa.Image) *Cluster {
 		log: trace.New(),
 	}
 	if cfg.Workers > 1 {
-		if cfg.Gather == GatherBatched || cfg.Gather == GatherTree {
-			panic("pm2: Workers > 1 is incompatible with the batched/tree gathers (initiators read peer hints cross-lane)")
-		}
 		c.eng.SetParallel(cfg.Workers, simtime.Time(cfg.Model.WireLatencyNs))
 	}
 	c.pol = policy.NewEngine(cfg.Placement, cfg.Nodes)
@@ -285,12 +312,11 @@ func New(cfg Config, im *isa.Image) *Cluster {
 	c.bufPool = madeleine.NewPool()
 	c.versionDeclines = make([]int, cfg.Nodes)
 	c.nw = bip.NewNetwork(c.eng, cfg.Model, cfg.Nodes)
-	c.hints = make([]gatherHint, cfg.Nodes)
 	c.nodes = make([]*Node, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
 		c.nodes[i] = newNode(c, i)
 	}
-	return c
+	return c, nil
 }
 
 // Placement returns the cluster's policy engine. Attached balancers use
@@ -310,8 +336,12 @@ func (c *Cluster) ReportLoads() {
 			VersionDeclines: c.versionDeclines[i],
 			Time:            now,
 		})
-		// Piggyback the node's free-run summary hint on the report.
-		c.refreshHint(i)
+	}
+	// Load reports run on the ambient lane — a barrier under the parallel
+	// executor — which is what lets them piggyback a full refresh of the
+	// lane-affine gather-hint tables (batched/tree gathers only).
+	if c.hintsOn() {
+		c.refreshHintsBarrier()
 	}
 }
 

@@ -180,19 +180,18 @@ func run(spec Spec, replay []serve.Request) (*Result, error) {
 		return nil, err
 	}
 	spec.Arbiter = arbiter.String()
-	if spec.Workers > 1 && (gather == ipm2.GatherBatched || gather == ipm2.GatherTree) {
-		return nil, fmt.Errorf("scenario: workers=%d is incompatible with the %s gather (initiators read peer hints cross-lane)",
-			spec.Workers, gather)
-	}
 
 	rec := &recorder{}
-	cl := ipm2.New(ipm2.Config{
+	cl, err := ipm2.NewChecked(ipm2.Config{
 		Nodes:     spec.Nodes,
 		Gather:    gather,
 		Arbiter:   arbiter,
 		Placement: &recordingPolicy{inner: pol, rec: rec},
 		Workers:   spec.Workers,
 	}, Image())
+	if err != nil {
+		return nil, err
+	}
 
 	rec.logf("scenario=%s policy=%s nodes=%d seed=%d", spec.Scenario, spec.Policy, spec.Nodes, spec.Seed)
 	d := &Driver{spec: spec, cl: cl, r: NewRand(spec.Seed), rec: rec}

@@ -63,14 +63,67 @@ func TestWorkersIdentity(t *testing.T) {
 	}
 }
 
-// TestWorkersRejectBatchedGather pins the documented incompatibility:
-// the batched/tree gathers read peer hints cross-lane, so the harness
-// must refuse to combine them with a parallel kernel instead of racing.
-func TestWorkersRejectBatchedGather(t *testing.T) {
-	for _, gather := range []string{"batched", "tree"} {
-		_, err := Run(Spec{Scenario: "negostress", Workers: 4, Gather: gather})
-		if err == nil {
-			t.Fatalf("workers=4 gather=%s: expected a validation error", gather)
-		}
+// TestWorkersGatherMatrix extends the identity guarantee to the full
+// gather matrix at the harness level: since the lane-affine hint
+// protocol, every gather strategy composes with the parallel kernel, so
+// negostress — the workload built to hammer §4.4 negotiations — must
+// produce byte-identical traces and identical stats at workers 1, 2 and
+// 4 under every gather and a representative arbiter spread. The new
+// combinations have no committed goldens; self-consistency against the
+// in-process serial run is the pinned property (the golden-backed
+// combinations are covered by TestWorkersIdentity above).
+func TestWorkersGatherMatrix(t *testing.T) {
+	cases := []struct{ gather, arbiter string }{
+		{"sequential", "global"},
+		{"batched", "global"},
+		{"batched", "sharded"},
+		{"tree", "global"},
+		{"tree", "optimistic"},
+		{"delta", "optimistic"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.gather+"_"+tc.arbiter, func(t *testing.T) {
+			t.Parallel()
+			spec := Spec{Scenario: "negostress", Policy: "negotiation", Nodes: 16,
+				Gather: tc.gather, Arbiter: tc.arbiter}
+			serialSpec := spec
+			serialSpec.Workers = 1
+			serial, err := Run(serialSpec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial.Stats.Negotiations == 0 {
+				t.Fatal("negostress performed no negotiations — not exercising the gather")
+			}
+			for _, workers := range []int{2, 4} {
+				parSpec := spec
+				parSpec.Workers = workers
+				par, err := Run(parSpec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if par.TraceString() != serial.TraceString() {
+					t.Fatalf("workers=%d trace deviates from serial run", workers)
+				}
+				if !reflect.DeepEqual(par.Stats, serial.Stats) {
+					t.Fatalf("workers=%d stats deviate:\ngot:  %+v\nwant: %+v", workers, par.Stats, serial.Stats)
+				}
+				if par.Steps != serial.Steps || par.VirtualMicros != serial.VirtualMicros {
+					t.Fatalf("workers=%d steps/clock deviate: %d/%.3f vs %d/%.3f",
+						workers, par.Steps, par.VirtualMicros, serial.Steps, serial.VirtualMicros)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkersInvalidSpec pins that a structurally invalid configuration
+// surfaces as an error from the harness (via pm2.Config.Validate), not a
+// panic — the batched/tree gathers are no longer rejected, so a negative
+// worker count is the representative invalid input.
+func TestWorkersInvalidSpec(t *testing.T) {
+	if _, err := Run(Spec{Scenario: "negostress", Workers: -2}); err == nil {
+		t.Fatal("workers=-2: expected a validation error")
 	}
 }

@@ -53,9 +53,11 @@ type lane struct {
 	heap []*event
 	// free recycles event structs popped from this lane.
 	free []*event
-	// pos is the lane's index in the engine's merge heap, -1 while the
-	// lane is empty.
-	pos int
+	// bkt/bpos locate the lane in the engine's calendar merge: the
+	// bucket index and the lane's slot within that bucket. bkt is -1
+	// while the lane is empty (untracked).
+	bkt  int
+	bpos int
 
 	// now is the lane-local clock: the timestamp of the event currently
 	// (or last) executing on this lane. During serial execution it
@@ -78,7 +80,7 @@ type lane struct {
 }
 
 func (e *Engine) newLane() *lane {
-	l := &lane{eng: e, id: len(e.lanes), pos: -1}
+	l := &lane{eng: e, id: len(e.lanes), bkt: -1}
 	e.lanes = append(e.lanes, l)
 	return l
 }
@@ -198,94 +200,260 @@ func (l *lane) siftDown(i int) {
 	}
 }
 
-// The merge heap: the engine's index of non-empty lanes, ordered by
-// each lane's head-event key. Lanes carry their position (lane.pos) so
-// a head change re-sifts in O(log lanes) without a search.
+// The calendar merge: the engine's index of non-empty lanes, keyed by
+// each lane's head-event key. Instead of one binary heap over every
+// lane (an O(log lanes) sift on every head change), lanes hash into
+// time buckets of power-of-two width — bucket(at) = (at >> shift) &
+// mask — and the minimum is found by scanning forward from a monotone
+// floor, the timestamp of the last dequeued event. Each bucket is
+// itself a small (at, seq) min-heap, so a scan peeks one lane per
+// bucket and maintenance costs O(log occupancy): with the width tuned
+// to the mean head gap that occupancy is O(1), flattening the
+// per-event merge constant, and under pathological clustering (many
+// lanes in lockstep at one timestamp) it degrades exactly to the old
+// global-heap cost rather than below it. Two properties make the
+// monotone scan valid: engine time never goes backward (schedule
+// clamps to Now, and window commits only raise it), so every tracked
+// key is >= floor; and events with equal timestamps share a bucket, so
+// the (at, seq) tie-break — the old heap comparator, still the one
+// total order — is decided locally. The cached min short-circuits the
+// common case where nothing cheaper arrived since the last scan.
 
-func mergeLess(a, b *lane) bool { return eventLess(a.heap[0], b.heap[0]) }
-
-// mergeFix restores lane l's merge-heap position after its head event
-// changed: inserted when it became non-empty, removed when it drained,
-// re-sifted otherwise.
-func (e *Engine) mergeFix(l *lane) {
-	if len(l.heap) == 0 {
-		if l.pos >= 0 {
-			e.mergeRemove(l.pos)
-			l.pos = -1
-		}
-		return
-	}
-	if l.pos < 0 {
-		l.pos = len(e.merge)
-		e.merge = append(e.merge, l)
-	}
-	e.mergeSiftUp(l.pos)
-	e.mergeSiftDown(l.pos)
+// calendar is the engine's merge structure over non-empty lane heads.
+type calendar struct {
+	// buckets[i] is a min-heap (by head-event key) of the tracked lanes
+	// whose head event falls in time slice i; len(buckets) is a power
+	// of two. Lanes carry their bucket index and heap position
+	// (lane.bkt, lane.bpos).
+	buckets [][]*lane
+	shift   uint // bucket width is 1 << shift nanoseconds
+	mask    int  // len(buckets) - 1
+	count   int  // tracked (non-empty) lanes
+	// min caches the lane holding the global minimum key; nil means
+	// unknown (recomputed lazily by minLane).
+	min *lane
+	// floor is a monotone lower bound on every tracked key: the
+	// timestamp of the last event dequeued (or the engine clock at the
+	// last rebuild). Scans start at its bucket.
+	floor Time
+	// ops counts head-change operations since the last retune; the
+	// width is re-estimated every few thousand so the bucket occupancy
+	// tracks the workload's event spacing.
+	ops int
 }
 
-func (e *Engine) mergeRemove(i int) {
-	m := e.merge
-	last := len(m) - 1
-	m[i] = m[last]
-	m[i].pos = i
-	m[last] = nil
-	e.merge = m[:last]
+func (c *calendar) bucketOf(at Time) int {
+	return int(at>>c.shift) & c.mask
+}
+
+func (c *calendar) insert(l *lane) {
+	b := c.bucketOf(l.heap[0].at)
+	l.bkt, l.bpos = b, len(c.buckets[b])
+	c.buckets[b] = append(c.buckets[b], l)
+	c.siftUp(b, l.bpos)
+	c.count++
+	if c.min != nil && eventLess(l.heap[0], c.min.heap[0]) {
+		c.min = l
+	}
+}
+
+func (c *calendar) remove(l *lane) {
+	b, i := l.bkt, l.bpos
+	s := c.buckets[b]
+	last := len(s) - 1
+	s[i] = s[last]
+	s[i].bpos = i
+	s[last] = nil
+	c.buckets[b] = s[:last]
+	l.bkt = -1
+	c.count--
 	if i < last {
-		e.mergeSiftUp(i)
-		e.mergeSiftDown(i)
+		c.siftUp(b, i)
+		c.siftDown(b, i)
+	}
+	if c.min == l {
+		c.min = nil
 	}
 }
 
-func (e *Engine) mergeSiftUp(i int) {
-	m := e.merge
+func (c *calendar) siftUp(b, i int) {
+	s := c.buckets[b]
 	for i > 0 {
 		p := (i - 1) / 2
-		if !mergeLess(m[i], m[p]) {
+		if !eventLess(s[i].heap[0], s[p].heap[0]) {
 			break
 		}
-		m[i], m[p] = m[p], m[i]
-		m[i].pos, m[p].pos = i, p
+		s[i], s[p] = s[p], s[i]
+		s[i].bpos, s[p].bpos = i, p
 		i = p
 	}
 }
 
-func (e *Engine) mergeSiftDown(i int) {
-	m := e.merge
-	n := len(m)
+func (c *calendar) siftDown(b, i int) {
+	s := c.buckets[b]
+	n := len(s)
 	for {
 		least := i
-		if c := 2*i + 1; c < n && mergeLess(m[c], m[least]) {
-			least = c
+		if x := 2*i + 1; x < n && eventLess(s[x].heap[0], s[least].heap[0]) {
+			least = x
 		}
-		if c := 2*i + 2; c < n && mergeLess(m[c], m[least]) {
-			least = c
+		if x := 2*i + 2; x < n && eventLess(s[x].heap[0], s[least].heap[0]) {
+			least = x
 		}
 		if least == i {
 			return
 		}
-		m[i], m[least] = m[least], m[i]
-		m[i].pos, m[least].pos = i, least
+		s[i], s[least] = s[least], s[i]
+		s[i].bpos, s[least].bpos = i, least
 		i = least
 	}
 }
 
-// rebuildMerge reconstructs the merge heap and the pending count from
+// mergeFix restores lane l's calendar position after its head event
+// changed: inserted when it became non-empty, removed when it drained,
+// rebucketed otherwise. Amortized O(1).
+func (e *Engine) mergeFix(l *lane) {
+	c := &e.cal
+	if len(l.heap) == 0 {
+		if l.bkt >= 0 {
+			c.remove(l)
+		}
+		return
+	}
+	c.ops++
+	if l.bkt < 0 {
+		if len(c.buckets) == 0 || c.count >= 2*len(c.buckets) {
+			e.calRebuild() // re-inserts every non-empty lane, including l
+			return
+		}
+		c.insert(l)
+		return
+	}
+	if b := c.bucketOf(l.heap[0].at); b != l.bkt {
+		// remove clears the cached min if l held it; insert re-crowns l
+		// only by comparing against a still-valid cache.
+		c.remove(l)
+		c.insert(l)
+		return
+	}
+	c.siftUp(l.bkt, l.bpos)
+	c.siftDown(l.bkt, l.bpos)
+	if c.min == l {
+		// Head changed in place; it may no longer be the minimum.
+		c.min = nil
+	} else if c.min != nil && eventLess(l.heap[0], c.min.heap[0]) {
+		c.min = l
+	}
+}
+
+// minLane returns the lane holding the earliest (at, seq) head key, or
+// nil when no lane has pending events. It advances the scan floor to
+// the returned key, which the monotonicity of engine time justifies.
+func (e *Engine) minLane() *lane {
+	c := &e.cal
+	if c.min != nil {
+		return c.min
+	}
+	if c.count == 0 {
+		return nil
+	}
+	if c.ops > 8*c.count+4096 {
+		e.calRebuild()
+	}
+	c.min = c.scan()
+	c.floor = c.min.heap[0].at
+	return c.min
+}
+
+// scan locates the minimum head key: walk one calendar year of buckets
+// forward from the floor, peeking each bucket's heap top. A top inside
+// the bucket's current time slice is the global minimum — every
+// tracked key is >= floor, later buckets of the year hold later
+// timestamps, aliased entries from later years sort after in-slice
+// ones, and equal timestamps share a bucket so the (at, seq) tie-break
+// is decided by the bucket heap. If a whole year is empty, fall back
+// to a direct sweep of the bucket tops.
+func (c *calendar) scan() *lane {
+	n := len(c.buckets)
+	start := int64(c.floor >> c.shift)
+	for t := 0; t < n; t++ {
+		idx := int(start+int64(t)) & c.mask
+		s := c.buckets[idx]
+		if len(s) == 0 {
+			continue
+		}
+		if end := Time(start+int64(t)+1) << c.shift; s[0].heap[0].at < end {
+			return s[0]
+		}
+	}
+	var best *lane
+	for _, s := range c.buckets {
+		if len(s) > 0 && (best == nil || eventLess(s[0].heap[0], best.heap[0])) {
+			best = s[0]
+		}
+	}
+	return best
+}
+
+// calRebuild re-sizes and re-tunes the calendar from the live lane set:
+// the bucket count is the power of two covering the non-empty lanes and
+// the bucket width is the power of two nearest the mean head gap, so a
+// dequeue typically lands on a bucket holding one lane. Deterministic —
+// both parameters are pure functions of the queue content.
+func (e *Engine) calRebuild() {
+	c := &e.cal
+	n := 0
+	minAt, maxAt := Time(0), Time(0)
+	for _, l := range e.lanes {
+		if len(l.heap) == 0 {
+			continue
+		}
+		at := l.heap[0].at
+		if n == 0 || at < minAt {
+			minAt = at
+		}
+		if n == 0 || at > maxAt {
+			maxAt = at
+		}
+		n++
+	}
+	size := 8
+	for size < n {
+		size *= 2
+	}
+	shift := uint(0)
+	if n > 0 {
+		if gap := (maxAt - minAt) / Time(n); gap > 0 {
+			for shift < 40 && Time(1)<<(shift+1) <= gap {
+				shift++
+			}
+		}
+	}
+	if size != len(c.buckets) {
+		c.buckets = make([][]*lane, size)
+	} else {
+		for i := range c.buckets {
+			c.buckets[i] = c.buckets[i][:0]
+		}
+	}
+	c.shift, c.mask, c.count, c.min, c.ops = shift, size-1, 0, nil, 0
+	c.floor = e.now
+	for _, l := range e.lanes {
+		l.bkt = -1
+		if len(l.heap) > 0 {
+			c.insert(l)
+		}
+	}
+}
+
+// rebuildMerge reconstructs the calendar and the pending count from
 // scratch — O(lanes), used once per parallel window, where incremental
 // fixes would have to reason about many simultaneously-stale lane
 // heads.
 func (e *Engine) rebuildMerge() {
-	e.merge = e.merge[:0]
 	e.nPending = 0
 	for _, l := range e.lanes {
 		e.nPending += len(l.heap)
-		if len(l.heap) > 0 {
-			l.pos = len(e.merge)
-			e.merge = append(e.merge, l)
-		} else {
-			l.pos = -1
-		}
 	}
-	for i := len(e.merge)/2 - 1; i >= 0; i-- {
-		e.mergeSiftDown(i)
-	}
+	e.calRebuild()
 }

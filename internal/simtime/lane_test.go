@@ -110,7 +110,7 @@ func TestLaneMergeMatchesReference(t *testing.T) {
 		steps := 0
 		for e.Pending() > 0 {
 			wat, wseq := ref.pop()
-			gat, gseq := e.merge[0].PeekNextEventTime()
+			gat, gseq := e.minLane().PeekNextEventTime()
 			if gat != wat || gseq != wseq {
 				t.Fatalf("trial %d step %d: lane merge at (%d,%d), reference heap at (%d,%d)",
 					trial, steps, gat, gseq, wat, wseq)

@@ -124,14 +124,15 @@ func (l *lane) postLocal(at Time, fn func(), a *Actor) {
 func (e *Engine) runParallel(limit uint64, deadline Time, bounded bool) uint64 {
 	var executed uint64
 	for limit == 0 || executed < limit {
-		if len(e.merge) == 0 {
+		min := e.minLane()
+		if min == nil {
 			break
 		}
-		head := e.merge[0].heap[0]
+		head := min.heap[0]
 		if bounded && head.at > deadline {
 			break
 		}
-		if e.merge[0] == e.ambient {
+		if min == e.ambient {
 			e.Step()
 			executed++
 			e.wstats.AmbientSteps++
@@ -155,8 +156,8 @@ func (e *Engine) runParallel(limit uint64, deadline Time, bounded bool) uint64 {
 // commits the results, returning the number of events executed.
 func (e *Engine) runWindow(boundAt Time, boundSeq uint64) uint64 {
 	ps := e.participants[:0]
-	for _, l := range e.merge {
-		if l == e.ambient {
+	for _, l := range e.lanes {
+		if l == e.ambient || len(l.heap) == 0 {
 			continue
 		}
 		if at, seq := l.PeekNextEventTime(); keyLess(at, seq, boundAt, boundSeq) {

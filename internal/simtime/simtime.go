@@ -50,8 +50,9 @@ type Engine struct {
 	// executor treats them as barriers.
 	ambient *lane
 	lanes   []*lane
-	// merge is the index heap of non-empty lanes by head-event key.
-	merge []*lane
+	// cal is the calendar merge over non-empty lanes by head-event key
+	// (lane.go).
+	cal calendar
 
 	// Parallel execution configuration and window state (parallel.go).
 	workers       int
@@ -119,10 +120,10 @@ func (e *Engine) schedule(l *lane, t Time, fn func(), a *Actor) {
 // Step executes the earliest pending event across all lanes, advancing
 // Now to its timestamp. It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	if len(e.merge) == 0 {
+	l := e.minLane()
+	if l == nil {
 		return false
 	}
-	l := e.merge[0]
 	ev := l.pop()
 	e.nPending--
 	e.mergeFix(l)
@@ -159,7 +160,7 @@ func (e *Engine) RunUntil(deadline Time) {
 	if e.workers > 1 {
 		e.runParallel(0, deadline, true)
 	} else {
-		for len(e.merge) > 0 && e.merge[0].heap[0].at <= deadline {
+		for l := e.minLane(); l != nil && l.heap[0].at <= deadline; l = e.minLane() {
 			e.Step()
 		}
 	}
