@@ -2,12 +2,14 @@
 // generated pm2bench -json reports against their committed baselines and
 // exits non-zero on a regression beyond tolerance (default 25%).
 //
-// Four reports are gated. BENCH_negotiation.json: any gather strategy's
+// Five reports are gated. BENCH_negotiation.json: any gather strategy's
 // cold or warm per-node slope. BENCH_migration.json: the ping-pong
 // migration µs/hop (legacy and zero-copy pipeline) and the convoy path's
 // per-thread µs and wire bytes/thread at each measured batch size.
 // BENCH_serve.json: each cluster size's saturation knee — gated as a
 // FLOOR, a knee that falls below baseline is lost serving capacity.
+// BENCH_failover.json: the crash-to-declaration detection latency and
+// the evacuation makespan at each measured victim batch size.
 // BENCH_scale.json: the kernel-scaling figure's virtual quantities
 // (events, migrations, virtual time per cluster size) — gated EXACTLY,
 // no tolerance: they are deterministic event counts, so any drift is a
@@ -23,6 +25,7 @@
 //	benchcheck -tolerance 0.10 ...   # tighten the gate to 10%
 //	benchcheck -mig-current ""       # skip the migration gate
 //	benchcheck -serve-current ""     # skip the serve gate
+//	benchcheck -failover-current ""  # skip the failover gate
 //	benchcheck -scale-current ""     # skip the scale gate
 //
 // Merged-byte counts are reported for context but not gated: they are
@@ -167,6 +170,56 @@ func checkServe(g *gate, basePath, curPath string) {
 			fmt.Printf("serve n=%d cohort %-6s e2e p50/p95/p99 %.1f/%.1f/%.1f µs (informational)\n",
 				c.Nodes, co.Cohort, co.EndToEndP50Us, co.EndToEndP95Us, co.EndToEndP99Us)
 		}
+	}
+}
+
+func loadFailover(path string) (bench.FailoverReport, error) {
+	var r bench.FailoverReport
+	if err := loadJSON(path, &r); err != nil {
+		return r, err
+	}
+	if r.Figure != "failover" || len(r.Rows) == 0 {
+		return r, fmt.Errorf("%s: not a failover report", path)
+	}
+	return r, nil
+}
+
+// checkFailover gates the fail-stop recovery figure: the detection
+// latency and the per-k evacuation makespans (both pipelines) must not
+// regress beyond tolerance. The reclaimed slot count is an exact
+// protocol quantity already pinned by unit tests, so it is printed for
+// context only.
+func checkFailover(g *gate, basePath, curPath string) {
+	base, err := loadFailover(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := loadFailover(curPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	g.check("failover detection", "µs", latencyGraceMicros, base.DetectionMicros, cur.DetectionMicros)
+	curByK := make(map[int]bench.FailoverRow, len(cur.Rows))
+	for _, r := range cur.Rows {
+		curByK[r.K] = r
+	}
+	// Drive the gate from the baseline: a batch size that vanishes from
+	// the current report must fail, not silently skip its checks.
+	for _, b := range base.Rows {
+		c, ok := curByK[b.K]
+		if !ok {
+			fmt.Printf("failover k=%d MISSING from current report\n", b.K)
+			g.failed = true
+			continue
+		}
+		g.check(fmt.Sprintf("failover k=%d evac legacy", b.K), "µs", latencyGraceMicros,
+			b.EvacLegacyMicros, c.EvacLegacyMicros)
+		g.check(fmt.Sprintf("failover k=%d evac convoy", b.K), "µs", latencyGraceMicros,
+			b.EvacConvoyMicros, c.EvacConvoyMicros)
+		fmt.Printf("failover k=%d reclaimed %d slots (baseline %d, informational)\n",
+			b.K, c.ReclaimedSlots, b.ReclaimedSlots)
 	}
 }
 
@@ -368,6 +421,8 @@ func main() {
 	migCurrent := flag.String("mig-current", "BENCH_migration.json", "freshly generated migration report (empty to skip the migration gate)")
 	serveBaseline := flag.String("serve-baseline", "ci/BENCH_serve.baseline.json", "committed serve baseline report")
 	serveCurrent := flag.String("serve-current", "BENCH_serve.json", "freshly generated serve report (empty to skip the serve gate)")
+	failoverBaseline := flag.String("failover-baseline", "ci/BENCH_failover.baseline.json", "committed failover baseline report")
+	failoverCurrent := flag.String("failover-current", "BENCH_failover.json", "freshly generated failover report (empty to skip the failover gate)")
 	scaleBaseline := flag.String("scale-baseline", "ci/BENCH_scale.baseline.json", "committed kernel-scaling baseline report")
 	scaleCurrent := flag.String("scale-current", "BENCH_scale.json", "freshly generated kernel-scaling report (empty to skip the scale gate)")
 	tolerance := flag.Float64("tolerance", 0.25, "maximum allowed relative regression")
@@ -387,6 +442,13 @@ func main() {
 			fmt.Printf("%s not present; skipping the serve gate\n", *serveCurrent)
 		} else {
 			checkServe(g, *serveBaseline, *serveCurrent)
+		}
+	}
+	if *failoverCurrent != "" {
+		if _, err := os.Stat(*failoverCurrent); err != nil && os.IsNotExist(err) {
+			fmt.Printf("%s not present; skipping the failover gate\n", *failoverCurrent)
+		} else {
+			checkFailover(g, *failoverBaseline, *failoverCurrent)
 		}
 	}
 	if *scaleCurrent != "" {

@@ -16,6 +16,9 @@
 //	pm2load -warm-heap 65536 p4m 300         # Figure 9
 //	pm2load -policy round-robin -balance 2000 -nodes 4 p4 1000
 //	pm2load -gather delta -arbiter sharded -nodes 16 allocone 150000
+//	pm2load -nodes 4 -fault crash:1@3000 -node 1 worker 30000
+//	pm2load -checkpoint run.ckpt -checkpoint-at 500 p4 1000
+//	pm2load -restore run.ckpt
 //
 // -policy selects the placement policy (negotiation | round-robin |
 // work-stealing); -mech selects the migration mechanism (iso |
@@ -24,6 +27,15 @@
 // (global | sharded | optimistic). For compatibility, -policy also
 // accepts the legacy values "iso" and "relocate" and treats them as
 // -mech.
+//
+// -fault installs a fail-stop fault plan ("crash:N@T" crashes node N at
+// T µs of virtual time); if no -balance is given one is attached at
+// 2000 µs, since failure detection rides the balancer's heartbeat
+// rounds. -checkpoint/-checkpoint-at capture the cluster to a pm2ckpt
+// file mid-run and continue; -restore boots from such a file and runs
+// it to completion, printing a trace byte-identical to the capturing
+// run's (the checkpoint carries configuration and workload, so -restore
+// takes no program argument and rejects structural flags).
 package main
 
 import (
@@ -49,7 +61,46 @@ func main() {
 	srcFile := flag.String("src", "", "assemble and register an extra program from this file")
 	warmHeap := flag.Int("warm-heap", 0, "fill every other node's heap with N bytes of junk first (Figure 9)")
 	stats := flag.Bool("stats", true, "print run statistics after the trace")
+	faultSpec := flag.String("fault", "", `fail-stop fault plan, e.g. "crash:1@3000" (node 1 dies at 3000 µs)`)
+	hbMisses := flag.Int("heartbeat-misses", 0, "failure-detector lease: heartbeat rounds missed before a node is declared dead (0 = default 2)")
+	ckptFile := flag.String("checkpoint", "", "write a pm2ckpt image of the run to this file at -checkpoint-at, then continue")
+	ckptAt := flag.Int64("checkpoint-at", 0, "µs of virtual time to run before -checkpoint captures the cluster")
+	restoreFile := flag.String("restore", "", "restore a pm2ckpt image and run it to completion (no program argument)")
 	flag.Parse()
+
+	if *restoreFile != "" {
+		// A checkpoint carries its whole structural configuration and
+		// workload; flags that would re-specify either are mistakes, not
+		// requests.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "restore", "balance", "stats":
+			default:
+				fmt.Fprintf(os.Stderr, "pm2load: -%s does not apply with -restore (the checkpoint carries the configuration and workload)\n", f.Name)
+				os.Exit(2)
+			}
+		})
+		restoreRun(*restoreFile, *balance, *stats)
+		return
+	}
+	if *ckptFile != "" {
+		switch {
+		case *ckptAt <= 0:
+			fmt.Fprintln(os.Stderr, "pm2load: -checkpoint needs -checkpoint-at <µs> to know when to capture")
+			os.Exit(2)
+		case *balance > 0:
+			fmt.Fprintln(os.Stderr, "pm2load: -checkpoint does not compose with -balance (the balancer's policy-engine state is not captured, so the restored run would diverge)")
+			os.Exit(2)
+		case *faultSpec != "":
+			fmt.Fprintln(os.Stderr, "pm2load: -checkpoint does not compose with -fault (crash barriers are scheduled closures a checkpoint cannot carry)")
+			os.Exit(2)
+		}
+	}
+	// Failure detection rides the balancer's heartbeat rounds: a fault
+	// plan without a balancer would crash the node and then never notice.
+	if *faultSpec != "" && *balance == 0 {
+		*balance = 2000
+	}
 
 	// Legacy spelling: -policy iso|relocate named the mechanism.
 	if *policy == "iso" || *policy == "relocate" {
@@ -120,6 +171,8 @@ func main() {
 		Gather:           gatherName,
 		Arbiter:          arbiterName,
 		Convoy:           *convoy,
+		Faults:           *faultSpec,
+		HeartbeatMisses:  *hbMisses,
 	})
 	if *balance > 0 {
 		cl.AttachBalancer(*balance)
@@ -135,6 +188,23 @@ func main() {
 	}
 
 	cl.Spawn(*node, prog, arg)
+	if *ckptFile != "" {
+		// Run to the capture instant, write the image, then resume the
+		// same cluster: the full trace printed below is byte-identical to
+		// what `-restore` produces from the written file.
+		cl.RunForMicros(*ckptAt)
+		data, err := cl.CheckpointBytes()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pm2load: checkpoint: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*ckptFile, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "pm2load: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "-- checkpoint: %d bytes to %s at t=%dµs\n", len(data), *ckptFile, *ckptAt)
+		cl.Resume()
+	}
 	cl.Run()
 
 	for _, l := range cl.Output() {
@@ -143,6 +213,43 @@ func main() {
 	if *stats {
 		st := cl.Stats()
 		fmt.Fprintf(os.Stderr, "\n-- %d node(s), policy %s, mech %s, dist %s, gather %s, arbiter %s\n", *nodes, polName, *mech, *dist, gatherName, arbiterName)
+		fmt.Fprintf(os.Stderr, "-- virtual time %.1fµs, %d migration(s) (avg %.1fµs), %d negotiation(s)\n",
+			st.VirtualMicros, st.Migrations, st.AvgMigrationMicros, st.Negotiations)
+	}
+	if err := cl.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "pm2load: invariant violation: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// restoreRun boots a cluster from a pm2ckpt image and runs it to
+// completion. The checkpoint carries the structural configuration and
+// the parked workload, so the only inputs are the file and the optional
+// balancer period. The printed trace includes the pre-capture lines the
+// checkpoint recorded — it is byte-identical to the capturing run's.
+func restoreRun(path string, balance int64, stats bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pm2load: %v\n", err)
+		os.Exit(1)
+	}
+	sys := pm2.NewSystem()
+	sys.RegisterExamples()
+	cl, err := sys.Restore(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pm2load: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if balance > 0 {
+		cl.AttachBalancer(balance)
+	}
+	cl.Run()
+	for _, l := range cl.Output() {
+		fmt.Println(l)
+	}
+	if stats {
+		st := cl.Stats()
+		fmt.Fprintf(os.Stderr, "\n-- restored from %s\n", path)
 		fmt.Fprintf(os.Stderr, "-- virtual time %.1fµs, %d migration(s) (avg %.1fµs), %d negotiation(s)\n",
 			st.VirtualMicros, st.Migrations, st.AvgMigrationMicros, st.Negotiations)
 	}

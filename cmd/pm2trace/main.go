@@ -8,6 +8,11 @@
 //	pm2trace [flags] <program> [arg]
 //	pm2trace record [flags] -o <file>   # record a serving workload trace
 //	pm2trace replay [flags] -i <file>   # replay it byte-identically
+//
+// record -checkpoint <ckpt> binds the trace to a pm2ckpt image (its
+// digest lands in the v2 trace header); replay of such a trace requires
+// -checkpoint with the same image and continues it from its captured
+// instant instead of a fresh boot.
 package main
 
 import (
@@ -129,6 +134,23 @@ func heapCounts(n *ipm2.Node) string {
 	return fmt.Sprintf("%d/%d", a, f)
 }
 
+// loadCheckpoint reads and decodes a pm2ckpt file, exiting with a
+// diagnostic on any failure — shared by record (digest binding) and
+// replay (restore source).
+func loadCheckpoint(path string) *ipm2.Checkpoint {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pm2trace: %v\n", err)
+		os.Exit(1)
+	}
+	ck, err := ipm2.DecodeCheckpoint(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pm2trace: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	return ck
+}
+
 // recordCmd synthesizes the derived serving workload and writes it as a
 // versioned trace file: the harness parameters plus the fully-expanded
 // request stream, digest-sealed. The file is self-contained — replaying
@@ -143,9 +165,10 @@ func recordCmd(args []string) {
 	gather := fs.String("gather", "", "bitmap-gather strategy (default sequential)")
 	arbiter := fs.String("arbiter", "", "negotiation arbiter (default global)")
 	scale := fs.Float64("scale", 1, "arrival-rate multiplier")
+	ckpt := fs.String("checkpoint", "", "pm2ckpt file the trace continues from (binds its digest into the header)")
 	fs.Parse(args)
 	if *out == "" {
-		fmt.Fprintln(os.Stderr, "usage: pm2trace record -o <file> [-nodes n] [-seed s] [-policy p] [-gather g] [-arbiter a] [-scale x]")
+		fmt.Fprintln(os.Stderr, "usage: pm2trace record -o <file> [-nodes n] [-seed s] [-policy p] [-gather g] [-arbiter a] [-scale x] [-checkpoint f]")
 		os.Exit(2)
 	}
 
@@ -182,6 +205,14 @@ func recordCmd(args []string) {
 		Arbiter:  arbiterName,
 		Requests: reqs,
 	}
+	if *ckpt != "" {
+		ck := loadCheckpoint(*ckpt)
+		if ck.Nodes != *nodes {
+			fmt.Fprintf(os.Stderr, "pm2trace: checkpoint has %d nodes, recording asks for %d\n", ck.Nodes, *nodes)
+			os.Exit(2)
+		}
+		tr.CkptDigest = ck.Digest()
+	}
 	f, err := os.Create(*out)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pm2trace: %v\n", err)
@@ -205,10 +236,11 @@ func recordCmd(args []string) {
 func replayCmd(args []string) {
 	fs := flag.NewFlagSet("pm2trace replay", flag.ExitOnError)
 	in := fs.String("i", "", "input trace file (required)")
+	ckpt := fs.String("checkpoint", "", "pm2ckpt file to restore before replaying (required when the trace was recorded against one)")
 	quiet := fs.Bool("q", false, "suppress the canonical run trace, print only the SLO summary")
 	fs.Parse(args)
 	if *in == "" {
-		fmt.Fprintln(os.Stderr, "usage: pm2trace replay -i <file> [-q]")
+		fmt.Fprintln(os.Stderr, "usage: pm2trace replay -i <file> [-checkpoint f] [-q]")
 		os.Exit(2)
 	}
 
@@ -224,13 +256,35 @@ func replayCmd(args []string) {
 		os.Exit(1)
 	}
 
-	res, err := scenario.Replay(scenario.Spec{
+	spec := scenario.Spec{
 		Policy:  tr.Policy,
 		Nodes:   tr.Nodes,
 		Seed:    tr.Seed,
 		Gather:  tr.Gather,
 		Arbiter: tr.Arbiter,
-	}, tr.Requests)
+	}
+	var res *scenario.Result
+	switch {
+	case tr.CkptDigest != 0:
+		// The trace is bound to a checkpoint image: replay must continue
+		// that exact capture, so the digest recorded at record time has
+		// to match the image presented now.
+		if *ckpt == "" {
+			fmt.Fprintf(os.Stderr, "pm2trace: trace %s was recorded against checkpoint %016x; pass it with -checkpoint\n", *in, tr.CkptDigest)
+			os.Exit(2)
+		}
+		ck := loadCheckpoint(*ckpt)
+		if got := ck.Digest(); got != tr.CkptDigest {
+			fmt.Fprintf(os.Stderr, "pm2trace: checkpoint digest mismatch: trace wants %016x, %s is %016x\n", tr.CkptDigest, *ckpt, got)
+			os.Exit(1)
+		}
+		res, err = scenario.ReplayFromCheckpoint(spec, tr.Requests, ck)
+	case *ckpt != "":
+		fmt.Fprintf(os.Stderr, "pm2trace: trace %s replays on a fresh boot; -checkpoint does not apply\n", *in)
+		os.Exit(2)
+	default:
+		res, err = scenario.Replay(spec, tr.Requests)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pm2trace: %v\n", err)
 		os.Exit(1)

@@ -9,6 +9,13 @@
 // the paper-vs-measured results). The root package carries the repository's
 // benchmark suite (bench_test.go), one benchmark per figure, table, and
 // in-text measurement of the paper's evaluation.
+//
+// Beyond the paper, the runtime adds a fail-stop fault-tolerance layer:
+// crash injection (pm2.Config.Faults), lease/heartbeat failure detection
+// with convoy evacuation and slot reclaim, and cluster checkpoint/restore
+// to the digest-sealed pm2ckpt format (pm2load -checkpoint/-restore,
+// pm2bench -fig failover). DESIGN.md's failure-model section has the
+// details.
 package repro
 
 // Version identifies this reproduction.

@@ -24,14 +24,31 @@ type Handler func(src int, tag uint32, payload []byte)
 type Stats struct {
 	Messages uint64
 	Bytes    uint64
+	// Dropped counts messages the fault policy discarded (sends whose
+	// delivery would land on a crashed node).
+	Dropped uint64
+}
+
+// FaultPolicy lets a failure model adjust every remote delivery.
+// Adjust is consulted at send time with the send start and the
+// fault-free delivery instant; it returns the (possibly delayed)
+// delivery time and whether the message is dropped instead. It must be
+// a pure function of its arguments so delivery stays deterministic.
+type FaultPolicy interface {
+	Adjust(src, dst int, start, arrive simtime.Time) (simtime.Time, bool)
 }
 
 // Network is the shared Myrinet fabric connecting all NICs of a cluster.
 type Network struct {
-	eng   *simtime.Engine
-	model *cost.Model
-	nics  []*NIC
+	eng    *simtime.Engine
+	model  *cost.Model
+	nics   []*NIC
+	faults FaultPolicy
 }
+
+// SetFaults installs a fault policy consulted on every remote send.
+// A nil policy (the default) is a healthy network.
+func (nw *Network) SetFaults(p FaultPolicy) { nw.faults = p }
 
 // NewNetwork creates a network for n nodes. Each node i must later attach a
 // NIC with Attach(i, actor, handler).
@@ -55,6 +72,7 @@ func (nw *Network) Stats() Stats {
 		if nic != nil {
 			s.Messages += nic.sent
 			s.Bytes += nic.sentBytes
+			s.Dropped += nic.dropped
 		}
 	}
 	return s
@@ -82,15 +100,27 @@ type NIC struct {
 	// linkFreeAt is the instant the outgoing link finishes its current
 	// transmission; later sends serialize behind it.
 	linkFreeAt simtime.Time
-	// sent / sentBytes are this NIC's outbound traffic counters, mutated
-	// only from the owning node's handlers (lane-affine) and summed by
-	// Network.Stats.
+	// sent / sentBytes / dropped are this NIC's outbound traffic
+	// counters, mutated only from the owning node's handlers
+	// (lane-affine) and summed by Network.Stats.
 	sent      uint64
 	sentBytes uint64
+	dropped   uint64
 }
 
 // ID returns the node id of this NIC.
 func (n *NIC) ID() int { return n.id }
+
+// SentCounters returns the NIC's outbound tallies for checkpointing.
+func (n *NIC) SentCounters() (sent, sentBytes, dropped uint64) {
+	return n.sent, n.sentBytes, n.dropped
+}
+
+// RestoreSentCounters installs tallies captured by SentCounters —
+// restore-time state installation only.
+func (n *NIC) RestoreSentCounters(sent, sentBytes, dropped uint64) {
+	n.sent, n.sentBytes, n.dropped = sent, sentBytes, dropped
+}
 
 // Send transmits payload to node dst with the given tag. It must be called
 // from within the owning node's actor handler: the sender-side CPU cost is
@@ -161,6 +191,20 @@ func (n *NIC) sendGathered(dst int, tag uint32, segs [][]byte, cpuBytes int) {
 	}
 	arrive := start + m.WireTime(total)
 	n.linkFreeAt = arrive
+
+	// Failure model: partitions delay the delivery, slow windows stretch
+	// it, and a delivery landing on a crashed node is dropped on the
+	// floor. The link was still occupied either way — linkFreeAt keeps
+	// the fault-free serialization point so the sender's own timing
+	// never depends on the fate of the message.
+	if nw.faults != nil {
+		var drop bool
+		arrive, drop = nw.faults.Adjust(n.id, dst, start, arrive)
+		if drop {
+			n.dropped++
+			return
+		}
+	}
 
 	// Cross-lane delivery: PostTo buffers the arrival on the sending lane
 	// during a parallel window and the commit phase delivers it in serial

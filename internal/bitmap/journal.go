@@ -55,6 +55,25 @@ func (j *Journal) NoteBits(start, n int) {
 	}
 }
 
+// Truncate empties the dirty set and raises the floor to the current
+// version: every peer view cached at an older version must resync with
+// one full map. Checkpoint capture uses it so the in-process
+// continuation answers gathers exactly like a freshly restored cluster
+// (whose journals start empty at the same version).
+func (j *Journal) Truncate() {
+	j.dirty = make(map[int]uint64)
+	j.floor = j.version
+}
+
+// RestoreVersion reinstates a checkpointed version stamp. The journal
+// restarts truncated at that version: incremental answers resume for
+// mutations made after the restore.
+func (j *Journal) RestoreVersion(v uint64) {
+	j.version = v
+	j.dirty = make(map[int]uint64)
+	j.floor = v
+}
+
 // WordsSince returns the indices of every word dirtied after version
 // since, sorted ascending (the deterministic wire order). ok is false
 // when the journal cannot answer — since predates the truncation floor

@@ -132,8 +132,10 @@ type NodeSlots struct {
 	stats      SlotStats
 	// onChange, when set, runs after every mutation of the ownership
 	// bitmap with the bit range [start, start+n) that changed. The
-	// runtime uses it to invalidate the node's published free-run
-	// summary hint and to feed the delta-gather dirty-word journal.
+	// runtime uses it to fan emptiness-hint invalidations out to peers
+	// that were told this node owned nothing (the lane-affine hints of
+	// the batched/tree gathers) and to feed the delta-gather
+	// dirty-word journal.
 	onChange func(start, n int)
 }
 
@@ -439,6 +441,19 @@ func (ns *NodeSlots) ReplaceBitmap(bm *bitmap.Bitmap) error {
 	}
 	ns.bm = bm.Clone()
 	ns.changed(0, layout.SlotCount)
+	return nil
+}
+
+// RestoreBitmap reinstates an ownership bitmap from a checkpoint image.
+// Unlike ReplaceBitmap it is a pure state write — no charges, no
+// on-change hook, no cache interaction — because the restore path
+// rebuilds caches, hints and journals itself from the captured ground
+// truth.
+func (ns *NodeSlots) RestoreBitmap(bm *bitmap.Bitmap) error {
+	if bm.Len() != layout.SlotCount {
+		return fmt.Errorf("core: restored bitmap has %d bits, want %d", bm.Len(), layout.SlotCount)
+	}
+	ns.bm = bm.Clone()
 	return nil
 }
 

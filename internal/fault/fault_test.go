@@ -1,0 +1,141 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	spec := "crash:1@3000us;partition:0-3@1000us..2000us;slow:2x4@1000us..2000us"
+	p, err := Parse(spec)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", spec, err)
+	}
+	// String renders the schedule, which is sorted by time.
+	sorted := "partition:0-3@1000us..2000us;slow:2x4@1000us..2000us;crash:1@3000us"
+	if got := p.String(); got != sorted {
+		t.Fatalf("round trip: got %q want %q", got, sorted)
+	}
+	if len(p.Events) != 3 {
+		t.Fatalf("got %d events, want 3", len(p.Events))
+	}
+	if p.Events[0].Kind == Crash {
+		t.Fatalf("events not sorted by time: %v first", p.Events[0])
+	}
+}
+
+func TestParseUnits(t *testing.T) {
+	p, err := Parse("crash:1@3ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Events[0].At; got != 3*simtime.Millisecond {
+		t.Fatalf("3ms parsed as %d", got)
+	}
+	p, err = Parse("crash:1@500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Events[0].At; got != 500*simtime.Microsecond {
+		t.Fatalf("bare 500 should default to µs, got %d", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"crash:1",                     // no time
+		"explode:1@3ms",               // unknown kind
+		"partition:1@1ms..2ms",        // one endpoint
+		"partition:0-1@2ms..1ms",      // empty window
+		"slow:1x0@1ms..2ms;crash:zz@", // two broken events
+		"crash:1@-5us",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok, _ := Parse("crash:3@1ms;slow:1x2@1ms..2ms")
+	if err := ok.Validate(4); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	for spec, wantSub := range map[string]string{
+		"crash:0@1ms":             "rank 0",
+		"crash:9@1ms":             "outside",
+		"partition:0-9@1ms..2ms":  "outside",
+		"partition:2-2@1ms..2ms":  "itself",
+		"crash:1@1ms;crash:1@2ms": "twice",
+	} {
+		p, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		err = p.Validate(4)
+		if err == nil || !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("Validate(%q) = %v, want error containing %q", spec, err, wantSub)
+		}
+	}
+}
+
+func TestStateCrash(t *testing.T) {
+	p, _ := Parse("crash:2@1000us")
+	s := NewState(p)
+	if s.Crashed(2, 999*simtime.Microsecond) {
+		t.Fatal("crashed before its time")
+	}
+	if !s.Crashed(2, 1000*simtime.Microsecond) {
+		t.Fatal("not crashed at its time")
+	}
+	if s.Crashed(1, 5000*simtime.Microsecond) {
+		t.Fatal("wrong node crashed")
+	}
+	// A message in flight at the crash instant is dropped if it would
+	// arrive after the node died.
+	start := 990 * simtime.Microsecond
+	arrive := 1005 * simtime.Microsecond
+	if got, drop := s.Adjust(0, 2, start, arrive); !drop || got != arrive {
+		t.Fatalf("Adjust to dead node = (%d, %v), want (%d, true)", got, drop, arrive)
+	}
+	// One that lands before the crash is delivered.
+	if _, drop := s.Adjust(0, 2, start, 995*simtime.Microsecond); drop {
+		t.Fatal("message landing before the crash was dropped")
+	}
+	// The dead node sends nothing.
+	if _, drop := s.Adjust(2, 0, 1100*simtime.Microsecond, 1110*simtime.Microsecond); !drop {
+		t.Fatal("send from a dead node was delivered")
+	}
+}
+
+func TestStatePartitionAndSlow(t *testing.T) {
+	p, _ := Parse("partition:0-1@1000us..2000us;slow:3x4@1000us..2000us")
+	s := NewState(p)
+	// Partitioned send: delivery shifts by the remaining window.
+	start := 1500 * simtime.Microsecond
+	arrive := 1510 * simtime.Microsecond
+	got, drop := s.Adjust(0, 1, start, arrive)
+	want := arrive + 500*simtime.Microsecond
+	if drop || got != want {
+		t.Fatalf("partitioned Adjust = (%d, %v), want (%d, false)", got, drop, want)
+	}
+	// Symmetric.
+	if got2, _ := s.Adjust(1, 0, start, arrive); got2 != want {
+		t.Fatalf("partition not symmetric: %d vs %d", got2, want)
+	}
+	// Outside the window: untouched.
+	if got3, _ := s.Adjust(0, 1, 2500*simtime.Microsecond, 2510*simtime.Microsecond); got3 != 2510*simtime.Microsecond {
+		t.Fatalf("healed partition still delaying: %d", got3)
+	}
+	// Unrelated pair: untouched.
+	if got4, _ := s.Adjust(0, 2, start, arrive); got4 != arrive {
+		t.Fatalf("partition leaked to unrelated pair: %d", got4)
+	}
+	// Slow node: wire portion multiplied.
+	got5, _ := s.Adjust(3, 2, start, arrive)
+	if want5 := start + (arrive-start)*4; got5 != want5 {
+		t.Fatalf("slow Adjust = %d, want %d", got5, want5)
+	}
+}

@@ -113,6 +113,10 @@ func (b *Balancer) round() {
 		return
 	}
 	b.rounds++
+	// The balancing round doubles as the failure detector's heartbeat:
+	// each round first ages the leases of nodes that stopped answering
+	// (no-op on a healthy cluster; see pm2's fault layer).
+	b.c.HeartbeatTick()
 	// Sample loads into the engine. Reading counts is a control-plane
 	// observation; the migration requests go through the owning node's
 	// actor.
@@ -120,15 +124,23 @@ func (b *Balancer) round() {
 	totalThreads := 0
 	for i := 0; i < b.c.Nodes(); i++ {
 		sched := b.c.Node(i).Scheduler()
-		r := policy.LoadReport{
+		resident := sched.Threads()
+		// An unresponsive (crashed but not yet declared) node files no
+		// report — its last sample ages into staleness, so the policy
+		// stops routing threads at it during the detection window. Its
+		// residents still count: the cluster is not drained while a dead
+		// node holds threads awaiting evacuation.
+		totalThreads += resident
+		if !b.c.NodeResponsive(i) {
+			continue
+		}
+		b.eng.Report(policy.LoadReport{
 			Node:            i,
-			Resident:        sched.Threads(),
+			Resident:        resident,
 			Runnable:        sched.Runnable(),
 			VersionDeclines: b.c.VersionDeclinesOf(i),
 			Time:            now,
-		}
-		b.eng.Report(r)
-		totalThreads += r.Resident
+		})
 	}
 	if totalThreads == 0 {
 		// Nothing left to balance; stop rescheduling so the engine

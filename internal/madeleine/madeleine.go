@@ -350,6 +350,10 @@ func Attach(nw *bip.Network, id int, actor *ActorT) *Endpoint {
 // ID returns the node id of the endpoint.
 func (ep *Endpoint) ID() int { return ep.nic.ID() }
 
+// NIC exposes the endpoint's network interface, for the checkpoint
+// layer's counter capture.
+func (ep *Endpoint) NIC() *bip.NIC { return ep.nic }
+
 // SetPool installs a buffer pool for this endpoint's outgoing messages.
 // Endpoints of one cluster share the cluster's pool so reuse statistics
 // stay deterministic per run.

@@ -244,6 +244,40 @@ func (s *Scheduler) Stats() (created, finished, faulted, dispatches, instrs uint
 	return s.created, s.finished, s.faulted, s.dispatches, s.instrs
 }
 
+// RestoreStats installs counters captured by Stats — restore-time
+// state installation only.
+func (s *Scheduler) RestoreStats(created, finished, faulted, dispatches, instrs uint64) {
+	s.created, s.finished, s.faulted, s.dispatches, s.instrs =
+		created, finished, faulted, dispatches, instrs
+}
+
+// NextSeq returns the TID sequence counter for checkpointing.
+func (s *Scheduler) NextSeq() uint32 { return s.nextSeq }
+
+// RestoreNextSeq installs a TID sequence counter captured by NextSeq,
+// so threads created after a restore get the same ids as in the
+// uninterrupted run.
+func (s *Scheduler) RestoreNextSeq(v uint32) { s.nextSeq = v }
+
+// ExitedTIDs returns the ids of threads that terminated here, in
+// ascending order — the join bookkeeping a checkpoint must carry so a
+// restored joiner still sees its target as exited.
+func (s *Scheduler) ExitedTIDs() []uint32 {
+	out := make([]uint32, 0, len(s.exited))
+	for tid := range s.exited {
+		out = append(out, tid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RestoreExited installs an exited-thread set captured by ExitedTIDs.
+func (s *Scheduler) RestoreExited(tids []uint32) {
+	for _, tid := range tids {
+		s.exited[tid] = true
+	}
+}
+
 // ErrNoThreadSlots wraps core.ErrNoSlots for thread creation.
 var ErrNoThreadSlots = errors.New("marcel: no free slot for thread stack")
 
@@ -386,7 +420,10 @@ func (s *Scheduler) Thaw(desc Addr) (*Thread, error) {
 }
 
 // Detach removes a migrating thread from the scheduler tables (after
-// Freeze, before its slots leave the node).
+// Freeze, before its slots leave the node). A blocked thread leaves the
+// blocked count with it: once detached it is this scheduler's thread no
+// longer, and a waker still holding the pointer finds a stale target
+// (see Wake).
 func (s *Scheduler) Detach(t *Thread) {
 	delete(s.threads, t.TID)
 	if t.ready {
@@ -398,6 +435,7 @@ func (s *Scheduler) Detach(t *Thread) {
 		}
 		t.ready = false
 	}
+	s.setBlocked(t, false)
 }
 
 // Block marks the current thread as waiting; the runtime wakes it later.
@@ -405,8 +443,14 @@ func (s *Scheduler) Block(t *Thread) {
 	s.setBlocked(t, true)
 }
 
-// Wake makes a blocked thread runnable again with r0 = ret.
+// Wake makes a blocked thread runnable again with r0 = ret. A wake whose
+// target is no longer resident — detached for migration or evacuation
+// between blocking and waking — is dropped: the pointer is stale, and
+// the thread it described now lives (runnable) on another node.
 func (s *Scheduler) Wake(t *Thread, ret uint32) {
+	if s.threads[t.TID] != t {
+		return
+	}
 	if !t.blocked {
 		panic(fmt.Sprintf("marcel: waking non-blocked thread %#x", t.TID))
 	}

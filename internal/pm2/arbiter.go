@@ -151,7 +151,7 @@ func (n *Node) withRunLocks(start, count int, then func()) {
 			return
 		}
 		s := shards[i]
-		n.ep.Call(n.c.shardMap.Manager(s, n.c.Nodes()), chShardLock, func(b *madeleine.Buffer) {
+		n.ep.Call(n.c.shardManager(s), chShardLock, func(b *madeleine.Buffer) {
 			b.PackU32(uint32(s))
 		}, func(*madeleine.Buffer) {
 			n.heldShards = append(n.heldShards, s)
@@ -166,7 +166,7 @@ func (n *Node) withRunLocks(start, count int, then func()) {
 func (n *Node) releaseRunLocks() {
 	for _, s := range n.heldShards {
 		shard := s
-		n.ep.Send(n.c.shardMap.Manager(shard, n.c.Nodes()), chShardUnlock, func(b *madeleine.Buffer) {
+		n.ep.Send(n.c.shardManager(shard), chShardUnlock, func(b *madeleine.Buffer) {
 			b.PackU32(uint32(shard))
 		})
 	}
@@ -179,7 +179,7 @@ func (n *Node) onShardLockCall(src int, req *madeleine.Call) {
 	if req.Msg.Err() != nil || s < 0 || s >= n.c.shardMap.Shards() {
 		panic(fmt.Sprintf("pm2: corrupt shard-lock request for shard %d", s))
 	}
-	if n.c.shardMap.Manager(s, n.c.Nodes()) != n.id {
+	if n.c.shardManager(s) != n.id {
 		panic(fmt.Sprintf("pm2: shard %d lock request at non-manager node %d", s, n.id))
 	}
 	if n.shardHeld == nil {

@@ -59,9 +59,16 @@ func (n *Node) defragment(done func()) {
 
 		order := make([]int, 0, n.c.Nodes()-1)
 		for i := 0; i < n.c.Nodes(); i++ {
-			if i != n.id {
-				order = append(order, i)
+			if i == n.id {
+				continue
 			}
+			if !n.c.nodeAlive(i) {
+				// A declared-dead rank surrendered everything at its
+				// failover; it owns nothing and gets nothing back.
+				maps[i] = bitmap.New(layout.SlotCount)
+				continue
+			}
+			order = append(order, i)
 		}
 		var gather func(i int)
 		gather = func(i int) {
@@ -100,7 +107,7 @@ func (n *Node) defragScatter(maps []*bitmap.Bitmap, done func()) {
 	}
 	order := make([]int, 0, n.c.Nodes()-1)
 	for i := 0; i < n.c.Nodes(); i++ {
-		if i != n.id {
+		if i != n.id && n.c.nodeAlive(i) {
 			order = append(order, i)
 		}
 	}

@@ -69,13 +69,18 @@ func (n *Node) gatherDelta(k, round int, done func(bool)) {
 		n.deltaPeers = make([]deltaPeerView, n.c.Nodes())
 		n.deltaOr = bitmap.New(layout.SlotCount)
 	}
-	outstanding := n.c.Nodes() - 1
+	outstanding := 0
+	for i := 0; i < n.c.Nodes(); i++ {
+		if i != n.id && n.c.nodeAlive(i) {
+			outstanding++
+		}
+	}
 	if outstanding == 0 {
 		n.planAndBuyDelta(k, round, done)
 		return
 	}
 	for i := 0; i < n.c.Nodes(); i++ {
-		if i == n.id {
+		if i == n.id || !n.c.nodeAlive(i) {
 			continue
 		}
 		p := i

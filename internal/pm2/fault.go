@@ -1,0 +1,344 @@
+package pm2
+
+import (
+	"fmt"
+
+	"repro/internal/bitmap"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/layout"
+	"repro/internal/madeleine"
+	"repro/internal/marcel"
+	"repro/internal/simtime"
+)
+
+// Fault tolerance: node death, thread evacuation, slot reclaim.
+//
+// The paper's cluster is failure-free; this file adds the fail-stop model
+// operators actually run under. A fault plan (internal/fault) schedules
+// crash, partition and slow-node events in virtual time:
+//
+//   - a crash is fail-stop with a recoverable image: at the crash instant
+//     the node's scheduler pump is gated off (its lane drains to a
+//     tombstone — already-queued events still fire but dispatch no
+//     further work), and every message whose delivery would land on the
+//     dead node is dropped at the wire (bip.FaultPolicy). The node's
+//     simulated memory stays readable, which is what makes evacuation
+//     possible: the survivors recover the resident thread images over
+//     the interconnect, as a checkpoint-on-peer scheme would.
+//   - detection is a lease piggybacked on the load-report heartbeat: the
+//     balancer's periodic round calls Cluster.HeartbeatTick, a crashed
+//     node misses its report, and Config.HeartbeatMisses consecutive
+//     misses expire the lease — the node is declared dead.
+//   - declaration triggers evacuation and reclaim (declareDead below):
+//     the dead node's resident threads are frozen in place, convoyed to
+//     the survivors round-robin, and thawed there; the dead rank's
+//     owned-free slots are surrendered and re-dealt to the survivors.
+//     Every reclaimed run lands through NodeSlots.BuyRun on its new
+//     owner, firing the owner's bitmap on-change hook — the journal
+//     version bumps, so an optimistic purchase stamped with a
+//     pre-reclaim view of those words is version-declined by the
+//     seller's validation. Reclaim needs no lock to be safe.
+//
+// Known hazards, by design out of scope (documented in DESIGN.md): a
+// negotiation or LRPC in flight against the node at its crash instant
+// hangs its initiator (the reply is dropped, as on real hardware without
+// client-side timeouts), and a thread migrated *to* the node between
+// crash and declaration is lost with it. The failover scenarios keep
+// crashes away from in-flight protocol exchanges.
+
+// InstallFaults installs a failure plan on a cluster that has not run
+// yet: the wire-level fault policy is attached and one ambient crash
+// barrier is scheduled per crash event. Clusters built with Config.Faults
+// get this implicitly; it is exported for drivers that build the cluster
+// first and decide the plan afterwards (the scenario harness).
+func (c *Cluster) InstallFaults(plan *fault.Plan) error {
+	if plan == nil || plan.Empty() {
+		return nil
+	}
+	if c.faults != nil {
+		return fmt.Errorf("pm2: a fault plan is already installed")
+	}
+	if err := validateFaultPlan(plan, c.cfg); err != nil {
+		return err
+	}
+	c.faults = fault.NewState(plan)
+	c.down = make([]bool, c.Nodes())
+	c.missedBeats = make([]int, c.Nodes())
+	c.nw.SetFaults(c.faults)
+	for _, ev := range plan.Crashes() {
+		node := ev.Node
+		// The barrier was scheduled before any workload event at the
+		// same instant, so it runs first: nothing dispatched at the
+		// crash time starts on the dead node.
+		c.eng.At(ev.At, func() { c.nodes[node].dead = true })
+	}
+	return nil
+}
+
+// validateFaultPlan checks a plan against the cluster shape: fail-stop
+// recovery needs survivors to evacuate to, and the relocation baseline
+// has no iso-address images to recover.
+func validateFaultPlan(plan *fault.Plan, cfg Config) error {
+	if cfg.Nodes < 2 {
+		return fmt.Errorf("pm2: a fault plan needs at least two nodes (Nodes = %d)", cfg.Nodes)
+	}
+	if cfg.Policy != PolicyIso {
+		return fmt.Errorf("pm2: fault tolerance requires the iso-address migration policy")
+	}
+	return plan.Validate(cfg.Nodes)
+}
+
+// FaultState returns the installed fault state (nil on a healthy cluster).
+func (c *Cluster) FaultState() *fault.State { return c.faults }
+
+// NodeResponsive reports whether node i would answer a heartbeat right
+// now: false once the node has crashed, whether or not the failure has
+// been declared yet. Balancers use it to skip sampling dead nodes.
+func (c *Cluster) NodeResponsive(i int) bool {
+	return c.faults == nil || !c.faults.Crashed(i, c.eng.Now())
+}
+
+// NodeDown reports whether node i has been declared dead (lease expired,
+// threads evacuated, slots reclaimed).
+func (c *Cluster) NodeDown(i int) bool {
+	return c.down != nil && i >= 0 && i < len(c.down) && c.down[i]
+}
+
+// nodeAlive is the down-skip predicate the gather, purchase and defrag
+// loops consult: true for every rank on a healthy cluster.
+func (c *Cluster) nodeAlive(i int) bool { return c.down == nil || !c.down[i] }
+
+// anyDown reports whether any rank has been declared dead. The tree
+// gather falls back to the batched topology then — a combining tree
+// through a dead interior node would stall forever.
+func (c *Cluster) anyDown() bool { return c.nDown > 0 }
+
+// shardManager returns the live manager rank of shard s: the canonical
+// shard-mod-n owner, rerouted past declared-dead ranks so the sharded
+// arbiter keeps arbitrating across a failover.
+func (c *Cluster) shardManager(s int) int {
+	m := c.shardMap.Manager(s, c.Nodes())
+	if c.down != nil && c.down[m] {
+		m = c.pol.NextLive(m)
+	}
+	return m
+}
+
+// HeartbeatTick runs one failure-detection round: every undeclared
+// crashed node accrues a missed heartbeat, and HeartbeatMisses
+// consecutive misses expire its lease. Ambient contexts only (the
+// balancer round, a test driver) — declaration is a barrier that touches
+// every lane's state. No-op on a healthy cluster.
+func (c *Cluster) HeartbeatTick() {
+	if c.faults == nil {
+		return
+	}
+	now := c.eng.Now()
+	for i := range c.nodes {
+		if c.down[i] {
+			continue
+		}
+		if !c.faults.Crashed(i, now) {
+			c.missedBeats[i] = 0
+			continue
+		}
+		c.missedBeats[i]++
+		if c.missedBeats[i] >= c.cfg.HeartbeatMisses {
+			c.declareDead(i, now)
+		}
+	}
+}
+
+// declareDead expires node i's lease: the placement engine stops routing
+// to it, its resident threads are evacuated to the survivors as convoys,
+// and its owned-free slots are reclaimed. Runs as an ambient barrier.
+func (c *Cluster) declareDead(i int, now simtime.Time) {
+	c.down[i] = true
+	c.nDown++
+	c.pol.SetDown(i)
+	d := c.nodes[i]
+
+	if at, ok := c.faults.CrashTime(i); ok {
+		c.stats.DetectionLatencies = append(c.stats.DetectionLatencies, now-at)
+	}
+
+	live := make([]int, 0, c.Nodes()-1)
+	for j := range c.nodes {
+		if !c.down[j] {
+			live = append(live, j)
+		}
+	}
+	if len(live) == 0 {
+		panic("pm2: every node declared dead") // rank 0 cannot crash
+	}
+
+	evacuated := c.evacuate(d, live, now)
+	reclaimed := c.reclaim(d, live)
+
+	c.stats.Evacuations++
+	c.stats.EvacuatedThreads += evacuated
+	c.stats.ReclaimedSlots += reclaimed
+	c.log.Raw(fmt.Sprintf("[failover] node %d declared dead at t=%dus (%d heartbeats missed)",
+		i, now/simtime.Microsecond, c.missedBeats[i]))
+	c.log.Raw(fmt.Sprintf("[failover] node %d: evacuating %d threads to %d survivors, reclaiming %d slots",
+		i, evacuated, len(live), reclaimed))
+}
+
+// evacuate freezes every thread resident on the dead node (in TID order),
+// packs their slot images, and ships one convoy per destination. All of
+// the dead node's work runs muted — its CPU charges nothing; the
+// survivors pay the receive and install, exactly like a convoy arrival.
+// Destinations rotate round-robin over the live ranks so the orphaned
+// load spreads. Returns the number of threads evacuated.
+func (c *Cluster) evacuate(d *Node, live []int, declared simtime.Time) int {
+	residents := d.sched.Snapshot()
+	if len(residents) == 0 {
+		return 0
+	}
+	// Zero-copy record layout when the convoy pipeline is on, the
+	// paper-faithful copying charges otherwise. Either way the wire
+	// format is packThreadImage's, so the install side is the convoy
+	// receive path reused verbatim.
+	zeroCopy := c.cfg.Convoy
+	byDest := make(map[int][]*marcel.Thread, len(live))
+	order := make([]int, 0, len(live))
+	for k, t := range residents {
+		dest := live[k%len(live)]
+		if byDest[dest] == nil {
+			order = append(order, dest)
+		}
+		byDest[dest] = append(byDest[dest], t)
+	}
+
+	at := c.eng.Now() + simtime.Time(c.cfg.Model.WireLatencyNs)*simtime.Nanosecond
+	for _, dest := range order {
+		ts := byDest[dest]
+		var body []byte
+		d.actor.Mute(func() {
+			buf := c.bufPool.Get()
+			buf.PackU32(uint32(len(ts)))
+			var groups []core.SlotGroup
+			for _, t := range ts {
+				if err := d.sched.Freeze(t); err != nil {
+					panic(fmt.Sprintf("pm2: freezing thread %#x for evacuation: %v", t.TID, err))
+				}
+				d.sched.Detach(t)
+				groups = append(groups, d.packThreadImage(buf, t, declared, zeroCopy)...)
+			}
+			// Bytes gathers the borrowed page aliases into the wire
+			// body; copy it out before the buffer returns to the pool
+			// (the pool reuses the backing array).
+			body = append([]byte(nil), buf.Bytes()...)
+			c.bufPool.Put(buf)
+			d.evictGroups(groups)
+		})
+		node := c.nodes[dest]
+		node.actor.Post(at, func() {
+			node.recoverConvoy(body, declared, zeroCopy)
+		})
+	}
+	return len(residents)
+}
+
+// recoverConvoy installs an evacuation convoy on a survivor: every
+// thread's slot groups are mapped and filled at their iso-addresses,
+// then the threads thaw in freeze order and the scheduler is kicked
+// once. A thread that was blocked on the dead node thaws runnable:
+// whatever it was waiting for lived on a node that no longer exists, so
+// it resumes with whatever result its waker had not yet delivered.
+func (n *Node) recoverConvoy(body []byte, declared simtime.Time, zeroCopy bool) {
+	model := n.c.cfg.Model
+	n.actor.Charge(model.Recv(len(body)))
+	inner := madeleine.FromBytes(body)
+	k := int(inner.U32())
+	if inner.Err() != nil || k <= 0 {
+		panic("pm2: corrupt evacuation convoy")
+	}
+	descs := make([]Addr, 0, k)
+	for i := 0; i < k; i++ {
+		desc := Addr(inner.U32())
+		_ = inner.U64() // pack-time stamp; latency is measured from declaration
+		mode := PackMode(inner.U32())
+		nGroups := int(inner.U32())
+		n.installGroups(inner, mode, nGroups, zeroCopy)
+		if inner.Err() != nil {
+			panic("pm2: corrupt evacuation convoy")
+		}
+		descs = append(descs, desc)
+	}
+	lats := make([]simtime.Time, len(descs))
+	for i, desc := range descs {
+		if _, err := n.sched.Thaw(desc); err != nil {
+			panic(fmt.Sprintf("pm2: thawing evacuated thread on node %d: %v", n.id, err))
+		}
+		lats[i] = n.actor.Now() - declared
+	}
+	n.kick()
+	n.actor.Commit(func() {
+		n.c.stats.EvacuationLatencies = append(n.c.stats.EvacuationLatencies, lats...)
+	})
+}
+
+// reclaim surrenders the dead rank's owned-free slots and deals the
+// maximal free runs round-robin to the survivors. Each share lands
+// through a posted, charged BuyRun on its new owner, so the on-change
+// hook fires: journal version bump, hint invalidation — every cached
+// remote view of the reclaimed words goes stale, which is what makes
+// lock-free reclaim safe under optimistic arbitration. The survivors'
+// cached delta views of the dead rank are dropped here too: it will
+// never answer a delta request again, and its surrendered bits must not
+// linger in any cached global OR. Returns the slots reclaimed.
+func (c *Cluster) reclaim(d *Node, live []int) int {
+	var given *bitmap.Bitmap
+	d.actor.Mute(func() { given = d.slots.SurrenderAll() })
+
+	for _, j := range live {
+		n := c.nodes[j]
+		if n.deltaPeers != nil && n.deltaPeers[d.id].bm != nil {
+			n.deltaPeers[d.id] = deltaPeerView{}
+			n.rebuildGlobalOr()
+		}
+		if n.gatherVersions != nil {
+			n.gatherVersions[d.id] = 0
+		}
+	}
+
+	total := given.Count()
+	if total == 0 {
+		return 0
+	}
+	// Carve the surrendered map into maximal set runs, dealt round-robin.
+	shares := make(map[int][][2]int, len(live))
+	run := 0
+	for s := given.FirstSet(0); s >= 0 && s < given.Len(); {
+		e := s
+		for e < given.Len() && given.Test(e) {
+			e++
+		}
+		dest := live[run%len(live)]
+		shares[dest] = append(shares[dest], [2]int{s, e - s})
+		run++
+		if e >= given.Len() {
+			break
+		}
+		s = given.FirstSet(e)
+	}
+	at := c.eng.Now() + simtime.Time(c.cfg.Model.WireLatencyNs)*simtime.Nanosecond
+	for _, dest := range live {
+		runs := shares[dest]
+		if len(runs) == 0 {
+			continue
+		}
+		node := c.nodes[dest]
+		node.actor.Post(at, func() {
+			node.actor.Charge(node.c.cfg.Model.BitmapScan(layout.BitmapBytes))
+			for _, r := range runs {
+				if err := node.slots.BuyRun(r[0], r[1]); err != nil {
+					panic(fmt.Sprintf("pm2: reclaiming [%d,+%d) on node %d: %v", r[0], r[1], node.id, err))
+				}
+			}
+		})
+	}
+	return total
+}

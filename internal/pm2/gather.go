@@ -218,9 +218,12 @@ func (n *Node) hintInvalidate() {
 // cross-lane writes below.
 func (c *Cluster) refreshHintsBarrier() {
 	for i, src := range c.nodes {
+		if !c.nodeAlive(i) {
+			continue
+		}
 		empty := src.slots.Bitmap().Count() == 0
 		for j, dst := range c.nodes {
-			if j == i {
+			if j == i || !c.nodeAlive(j) {
 				continue
 			}
 			dst.noteBelief(i, empty)

@@ -101,6 +101,13 @@ func (n *Node) negotiateRound(k, round int, done func(bool)) {
 	case GatherBatched:
 		n.gatherBatched(k, round, done)
 	case GatherTree:
+		if n.c.anyDown() {
+			// A combining tree routed through a declared-dead interior
+			// node would lose its whole subtree; after a failover the
+			// gather degrades to the flat batched round.
+			n.gatherBatched(k, round, done)
+			return
+		}
 		n.gatherTree(k, round, done)
 	case GatherDelta:
 		n.gatherDelta(k, round, done)
@@ -118,7 +125,7 @@ func (n *Node) gatherSequential(k, round int, done func(bool)) {
 
 	order := make([]int, 0, n.c.Nodes()-1)
 	for i := 0; i < n.c.Nodes(); i++ {
-		if i != n.id {
+		if i != n.id && n.c.nodeAlive(i) {
 			order = append(order, i)
 		}
 	}
@@ -158,7 +165,7 @@ func (n *Node) gatherBatchedFrom(k, round int, useHints bool, done func(bool)) {
 	skipped := false
 	peers := make([]int, 0, n.c.Nodes()-1)
 	for i := 0; i < n.c.Nodes(); i++ {
-		if i == n.id {
+		if i == n.id || !n.c.nodeAlive(i) {
 			continue
 		}
 		if useHints && n.believesEmpty(i) {
@@ -594,7 +601,7 @@ func (n *Node) planAndBuyRange(k, round int, global *bitmap.Bitmap, useHints, pr
 
 	peers := make([]int, 0, n.c.Nodes()-1)
 	for i := 0; i < n.c.Nodes(); i++ {
-		if i == n.id || (useHints && n.believesEmpty(i)) {
+		if i == n.id || !n.c.nodeAlive(i) || (useHints && n.believesEmpty(i)) {
 			continue
 		}
 		peers = append(peers, i)

@@ -50,6 +50,12 @@ type Node struct {
 	// pumpPosted tracks whether a scheduler-run event is queued.
 	pumpPosted bool
 
+	// dead marks a crashed node (fault plan, see fault.go): the
+	// scheduler pump is gated off, so events already queued on the lane
+	// still fire but dispatch no further thread execution. Set by the
+	// ambient crash barrier InstallFaults schedules.
+	dead bool
+
 	// Registered-pointer tables for the relocation baseline (§2):
 	// tid → key → address of the registered pointer variable.
 	regPtrs map[uint32]map[uint32]Addr
@@ -113,6 +119,12 @@ type Node struct {
 	// first-touch page set and the span list handed to RebuildFreeList.
 	touchScratch map[Addr]bool
 	spanScratch  []core.Span
+
+	// parked holds threads a checkpoint capture froze and detached, in
+	// capture order — the order Resume (and a restore) re-enqueues
+	// them, which is what keeps the two continuations byte-identical
+	// (see checkpoint.go).
+	parked []*marcel.Thread
 }
 
 func newNode(c *Cluster, id int) *Node {
@@ -233,12 +245,15 @@ func (n *Node) Negotiate(k int, done func(bool)) { n.negotiate(k, done) }
 // One event runs one quantum, so message handling interleaves with thread
 // execution at quantum granularity.
 func (n *Node) kick() {
-	if n.pumpPosted || !n.sched.Ready() {
+	if n.dead || n.pumpPosted || !n.sched.Ready() {
 		return
 	}
 	n.pumpPosted = true
 	n.actor.Post(n.actor.Now(), func() {
 		n.pumpPosted = false
+		if n.dead {
+			return // crashed while the pump event was in flight
+		}
 		if n.sched.RunOne() {
 			n.kick()
 		}

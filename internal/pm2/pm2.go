@@ -17,6 +17,7 @@ import (
 	"repro/internal/bitmap"
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/fault"
 	"repro/internal/isa"
 	"repro/internal/layout"
 	"repro/internal/madeleine"
@@ -122,6 +123,16 @@ type Config struct {
 	// k. Default off: every migration uses the paper-faithful copying
 	// path, byte- and charge-identical to the seed.
 	Convoy bool
+	// Faults schedules crash/partition/slow-node events (internal/fault;
+	// see fault.go). Default nil: a healthy cluster, with zero fault
+	// machinery on any path — every trace stays byte-identical to a
+	// build without the fault layer. Requires PolicyIso and Nodes >= 2.
+	Faults *fault.Plan
+	// HeartbeatMisses is the failure-detection lease: a crashed node is
+	// declared dead after missing this many consecutive heartbeat rounds
+	// (Cluster.HeartbeatTick, driven by the load balancer's period).
+	// Default 2. Only consulted when Faults is set.
+	HeartbeatMisses int
 	// Workers sets the simulation kernel's worker count. The default (0
 	// or 1) is the exact serial executor; >1 runs node lanes on a worker
 	// pool under the conservative time-window scheme, with all traces,
@@ -193,6 +204,19 @@ type Stats struct {
 	GatherMergedBytes uint64
 	// Defragmentations counts completed global restructurings (§4.4).
 	Defragmentations int
+	// Evacuations counts dead-node declarations that ran the evacuation
+	// path; EvacuatedThreads totals the threads moved off dead nodes.
+	Evacuations      int
+	EvacuatedThreads int
+	// EvacuationLatencies holds, per evacuated thread, the virtual time
+	// from the death declaration to the thread's thaw on its survivor.
+	EvacuationLatencies []simtime.Time
+	// DetectionLatencies holds, per declared death, the virtual time
+	// from the crash instant to the lease expiry that declared it.
+	DetectionLatencies []simtime.Time
+	// ReclaimedSlots totals the owned-free slots re-dealt from dead
+	// ranks to survivors.
+	ReclaimedSlots int
 	// CohortSamples holds the per-request SLO records of every spawn
 	// tagged through SpawnCohort, in spawn order: arrival,
 	// time-to-placement and end-to-end completion per named tenant
@@ -237,6 +261,14 @@ type Cluster struct {
 	// the exit hook can stamp its completion (see slo.go). Lazily
 	// allocated on the first SpawnCohort.
 	cohortByTID map[uint32]int
+	// Fault-tolerance state (fault.go), all nil/zero on a healthy
+	// cluster: the installed fault plan's runtime state, the declared-
+	// dead flags and per-node missed-heartbeat counters, and the count
+	// of declared deaths (the fast-path gate for the down-skips).
+	faults      *fault.State
+	down        []bool
+	missedBeats []int
+	nDown       int
 }
 
 // Validate checks the configuration for structural errors. NewChecked
@@ -254,6 +286,14 @@ func (cfg Config) Validate() error {
 	}
 	if cfg.PreBuySlots < 0 {
 		return fmt.Errorf("pm2: negative pre-buy slot count %d", cfg.PreBuySlots)
+	}
+	if cfg.HeartbeatMisses < 0 {
+		return fmt.Errorf("pm2: negative heartbeat-miss threshold %d", cfg.HeartbeatMisses)
+	}
+	if cfg.Faults != nil && !cfg.Faults.Empty() {
+		if err := validateFaultPlan(cfg.Faults, cfg); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -297,6 +337,9 @@ func NewChecked(cfg Config, im *isa.Image) (*Cluster, error) {
 	if cfg.ArbiterShards == 0 {
 		cfg.ArbiterShards = defaultArbiterShards
 	}
+	if cfg.HeartbeatMisses == 0 {
+		cfg.HeartbeatMisses = 2
+	}
 	im.Seal()
 	c := &Cluster{
 		cfg: cfg,
@@ -315,6 +358,9 @@ func NewChecked(cfg Config, im *isa.Image) (*Cluster, error) {
 	c.nodes = make([]*Node, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
 		c.nodes[i] = newNode(c, i)
+	}
+	if err := c.InstallFaults(cfg.Faults); err != nil {
+		return nil, err
 	}
 	return c, nil
 }
@@ -396,6 +442,8 @@ func (c *Cluster) Stats() Stats {
 	s.MigrationLatencies = append([]simtime.Time(nil), c.stats.MigrationLatencies...)
 	s.NegotiationLatencies = append([]simtime.Time(nil), c.stats.NegotiationLatencies...)
 	s.CohortSamples = append([]CohortSample(nil), c.stats.CohortSamples...)
+	s.EvacuationLatencies = append([]simtime.Time(nil), c.stats.EvacuationLatencies...)
+	s.DetectionLatencies = append([]simtime.Time(nil), c.stats.DetectionLatencies...)
 	return s
 }
 
@@ -426,6 +474,10 @@ func (c *Cluster) spawn(i int, prog string, arg uint32, sample int) {
 	if policy.Reroutes(c.cfg.Placement) {
 		c.ReportLoads()
 		i = c.pol.PlaceSpawn(i, c.eng.Now())
+	} else if c.nDown > 0 {
+		// Non-rerouting policies still must not place work on a rank
+		// that has been declared dead.
+		i = c.pol.NextLive(i)
 	}
 	c.At(i, func(n *Node) {
 		if th, err := n.sched.Create(entry, arg); err == nil {

@@ -131,11 +131,12 @@ type Engine struct {
 
 	pol     Policy
 	reports []LoadReport
+	down    []bool
 }
 
 // NewEngine builds an engine over pol for a cluster of nodes ranks.
 func NewEngine(pol Policy, nodes int) *Engine {
-	e := &Engine{pol: pol, reports: make([]LoadReport, nodes)}
+	e := &Engine{pol: pol, reports: make([]LoadReport, nodes), down: make([]bool, nodes)}
 	for i := range e.reports {
 		e.reports[i] = LoadReport{Node: i, Time: -1} // never reported
 	}
@@ -145,9 +146,18 @@ func NewEngine(pol Policy, nodes int) *Engine {
 // Policy returns the wrapped policy.
 func (e *Engine) Policy() Policy { return e.pol }
 
+// SetDown marks a node as permanently dead: its reports are dropped,
+// every view shows it stale (so Decide never moves threads to or from
+// it), and PlaceSpawn reroutes around it.
+func (e *Engine) SetDown(node int) {
+	if node >= 0 && node < len(e.down) {
+		e.down[node] = true
+	}
+}
+
 // Report stores one node's sample and forwards it to the policy.
 func (e *Engine) Report(r LoadReport) {
-	if r.Node < 0 || r.Node >= len(e.reports) {
+	if r.Node < 0 || r.Node >= len(e.reports) || e.down[r.Node] {
 		return
 	}
 	r.Stale = false
@@ -162,7 +172,7 @@ func (e *Engine) View(now simtime.Time) View {
 	copy(v.Reports, e.reports)
 	for i := range v.Reports {
 		r := &v.Reports[i]
-		if r.Time < 0 {
+		if r.Time < 0 || e.down[i] {
 			r.Stale = true
 			continue
 		}
@@ -208,10 +218,28 @@ func (e *Engine) Decide(now simtime.Time) []Move {
 
 // PlaceSpawn asks the policy where to create a thread whose creator
 // asked for node pref, falling back to pref on an invalid answer.
+// Dead nodes are never returned: both the preference and the policy's
+// answer are rerouted to the next live rank.
 func (e *Engine) PlaceSpawn(pref int, now simtime.Time) int {
+	pref = e.NextLive(pref)
 	n := e.pol.PickSpawn(pref, e.View(now))
 	if n < 0 || n >= len(e.reports) {
 		return pref
 	}
-	return n
+	return e.NextLive(n)
+}
+
+// NextLive returns node if it is alive, otherwise the next live rank
+// scanning upward with wraparound (node itself if all are down).
+func (e *Engine) NextLive(node int) int {
+	if node < 0 || node >= len(e.down) {
+		return node
+	}
+	for i := 0; i < len(e.down); i++ {
+		cand := (node + i) % len(e.down)
+		if !e.down[cand] {
+			return cand
+		}
+	}
+	return node
 }

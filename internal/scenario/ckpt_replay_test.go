@@ -1,0 +1,71 @@
+package scenario
+
+import (
+	"testing"
+
+	ipm2 "repro/internal/pm2"
+	"repro/internal/scenario/serve"
+	"repro/internal/simtime"
+)
+
+// captureCheckpoint stages a 4-node cluster over the harness image,
+// runs it into the middle of a migration-bearing workload and captures
+// it — the fixture every replay-from-checkpoint test continues.
+func captureCheckpoint(t *testing.T) *ipm2.Checkpoint {
+	t.Helper()
+	cl := ipm2.New(ipm2.Config{Nodes: 4}, Image())
+	cl.Spawn(0, "p4", 1000)
+	cl.RunFor(500 * simtime.Microsecond)
+	ck, err := cl.Checkpoint()
+	if err != nil {
+		t.Fatalf("capturing fixture checkpoint: %v", err)
+	}
+	return ck
+}
+
+// TestReplayFromCheckpoint pins the checkpoint-bound replay path: a
+// serve request stream continued from a capture verifies, and two
+// replays of the same (stream, checkpoint) pair — and the same pair
+// under the parallel kernel — produce byte-identical canonical traces.
+func TestReplayFromCheckpoint(t *testing.T) {
+	ck := captureCheckpoint(t)
+	sp := serve.DeriveSpec(7, 4)
+	reqs, err := sp.Synthesize(4)
+	if err != nil {
+		t.Fatalf("synthesizing request stream: %v", err)
+	}
+	spec := Spec{Nodes: 4, Seed: sp.Seed}
+
+	first, err := ReplayFromCheckpoint(spec, reqs, ck)
+	if err != nil {
+		t.Fatalf("replay from checkpoint: %v", err)
+	}
+	if err := first.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		s := spec
+		s.Workers = workers
+		again, err := ReplayFromCheckpoint(s, reqs, captureCheckpoint(t))
+		if err != nil {
+			t.Fatalf("workers=%d: replay from checkpoint: %v", workers, err)
+		}
+		if again.TraceString() != first.TraceString() {
+			t.Fatalf("workers=%d: replay trace diverged from first run", workers)
+		}
+	}
+}
+
+// TestReplayFromCheckpointRejectsMismatch pins the structural guard: a
+// spec whose node count disagrees with the checkpoint is refused.
+func TestReplayFromCheckpointRejectsMismatch(t *testing.T) {
+	ck := captureCheckpoint(t)
+	sp := serve.DeriveSpec(7, 8)
+	reqs, err := sp.Synthesize(8)
+	if err != nil {
+		t.Fatalf("synthesizing request stream: %v", err)
+	}
+	if _, err := ReplayFromCheckpoint(Spec{Nodes: 8, Seed: sp.Seed}, reqs, ck); err == nil {
+		t.Fatal("8-node replay of a 4-node checkpoint accepted")
+	}
+}

@@ -157,6 +157,67 @@ func Replay(spec Spec, reqs []serve.Request) (*Result, error) {
 	return run(spec, reqs)
 }
 
+// ReplayFromCheckpoint is Replay against a restored cluster: the
+// request stream continues a pm2ckpt capture instead of a fresh boot.
+// The engine clock resumes at the checkpoint's quiescent instant, so
+// every request's arrival time is shifted by ck.Now — a trace recorded
+// against a checkpoint replays the same relative arrival schedule no
+// matter when the capture was taken. Structural parameters the spec
+// leaves free (distribution, convoy, pack, heartbeat lease) are taken
+// from the checkpoint; the ones the spec does fix (nodes, policy,
+// gather, arbiter) must match it, enforced by RestoreCluster.
+func ReplayFromCheckpoint(spec Spec, reqs []serve.Request, ck *ipm2.Checkpoint) (*Result, error) {
+	if spec.Scenario == "" {
+		spec.Scenario = "serve"
+	}
+	spec = spec.withDefaults()
+	pol, err := policy.Parse(spec.Policy)
+	if err != nil {
+		return nil, err
+	}
+	spec.Policy = pol.Name()
+	gather, err := ipm2.ParseGatherMode(spec.Gather)
+	if err != nil {
+		return nil, err
+	}
+	spec.Gather = gather.String()
+	arbiter, err := ipm2.ParseArbiterMode(spec.Arbiter)
+	if err != nil {
+		return nil, err
+	}
+	spec.Arbiter = arbiter.String()
+	dist, err := ipm2.DistFromName(ck.Dist)
+	if err != nil {
+		return nil, err
+	}
+
+	rec := &recorder{}
+	cl, err := ipm2.RestoreCluster(ipm2.Config{
+		Nodes:           spec.Nodes,
+		Gather:          gather,
+		Arbiter:         arbiter,
+		Placement:       &recordingPolicy{inner: pol, rec: rec},
+		Workers:         spec.Workers,
+		Dist:            dist,
+		Convoy:          ck.Convoy,
+		Pack:            ipm2.PackMode(ck.Pack),
+		HeartbeatMisses: ck.HeartbeatMisses,
+	}, Image(), ck)
+	if err != nil {
+		return nil, err
+	}
+
+	rec.logf("scenario=%s policy=%s nodes=%d seed=%d ckpt=%016x", spec.Scenario, spec.Policy, spec.Nodes, spec.Seed, ck.Digest())
+	d := &Driver{spec: spec, cl: cl, r: NewRand(spec.Seed), rec: rec}
+	shifted := make([]serve.Request, len(reqs))
+	for i, q := range reqs {
+		q.At += ck.Now
+		shifted[i] = q
+	}
+	d.scheduleRequests(shifted)
+	return finish(spec, d, cl, rec)
+}
+
 // run is the shared harness body: replay == nil plans via the spec's
 // generator, otherwise the replay stream is scheduled directly.
 func run(spec Spec, replay []serve.Request) (*Result, error) {
@@ -200,7 +261,14 @@ func run(spec Spec, replay []serve.Request) (*Result, error) {
 	} else {
 		gen.Plan(d)
 	}
+	return finish(spec, d, cl, rec)
+}
 
+// finish is the harness tail shared by fresh-boot and
+// restored-from-checkpoint runs: attach the balancer, drive the engine
+// to quiescence (or the step budget), check invariants, assemble the
+// Result and seal the canonical trace.
+func finish(spec Spec, d *Driver, cl *ipm2.Cluster, rec *recorder) (*Result, error) {
 	bal := loadbal.Attach(cl, loadbal.Config{
 		Period:         balancePeriod,
 		KeepAliveUntil: d.horizon + 2*balancePeriod,

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"repro/internal/asm"
+	"repro/internal/fault"
 	"repro/internal/isa"
 	ipm2 "repro/internal/pm2"
 	"repro/internal/progs"
@@ -80,7 +81,7 @@ type Generator struct {
 
 // Generators lists every workload generator, in canonical order.
 func Generators() []Generator {
-	return []Generator{burstGen, hotspotGen, churnGen, deepChainGen, negoStressGen, contendGen, serveGen}
+	return []Generator{burstGen, hotspotGen, churnGen, deepChainGen, negoStressGen, contendGen, serveGen, failoverGen}
 }
 
 // LookupGenerator resolves a generator by name.
@@ -166,6 +167,23 @@ func (d *Driver) scheduleRequests(reqs []serve.Request) {
 			d.Expect(" finished on node ")
 		}
 	}
+}
+
+// InjectFault installs a fail-stop fault plan (internal/fault spec
+// syntax, e.g. "crash:1@3000") on the run's cluster and records it in
+// the canonical trace. Detection rides the harness balancer's existing
+// heartbeat rounds — the plan changes nothing about how the generator
+// spawns or what it expects. Panics on a malformed spec: generators are
+// code, not input.
+func (d *Driver) InjectFault(spec string) {
+	plan, err := fault.Parse(spec)
+	if err != nil {
+		panic(fmt.Sprintf("scenario: fault spec: %v", err))
+	}
+	if err := d.cl.InstallFaults(plan); err != nil {
+		panic(fmt.Sprintf("scenario: installing fault plan: %v", err))
+	}
+	d.rec.logf("fault %s", spec)
 }
 
 // Expect records that the run's output must contain a line with substr,
@@ -312,6 +330,30 @@ var serveGen = Generator{
 			panic(fmt.Sprintf("scenario: serve synthesis failed: %v", err))
 		}
 		d.scheduleRequests(reqs)
+	},
+}
+
+// failoverGen is the fail-stop workload: long-lived workers spread over
+// every node, then one non-root node crashes mid-run. The balancer's
+// heartbeat rounds age the victim's lease until it is declared dead, its
+// resident threads are evacuated to the survivors as convoys, and its
+// owned slot range is reclaimed — every worker still finishes, on
+// whichever node it was carried to. The workers' single-slot allocations
+// never negotiate, so the trace is byte-identical under every arbiter
+// and gather: the failover goldens pin the detection, evacuation and
+// reclaim behavior itself, nothing else.
+var failoverGen = Generator{
+	Name: "failover",
+	Plan: func(d *Driver) {
+		r := d.Rand()
+		for i := 0; i < 2*d.Nodes(); i++ {
+			at := simtime.Time(r.Range(0, 400)) * simtime.Microsecond
+			d.SpawnAt(at, i%d.Nodes(), "worker", uint32(r.Range(18_000, 40_000)))
+			d.Expect(" finished on node ")
+		}
+		victim := r.Range(1, d.Nodes()-1) // rank 0 hosts the lock manager and cannot crash
+		d.InjectFault(fmt.Sprintf("crash:%d@3000", victim))
+		d.Expect(fmt.Sprintf("[failover] node %d declared dead", victim))
 	},
 }
 

@@ -182,9 +182,19 @@ func TestDecodeRejectsCorruption(t *testing.T) {
 		t.Fatalf("tampered stream: want digest mismatch, got %v", err)
 	}
 	// Future version must be refused.
-	future := strings.Replace(good, "pm2serve-trace v1", "pm2serve-trace v99", 1)
+	future := strings.Replace(good, fmt.Sprintf("pm2serve-trace v%d", TraceVersion), "pm2serve-trace v99", 1)
 	if _, err := Decode(strings.NewReader(future)); err == nil || !strings.Contains(err.Error(), "version") {
 		t.Fatalf("future version: want version error, got %v", err)
+	}
+	// A v1 file — no ckpt line — must still decode, with no checkpoint binding.
+	v1 := strings.Replace(good, fmt.Sprintf("pm2serve-trace v%d", TraceVersion), "pm2serve-trace v1", 1)
+	v1 = strings.Replace(v1, "ckpt 0000000000000000\n", "", 1)
+	old, err := Decode(strings.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 trace rejected: %v", err)
+	}
+	if old.CkptDigest != 0 {
+		t.Fatalf("v1 trace decoded with ckpt digest %016x, want 0", old.CkptDigest)
 	}
 	// Truncation must be refused.
 	if _, err := Decode(strings.NewReader(good[:len(good)/2])); err == nil {

@@ -11,8 +11,10 @@ import (
 )
 
 // TraceVersion is the current trace-file format version. Decoders reject
-// anything newer; bumping it is a deliberate format change.
-const TraceVersion = 1
+// anything newer; bumping it is a deliberate format change. v2 added the
+// ckpt line binding a trace to the pm2ckpt image it was recorded
+// against; v1 files still decode, with no checkpoint binding.
+const TraceVersion = 2
 
 // Trace is a recorded serving workload: the harness parameters it was
 // synthesized against plus the fully-expanded request stream. Replaying
@@ -20,12 +22,17 @@ const TraceVersion = 1
 // stream that runs — so a recorded run is byte-identical no matter what
 // happens to the generator defaults later.
 type Trace struct {
-	Policy   string
-	Nodes    int
-	Seed     uint64
-	Gather   string
-	Arbiter  string
-	Requests []Request
+	Policy  string
+	Nodes   int
+	Seed    uint64
+	Gather  string
+	Arbiter string
+	// CkptDigest binds the trace to a pm2ckpt checkpoint image: the
+	// checkpoint's sealed FNV-1a digest, or 0 when the trace replays on
+	// a freshly booted cluster (the v1 behavior). A replay that starts
+	// from a checkpoint must present an image with this exact digest.
+	CkptDigest uint64
+	Requests   []Request
 }
 
 // Digest returns the FNV-1a hash of the canonical request stream (the
@@ -51,12 +58,13 @@ func reqLine(r Request) string {
 
 // Encode writes the trace in the versioned text format:
 //
-//	pm2serve-trace v1
+//	pm2serve-trace v2
 //	policy <name>
 //	nodes <n>
 //	seed <decimal>
 //	gather <mode>
 //	arbiter <mode>
+//	ckpt <fnv1a-hex>                           (0 = fresh-boot replay)
 //	requests <count>
 //	req <at-ns> <cohort> <prog> <arg> <pref>   (count lines)
 //	digest <fnv1a-hex>
@@ -68,6 +76,7 @@ func (t *Trace) Encode(w io.Writer) error {
 	fmt.Fprintf(bw, "seed %d\n", t.Seed)
 	fmt.Fprintf(bw, "gather %s\n", t.Gather)
 	fmt.Fprintf(bw, "arbiter %s\n", t.Arbiter)
+	fmt.Fprintf(bw, "ckpt %016x\n", t.CkptDigest)
 	fmt.Fprintf(bw, "requests %d\n", len(t.Requests))
 	for _, r := range t.Requests {
 		bw.WriteString(reqLine(r))
@@ -137,6 +146,14 @@ func Decode(r io.Reader) (*Trace, error) {
 	}
 	if t.Arbiter, err = field("arbiter"); err != nil {
 		return nil, err
+	}
+	if version >= 2 {
+		if v, err = field("ckpt"); err != nil {
+			return nil, err
+		}
+		if t.CkptDigest, err = strconv.ParseUint(v, 16, 64); err != nil {
+			return nil, fmt.Errorf("serve: bad ckpt digest %q: %w", v, err)
+		}
 	}
 	if v, err = field("requests"); err != nil {
 		return nil, err

@@ -82,6 +82,26 @@ func (e *Engine) Steps() uint64 { return e.nSteps }
 // Pending returns the number of queued events.
 func (e *Engine) Pending() int { return e.nPending }
 
+// Clock returns the engine's full clock state — current virtual time,
+// last assigned sequence number and executed step count — for
+// checkpointing. Meaningful only while the queue is drained; a
+// restored engine continues assigning sequence numbers exactly where
+// the checkpointed one stopped, which is what keeps post-restore event
+// orders identical to the uninterrupted run.
+func (e *Engine) Clock() (now Time, seq, steps uint64) {
+	return e.now, e.seq, e.nSteps
+}
+
+// RestoreClock sets the engine clock state captured by Clock on a
+// fresh engine. It must be called before any events are scheduled
+// (restore-time state installation only).
+func (e *Engine) RestoreClock(now Time, seq, steps uint64) {
+	if e.nPending != 0 {
+		panic("simtime: RestoreClock with pending events")
+	}
+	e.now, e.seq, e.nSteps = now, seq, steps
+}
+
 // At schedules fn to run at absolute virtual time t, on the ambient lane.
 // Times in the past are clamped to Now; ties run in scheduling order.
 // Ambient events are cross-lane by nature (they may read or mutate any
@@ -292,6 +312,46 @@ func (a *Actor) Commit(fn func()) {
 		l.commits = append(l.commits, fn)
 		return
 	}
+	fn()
+}
+
+// BusyUntil returns the first instant at which the actor is free — the
+// busy-clock state a checkpoint captures. Meaningful outside handlers
+// only (a quiesced engine).
+func (a *Actor) BusyUntil() Time {
+	if a.inside {
+		panic("simtime: BusyUntil from inside a handler on " + a.name)
+	}
+	return a.busyUntil
+}
+
+// RestoreBusy sets the actor's busy clock to a value captured by
+// BusyUntil — restore-time state installation only.
+func (a *Actor) RestoreBusy(t Time) {
+	if a.inside {
+		panic("simtime: RestoreBusy from inside a handler on " + a.name)
+	}
+	a.busyUntil = t
+}
+
+// Mute runs fn in a handler-like context on the actor with all charges
+// discarded: fn may call methods that Charge (state installation paths
+// shared with charged handlers) without advancing the busy clock.
+// Checkpoint capture and restore use it — the captured busy clocks
+// already include every charge of the quiesce itself, so replaying the
+// installation must cost nothing. Callable from serial contexts only
+// (barriers, setup code), never from inside a parallel window.
+func (a *Actor) Mute(fn func()) {
+	if a.eng.inWindow {
+		panic("simtime: Mute on " + a.name + " during a parallel window")
+	}
+	savedInside, savedLocal := a.inside, a.localNow
+	free := a.Now()
+	a.inside = true
+	a.localNow = free
+	defer func() {
+		a.inside, a.localNow = savedInside, savedLocal
+	}()
 	fn()
 }
 

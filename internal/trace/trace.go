@@ -68,6 +68,14 @@ func (l *Log) Flush(node int) {
 	}
 }
 
+// Restore replaces the line history with a checkpointed one. Partial
+// per-node output is discarded: checkpoints are only taken quiesced,
+// when no thread holds an unterminated line.
+func (l *Log) Restore(lines []string) {
+	l.lines = append([]string(nil), lines...)
+	l.partial = make(map[int]*strings.Builder)
+}
+
 // Lines returns the completed lines so far.
 func (l *Log) Lines() []string { return append([]string(nil), l.lines...) }
 

@@ -49,16 +49,35 @@
 //
 //	cl := sys.Boot(pm2.Config{Nodes: 16, Gather: "delta", Arbiter: "sharded"})
 //
+// # Fault tolerance and checkpoint/restore
+//
+// A fail-stop fault plan (Config.Faults, e.g. "crash:1@3000") crashes
+// nodes at scheduled virtual times. Failure detection is lease-based:
+// heartbeats ride the load balancer's rounds, and a node that misses
+// Config.HeartbeatMisses consecutive rounds (default 2) is declared
+// dead. The declaration triggers recovery: the dying node's resident
+// threads are frozen and evacuated as convoys to the survivors, and the
+// dead rank's iso-address slot range is reclaimed — both without
+// violating the single-ownership invariant. Stats reports Evacuations,
+// EvacuatedThreads and ReclaimedSlots.
+//
+// Orthogonally, CheckpointBytes serializes a quiescent cluster to the
+// digest-sealed "pm2ckpt v1" format and System.Restore boots a new
+// cluster from it whose continuation is byte-identical to resuming the
+// original — the pm2load -checkpoint/-restore flags from the command
+// line.
+//
 // # Scenarios
 //
 // internal/scenario runs deterministic workload generators (burst,
-// hotspot, churn, deepchain, negostress, contend) under each policy
-// and emits comparable stats plus a canonical event trace;
-// golden-trace tests pin the exact decision sequence. From the command
-// line:
+// hotspot, churn, deepchain, negostress, contend, serve, failover)
+// under each policy and emits comparable stats plus a canonical event
+// trace; golden-trace tests pin the exact decision sequence. From the
+// command line:
 //
 //	pm2bench -fig scenarios           # the policy × scenario matrix
 //	pm2bench -fig contention          # concurrent initiators × arbiter
+//	pm2bench -fig failover            # detection/evacuation/reclaim
 //	pm2load -policy round-robin -balance 2000 p4 1000
 package pm2
 
@@ -69,6 +88,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/isa"
 	"repro/internal/loadbal"
 	ipm2 "repro/internal/pm2"
@@ -134,6 +154,19 @@ type Config struct {
 	// as a single convoy message — one header, one wire latency for the
 	// whole batch. Default off: the paper-faithful copying path.
 	Convoy bool
+	// Faults installs a fail-stop fault plan (internal/fault spec
+	// syntax: comma-separated events, e.g. "crash:1@3000" crashes node 1
+	// at 3000 µs of virtual time). A crashed node's resident threads are
+	// evacuated to the survivors and its slot range reclaimed once the
+	// heartbeat lease expires — see the package comment. Default "":
+	// no faults, and the failure-detection path is entirely inert.
+	Faults string
+	// HeartbeatMisses is the failure detector's lease: a node that
+	// misses this many consecutive heartbeat rounds is declared dead
+	// (default 2). Heartbeats ride the load balancer's rounds, so
+	// detection requires an attached balancer (or explicit
+	// HeartbeatTick calls on the internal cluster).
+	HeartbeatMisses int
 }
 
 func (c Config) toInternal() ipm2.Config {
@@ -158,6 +191,14 @@ func (c Config) toInternal() ipm2.Config {
 	}
 	cfg.PreBuySlots = c.PreBuySlots
 	cfg.Convoy = c.Convoy
+	cfg.HeartbeatMisses = c.HeartbeatMisses
+	if c.Faults != "" {
+		plan, err := fault.Parse(c.Faults)
+		if err != nil {
+			panic(err)
+		}
+		cfg.Faults = plan
+	}
 	dist, err := ParseDistribution(c.Distribution)
 	if err != nil {
 		panic(err)
@@ -351,6 +392,65 @@ func (c *Cluster) AttachBalancer(periodMicros int64) (stop func()) {
 	return b.Stop
 }
 
+// CheckpointBytes drives the cluster to a quiescent instant — every
+// runnable thread parked, every in-flight message landed — and returns
+// its complete state serialized in the digest-sealed "pm2ckpt v1" text
+// format. The cluster is left parked: call Resume to continue it in
+// place, or feed the bytes to System.Restore (here or in another
+// process) for a continuation byte-identical to resuming the original.
+// Refused, with an error: clusters with a fault plan installed, the
+// relocation baseline, and clusters whose threads used the
+// non-migratable pm2_malloc heap.
+func (c *Cluster) CheckpointBytes() ([]byte, error) {
+	ck, err := c.inner.Checkpoint()
+	if err != nil {
+		return nil, err
+	}
+	return ck.Encode(), nil
+}
+
+// Resume continues a cluster parked by CheckpointBytes in place.
+func (c *Cluster) Resume() { c.inner.Resume() }
+
+// Restore boots a cluster from a pm2ckpt image produced by
+// CheckpointBytes. The structural configuration — node count, slot
+// distribution, gather strategy, arbiter, convoy pipeline, pack mode,
+// heartbeat lease — is taken from the checkpoint itself, so the
+// operator re-specifies nothing; the System only has to carry the same
+// program image the capture ran. The restored cluster's continuation is
+// byte-identical to resuming the original in place.
+func (s *System) Restore(data []byte) (*Cluster, error) {
+	ck, err := ipm2.DecodeCheckpoint(data)
+	if err != nil {
+		return nil, err
+	}
+	dist, err := ipm2.DistFromName(ck.Dist)
+	if err != nil {
+		return nil, err
+	}
+	gather, err := ipm2.ParseGatherMode(ck.Gather)
+	if err != nil {
+		return nil, err
+	}
+	arbiter, err := ipm2.ParseArbiterMode(ck.Arbiter)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := ipm2.RestoreCluster(ipm2.Config{
+		Nodes:           ck.Nodes,
+		Dist:            dist,
+		Gather:          gather,
+		Arbiter:         arbiter,
+		Convoy:          ck.Convoy,
+		Pack:            ipm2.PackMode(ck.Pack),
+		HeartbeatMisses: ck.HeartbeatMisses,
+	}, s.im, ck)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{inner: inner}, nil
+}
+
 // Defragment triggers the paper's §4.4 global restructuring: every node
 // surrenders its free slots to node 0, which redistributes them as per-node
 // contiguous ranges, maximizing the contiguity available to multi-slot
@@ -380,6 +480,12 @@ type Stats struct {
 	AvgNegotiationMicros float64
 	// Defragmentations counts §4.4 global restructurings.
 	Defragmentations int
+	// Failure recovery (Config.Faults): dead-node declarations that ran
+	// the evacuation path, the threads moved off dead nodes, and the
+	// owned-free slots re-dealt from dead ranks to the survivors.
+	Evacuations      int
+	EvacuatedThreads int
+	ReclaimedSlots   int
 	// Network traffic.
 	NetworkMessages uint64
 	NetworkBytes    uint64
@@ -395,6 +501,9 @@ func (c *Cluster) Stats() Stats {
 		Convoys:          st.Convoys,
 		Negotiations:     st.Negotiations,
 		Defragmentations: st.Defragmentations,
+		Evacuations:      st.Evacuations,
+		EvacuatedThreads: st.EvacuatedThreads,
+		ReclaimedSlots:   st.ReclaimedSlots,
 		NetworkMessages:  st.Net.Messages,
 		NetworkBytes:     st.Net.Bytes,
 	}

@@ -185,3 +185,59 @@ func TestConvoyConfig(t *testing.T) {
 			zc.AvgMigrationMicros, legacy.AvgMigrationMicros)
 	}
 }
+
+// TestPublicCheckpointRestore pins the public checkpoint surface:
+// capture mid-run, restore through a fresh System carrying the same
+// image, and the restored run's full output (including the pre-capture
+// lines the checkpoint recorded) is byte-identical to resuming the
+// capturing cluster in place.
+func TestPublicCheckpointRestore(t *testing.T) {
+	sys := NewSystem()
+	sys.RegisterExamples()
+	cl := sys.Boot(Config{Nodes: 4})
+	cl.Spawn(0, "p4", 1000)
+	cl.RunForMicros(500)
+	data, err := cl.CheckpointBytes()
+	if err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	cl.Resume()
+	cl.Run()
+	want := cl.OutputString()
+
+	sys2 := NewSystem()
+	sys2.RegisterExamples()
+	rc, err := sys2.Restore(data)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	rc.Run()
+	if got := rc.OutputString(); got != want {
+		t.Fatalf("restored continuation diverged:\n--- resumed ---\n%s--- restored ---\n%s", want, got)
+	}
+	if err := rc.Validate(); err != nil {
+		t.Fatalf("restored cluster invariants: %v", err)
+	}
+}
+
+// TestFaultConfig pins the public fault surface: a crash plan through
+// Config.Faults plus an attached balancer detects the death, evacuates
+// the victim's thread and reclaims its slots, all visible in Stats.
+func TestFaultConfig(t *testing.T) {
+	sys := NewSystem()
+	sys.RegisterExamples()
+	cl := sys.Boot(Config{Nodes: 4, Faults: "crash:1@3000"})
+	cl.AttachBalancer(2000)
+	cl.Spawn(1, "worker", 30_000)
+	cl.Run()
+	st := cl.Stats()
+	if st.Evacuations != 1 || st.EvacuatedThreads != 1 {
+		t.Fatalf("evacuations=%d evacuated=%d, want 1/1", st.Evacuations, st.EvacuatedThreads)
+	}
+	if st.ReclaimedSlots == 0 {
+		t.Fatal("no slots reclaimed from the dead rank")
+	}
+	if !strings.Contains(cl.OutputString(), "declared dead") {
+		t.Fatal("missing failover declaration line")
+	}
+}
