@@ -2,7 +2,7 @@
 // generated pm2bench -json reports against their committed baselines and
 // exits non-zero on a regression beyond tolerance (default 25%).
 //
-// Five reports are gated. BENCH_negotiation.json: any gather strategy's
+// Six reports are gated. BENCH_negotiation.json: any gather strategy's
 // cold or warm per-node slope. BENCH_migration.json: the ping-pong
 // migration µs/hop (legacy and zero-copy pipeline) and the convoy path's
 // per-thread µs and wire bytes/thread at each measured batch size.
@@ -10,6 +10,9 @@
 // FLOOR, a knee that falls below baseline is lost serving capacity.
 // BENCH_failover.json: the crash-to-declaration detection latency and
 // the evacuation makespan at each measured victim batch size.
+// BENCH_partition.json: the live-partition figure — rejoin latency and
+// RPC-timeout counts gated exactly (deterministic protocol quantities),
+// negotiation makespans within tolerance.
 // BENCH_scale.json: the kernel-scaling figure's virtual quantities
 // (events, migrations, virtual time per cluster size) — gated EXACTLY,
 // no tolerance: they are deterministic event counts, so any drift is a
@@ -26,6 +29,7 @@
 //	benchcheck -mig-current ""       # skip the migration gate
 //	benchcheck -serve-current ""     # skip the serve gate
 //	benchcheck -failover-current ""  # skip the failover gate
+//	benchcheck -partition-current "" # skip the partition gate
 //	benchcheck -scale-current ""     # skip the scale gate
 //
 // Merged-byte counts are reported for context but not gated: they are
@@ -220,6 +224,70 @@ func checkFailover(g *gate, basePath, curPath string) {
 			b.EvacConvoyMicros, c.EvacConvoyMicros)
 		fmt.Printf("failover k=%d reclaimed %d slots (baseline %d, informational)\n",
 			b.K, c.ReclaimedSlots, b.ReclaimedSlots)
+	}
+}
+
+func loadPartition(path string) (bench.PartitionReport, error) {
+	var r bench.PartitionReport
+	if err := loadJSON(path, &r); err != nil {
+		return r, err
+	}
+	if r.Figure != "partition" || len(r.Rows) == 0 {
+		return r, fmt.Errorf("%s: not a partition report", path)
+	}
+	return r, nil
+}
+
+// checkPartition gates the partial-failure figure. The rejoin latency
+// and the per-k RPC-timeout counts are deterministic protocol
+// quantities — lease arithmetic and deadline expiries — so they are
+// gated exactly; the negotiation makespans summarize the cost model
+// end to end and get the relative tolerance. Zero evacuations is
+// asserted inside the bench itself (it panics otherwise), so a report
+// that exists at all already carries that property.
+func checkPartition(g *gate, basePath, curPath string) {
+	base, err := loadPartition(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := loadPartition(curPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	g.checkExact("partition rejoin", "µs", base.RejoinMicros, cur.RejoinMicros)
+	curByK := make(map[int]bench.PartitionRow, len(cur.Rows))
+	for _, r := range cur.Rows {
+		curByK[r.K] = r
+	}
+	// Drive the gate from the baseline: a concurrency level that
+	// vanishes from the current report must fail, not silently skip.
+	for _, b := range base.Rows {
+		c, ok := curByK[b.K]
+		if !ok {
+			fmt.Printf("partition k=%d MISSING from current report\n", b.K)
+			g.failed = true
+			continue
+		}
+		g.checkExact(fmt.Sprintf("partition k=%d timeouts", b.K), "", float64(b.RPCTimeouts), float64(c.RPCTimeouts))
+		g.check(fmt.Sprintf("partition k=%d makespan", b.K), "µs", latencyGraceMicros,
+			b.NegotiationMicros, c.NegotiationMicros)
+	}
+	curByFactor := make(map[int]bench.PartitionSlowRow, len(cur.SlowRows))
+	for _, r := range cur.SlowRows {
+		curByFactor[r.Factor] = r
+	}
+	for _, b := range base.SlowRows {
+		c, ok := curByFactor[b.Factor]
+		if !ok {
+			fmt.Printf("partition slow x%d MISSING from current report\n", b.Factor)
+			g.failed = true
+			continue
+		}
+		g.checkExact(fmt.Sprintf("partition slow x%d timeouts", b.Factor), "", float64(b.RPCTimeouts), float64(c.RPCTimeouts))
+		g.check(fmt.Sprintf("partition slow x%d nego", b.Factor), "µs", latencyGraceMicros,
+			b.NegotiationMicros, c.NegotiationMicros)
 	}
 }
 
@@ -423,6 +491,8 @@ func main() {
 	serveCurrent := flag.String("serve-current", "BENCH_serve.json", "freshly generated serve report (empty to skip the serve gate)")
 	failoverBaseline := flag.String("failover-baseline", "ci/BENCH_failover.baseline.json", "committed failover baseline report")
 	failoverCurrent := flag.String("failover-current", "BENCH_failover.json", "freshly generated failover report (empty to skip the failover gate)")
+	partitionBaseline := flag.String("partition-baseline", "ci/BENCH_partition.baseline.json", "committed partition baseline report")
+	partitionCurrent := flag.String("partition-current", "BENCH_partition.json", "freshly generated partition report (empty to skip the partition gate)")
 	scaleBaseline := flag.String("scale-baseline", "ci/BENCH_scale.baseline.json", "committed kernel-scaling baseline report")
 	scaleCurrent := flag.String("scale-current", "BENCH_scale.json", "freshly generated kernel-scaling report (empty to skip the scale gate)")
 	tolerance := flag.Float64("tolerance", 0.25, "maximum allowed relative regression")
@@ -449,6 +519,13 @@ func main() {
 			fmt.Printf("%s not present; skipping the failover gate\n", *failoverCurrent)
 		} else {
 			checkFailover(g, *failoverBaseline, *failoverCurrent)
+		}
+	}
+	if *partitionCurrent != "" {
+		if _, err := os.Stat(*partitionCurrent); err != nil && os.IsNotExist(err) {
+			fmt.Printf("%s not present; skipping the partition gate\n", *partitionCurrent)
+		} else {
+			checkPartition(g, *partitionBaseline, *partitionCurrent)
 		}
 	}
 	if *scaleCurrent != "" {

@@ -17,7 +17,10 @@
 //	pm2load -policy round-robin -balance 2000 -nodes 4 p4 1000
 //	pm2load -gather delta -arbiter sharded -nodes 16 allocone 150000
 //	pm2load -nodes 4 -fault crash:1@3000 -node 1 worker 30000
+//	pm2load -nodes 4 -fault "partition:1-0@3000..9000;partition:1-2@3000..9000;partition:1-3@3000..9000" \
+//	        -rpc-timeout auto allocone 150000
 //	pm2load -checkpoint run.ckpt -checkpoint-at 500 p4 1000
+//	pm2load -checkpoint run.ckpt -checkpoint-at 500 -balance 2000 p4 1000
 //	pm2load -restore run.ckpt
 //
 // -policy selects the placement policy (negotiation | round-robin |
@@ -28,14 +31,22 @@
 // accepts the legacy values "iso" and "relocate" and treats them as
 // -mech.
 //
-// -fault installs a fail-stop fault plan ("crash:N@T" crashes node N at
-// T µs of virtual time); if no -balance is given one is attached at
-// 2000 µs, since failure detection rides the balancer's heartbeat
-// rounds. -checkpoint/-checkpoint-at capture the cluster to a pm2ckpt
-// file mid-run and continue; -restore boots from such a file and runs
-// it to completion, printing a trace byte-identical to the capturing
-// run's (the checkpoint carries configuration and workload, so -restore
-// takes no program argument and rejects structural flags).
+// -fault installs a fault plan: "crash:N@T" crashes node N at T µs of
+// virtual time, "partition:A-B@T1..T2" cuts the A↔B link for the window
+// (store-and-forward healing), "slow:NxF@T1..T2" multiplies node N's
+// wire time by F; events compose with ";". If no -balance is given one
+// is attached at 2000 µs, since failure detection rides the balancer's
+// heartbeat rounds. -rpc-timeout arms the partial-failure deadline
+// layer ("auto" derives it from the cost model, an integer sets it in
+// µs): timed-out protocol waits retry or fail gracefully, and detection
+// becomes suspicion-based — a live partitioned node is routed around,
+// never evacuated, and rejoins on heal. -checkpoint/-checkpoint-at
+// capture the cluster to a pm2ckpt file mid-run and continue (an
+// attached balancer's round state rides along in a v2 section);
+// -restore boots from such a file and runs it to completion, printing a
+// trace byte-identical to the capturing run's (the checkpoint carries
+// configuration and workload, so -restore takes no program argument and
+// rejects structural flags).
 package main
 
 import (
@@ -61,8 +72,9 @@ func main() {
 	srcFile := flag.String("src", "", "assemble and register an extra program from this file")
 	warmHeap := flag.Int("warm-heap", 0, "fill every other node's heap with N bytes of junk first (Figure 9)")
 	stats := flag.Bool("stats", true, "print run statistics after the trace")
-	faultSpec := flag.String("fault", "", `fail-stop fault plan, e.g. "crash:1@3000" (node 1 dies at 3000 µs)`)
+	faultSpec := flag.String("fault", "", `fault plan, e.g. "crash:1@3000", "partition:1-0@3000..9000;slow:2x4@0..5000"`)
 	hbMisses := flag.Int("heartbeat-misses", 0, "failure-detector lease: heartbeat rounds missed before a node is declared dead (0 = default 2)")
+	rpcTimeout := flag.String("rpc-timeout", "", `protocol deadline: "auto" = derive from the cost model, an integer = µs of virtual time, "" = off`)
 	ckptFile := flag.String("checkpoint", "", "write a pm2ckpt image of the run to this file at -checkpoint-at, then continue")
 	ckptAt := flag.Int64("checkpoint-at", 0, "µs of virtual time to run before -checkpoint captures the cluster")
 	restoreFile := flag.String("restore", "", "restore a pm2ckpt image and run it to completion (no program argument)")
@@ -87,9 +99,6 @@ func main() {
 		switch {
 		case *ckptAt <= 0:
 			fmt.Fprintln(os.Stderr, "pm2load: -checkpoint needs -checkpoint-at <µs> to know when to capture")
-			os.Exit(2)
-		case *balance > 0:
-			fmt.Fprintln(os.Stderr, "pm2load: -checkpoint does not compose with -balance (the balancer's policy-engine state is not captured, so the restored run would diverge)")
 			os.Exit(2)
 		case *faultSpec != "":
 			fmt.Fprintln(os.Stderr, "pm2load: -checkpoint does not compose with -fault (crash barriers are scheduled closures a checkpoint cannot carry)")
@@ -132,6 +141,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pm2load: %v\n", err)
 		os.Exit(2)
 	}
+	var rpcTimeoutMicros int64
+	switch *rpcTimeout {
+	case "":
+	case "auto":
+		rpcTimeoutMicros = -1
+	default:
+		v, err := strconv.ParseInt(*rpcTimeout, 10, 64)
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "pm2load: bad -rpc-timeout %q (want \"auto\" or a positive µs count)\n", *rpcTimeout)
+			os.Exit(2)
+		}
+		rpcTimeoutMicros = v
+	}
 
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: pm2load [flags] <program> [arg]")
@@ -173,6 +195,7 @@ func main() {
 		Convoy:           *convoy,
 		Faults:           *faultSpec,
 		HeartbeatMisses:  *hbMisses,
+		RPCTimeoutMicros: rpcTimeoutMicros,
 	})
 	if *balance > 0 {
 		cl.AttachBalancer(*balance)

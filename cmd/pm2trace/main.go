@@ -13,6 +13,11 @@
 // digest lands in the v2 trace header); replay of such a trace requires
 // -checkpoint with the same image and continues it from its captured
 // instant instead of a fresh boot.
+//
+// -fault installs a fault plan (crash / partition / slow events) and
+// drives millisecond heartbeat rounds past its horizon; -rpc-timeout
+// arms the partial-failure deadline layer ("auto" or µs). The summary
+// then reports RPC timeouts, suspicions, rejoins and evacuations.
 package main
 
 import (
@@ -21,10 +26,12 @@ import (
 	"os"
 	"strconv"
 
+	"repro/internal/fault"
 	ipm2 "repro/internal/pm2"
 	"repro/internal/progs"
 	"repro/internal/scenario"
 	"repro/internal/scenario/serve"
+	"repro/internal/simtime"
 	"repro/pm2"
 )
 
@@ -43,6 +50,8 @@ func main() {
 	node := flag.Int("node", 0, "starting node")
 	dist := flag.String("dist", "round-robin", "slot distribution")
 	live := flag.Bool("live", false, "print trace lines as they are produced")
+	faultSpec := flag.String("fault", "", `fault plan, e.g. "crash:1@3000", "partition:1-0@3000..9000;slow:1x4@0..5000"`)
+	rpcTimeout := flag.String("rpc-timeout", "", `protocol deadline: "auto" = derive from the cost model, an integer = µs of virtual time, "" = off`)
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: pm2trace [flags] <program> [arg]")
@@ -64,9 +73,48 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pm2trace: %v\n", err)
 		os.Exit(2)
 	}
-	c := ipm2.New(ipm2.Config{Nodes: *nodes, Dist: d, RecordAllocs: true}, progs.NewImage())
+	var timeout simtime.Time
+	switch *rpcTimeout {
+	case "":
+	case "auto":
+		timeout = -1
+	default:
+		v, err := strconv.ParseInt(*rpcTimeout, 10, 64)
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "pm2trace: bad -rpc-timeout %q (want \"auto\" or a positive µs count)\n", *rpcTimeout)
+			os.Exit(2)
+		}
+		timeout = simtime.Time(v) * simtime.Microsecond
+	}
+	var plan *fault.Plan
+	if *faultSpec != "" {
+		plan, err = fault.Parse(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pm2trace: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	c := ipm2.New(ipm2.Config{Nodes: *nodes, Dist: d, RecordAllocs: true, Faults: plan, RPCTimeout: timeout}, progs.NewImage())
 	if *live {
 		c.Trace().SetWriter(os.Stdout)
+	}
+	if plan != nil {
+		// Failure detection rides heartbeat rounds pm2trace has no
+		// balancer to drive: tick every millisecond until two rounds past
+		// the plan's last event, enough to declare any crash and clear
+		// any healed suspicion.
+		var horizon simtime.Time
+		for _, ev := range plan.Events {
+			if ev.At > horizon {
+				horizon = ev.At
+			}
+			if ev.Until > horizon {
+				horizon = ev.Until
+			}
+		}
+		for t := simtime.Millisecond; t <= horizon+2*simtime.Millisecond; t += simtime.Millisecond {
+			c.Engine().At(t, c.HeartbeatTick)
+		}
 	}
 	c.Spawn(*node, prog, arg)
 	c.Run(0)
@@ -89,6 +137,10 @@ func main() {
 		fmt.Printf("  #%d: %v\n", i+1, l)
 	}
 	fmt.Printf("network:      %d messages, %d bytes\n", st.Net.Messages, st.Net.Bytes)
+	if *faultSpec != "" || *rpcTimeout != "" {
+		fmt.Printf("faults:       %d rpc timeout(s), %d suspicion(s), %d rejoin(s), %d evacuation(s)\n",
+			st.RPCTimeouts, st.Suspicions, st.Rejoins, st.Evacuations)
+	}
 
 	fmt.Printf("\n== per-node state\n")
 	for i := 0; i < c.Nodes(); i++ {

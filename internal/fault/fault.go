@@ -13,9 +13,13 @@
 //     node's memory remains readable by the simulator, which is what
 //     lets the heartbeat-detection path evacuate its resident threads.
 //   - partition:A-B@T1..T2 — messages between A and B (either
-//     direction) whose send starts inside [T1, T2) are delayed: their
-//     delivery shifts by the remaining partition window, modeling
-//     store-and-forward recovery at heal time. Nothing is lost.
+//     direction) whose send starts inside [T1, T2) are held and
+//     delivered at the heal instant T2 (or at their fault-free arrival
+//     time, if that is later), modeling store-and-forward recovery.
+//     Nothing is lost, and because max(arrive, T2) is monotone in the
+//     fault-free arrival time, per-pair FIFO delivery order survives
+//     the healing: two in-window sends cannot reorder against each
+//     other or against post-heal traffic.
 //   - slow:NxF@T1..T2 — messages to or from node N whose send starts
 //     inside [T1, T2) take F times their wire time.
 //
@@ -327,6 +331,67 @@ func (s *State) Crashed(n int, t simtime.Time) bool {
 	return ok && t >= at
 }
 
+// Partitioned reports whether a partition window separating nodes a
+// and b is open at time t. Like every State query it is a pure
+// function of the plan, so it may be consulted from any lane.
+func (s *State) Partitioned(a, b int, t simtime.Time) bool {
+	for _, ev := range s.plan.Events {
+		if ev.Kind == Partition && t >= ev.At && t < ev.Until &&
+			((ev.Node == a && ev.Peer == b) || (ev.Node == b && ev.Peer == a)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Isolated reports whether node n has any open partition window at
+// time t — the coarse "is this node cut off from someone" signal the
+// failure detector uses to distinguish a live-but-unreachable node
+// from a crashed one.
+func (s *State) Isolated(n int, t simtime.Time) bool {
+	for _, ev := range s.plan.Events {
+		if ev.Kind == Partition && t >= ev.At && t < ev.Until &&
+			(ev.Node == n || ev.Peer == n) {
+			return true
+		}
+	}
+	return false
+}
+
+// ActiveAt returns the partition and slow events whose windows are
+// open at time t, in schedule order. Crashes are permanent and are
+// answered by Crashed/CrashTime instead.
+func (s *State) ActiveAt(t simtime.Time) []Event {
+	var out []Event
+	for _, ev := range s.plan.Events {
+		if ev.Kind != Crash && t >= ev.At && t < ev.Until {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// NextTransition returns the earliest event boundary (an At or an
+// Until of any event) strictly after t, or 0, false when the plan has
+// no further transitions — what a scheduler needs to re-examine the
+// fault state exactly when it can change.
+func (s *State) NextTransition(t simtime.Time) (simtime.Time, bool) {
+	var next simtime.Time
+	found := false
+	consider := func(x simtime.Time) {
+		if x > t && (!found || x < next) {
+			next, found = x, true
+		}
+	}
+	for _, ev := range s.plan.Events {
+		consider(ev.At)
+		if ev.Kind != Crash {
+			consider(ev.Until)
+		}
+	}
+	return next, found
+}
+
 // Adjust is the per-send hook: given a message from src to dst whose
 // send starts at start and would be delivered at arrive, it returns
 // the (possibly delayed) delivery time and whether the message is
@@ -339,9 +404,15 @@ func (s *State) Adjust(src, dst int, start, arrive simtime.Time) (simtime.Time, 
 		case Partition:
 			if start >= ev.At && start < ev.Until &&
 				((ev.Node == src && ev.Peer == dst) || (ev.Node == dst && ev.Peer == src)) {
-				// Store-and-forward at heal time: the delivery shifts by
-				// the remaining partition window.
-				arrive += ev.Until - start
+				// Store-and-forward at heal time: the message is held at
+				// the partition and delivered at the heal instant. Taking
+				// max(arrive, Until) — rather than shifting every send by
+				// its own remaining window — keeps the adjustment monotone
+				// in the fault-free arrival time, so per-pair FIFO order
+				// is preserved across the healing.
+				if arrive < ev.Until {
+					arrive = ev.Until
+				}
 			}
 		case Slow:
 			if start >= ev.At && start < ev.Until && (ev.Node == src || ev.Node == dst) {

@@ -58,14 +58,29 @@ type Balancer struct {
 	cfg     Config
 	eng     *policy.Engine
 	stopped bool
+	paused  bool
 	moves   int
 	rounds  int
+	// nextRoundAt is the absolute virtual time the next round is
+	// scheduled for, zero when no round is pending (drained, stopped or
+	// not yet scheduled) — what a checkpoint captures to restart the
+	// cadence on the other side.
+	nextRoundAt simtime.Time
 }
 
 // Attach starts a balancer on the cluster. It schedules itself on the
 // discrete-event engine and keeps running until Stop (or until the engine
 // drains with no further work).
 func Attach(c *pm2.Cluster, cfg Config) *Balancer {
+	b := attach(c, cfg)
+	b.schedule()
+	return b
+}
+
+// attach builds and registers a balancer without scheduling its first
+// round — shared by Attach and AttachFromCheckpoint, which differ only
+// in when (and whether) the cadence starts.
+func attach(c *pm2.Cluster, cfg Config) *Balancer {
 	if cfg.Period <= 0 {
 		cfg.Period = 5 * simtime.Millisecond
 	}
@@ -88,8 +103,72 @@ func Attach(c *pm2.Cluster, cfg Config) *Balancer {
 			neg.MaxMoves = cfg.MaxMovesPerRound
 		}
 	}
-	b.schedule()
+	c.SetBalancer(b)
 	return b
+}
+
+// AttachFromCheckpoint reattaches a balancer on a restored cluster from
+// the round state a pm2ckpt v2 image carries. Config fields left at
+// their zero value are filled from the capture, so the common call is
+// AttachFromCheckpoint(c, Config{}, *ck.Balancer); the skipped round
+// the capture paused is rescheduled at max(NextRoundAt, now), exactly
+// as Resume does on the original cluster — the two continuations stay
+// byte-identical.
+func AttachFromCheckpoint(c *pm2.Cluster, cfg Config, st pm2.BalancerCheckpoint) *Balancer {
+	if cfg.Period <= 0 {
+		cfg.Period = st.Period
+	}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = st.Threshold
+	}
+	if cfg.MaxMovesPerRound == 0 {
+		cfg.MaxMovesPerRound = st.MaxMoves
+	}
+	if cfg.StaleAfter == 0 {
+		cfg.StaleAfter = st.StaleAfter
+	}
+	if cfg.KeepAliveUntil == 0 {
+		cfg.KeepAliveUntil = st.KeepAliveUntil
+	}
+	b := attach(c, cfg)
+	b.CheckpointResume(st)
+	return b
+}
+
+// CheckpointPause implements pm2.BalancerCheckpointer: stop scheduling
+// (the already-pending round, if any, fires as a no-op during the
+// checkpoint drain) and hand the round state to the capture.
+func (b *Balancer) CheckpointPause() pm2.BalancerCheckpoint {
+	b.paused = true
+	return pm2.BalancerCheckpoint{
+		Period:         b.cfg.Period,
+		NextRoundAt:    b.nextRoundAt,
+		StaleAfter:     b.cfg.StaleAfter,
+		KeepAliveUntil: b.cfg.KeepAliveUntil,
+		Threshold:      b.cfg.Threshold,
+		MaxMoves:       b.cfg.MaxMovesPerRound,
+		Rounds:         b.rounds,
+		Moves:          b.moves,
+	}
+}
+
+// CheckpointResume implements pm2.BalancerCheckpointer: undo the pause
+// and re-run the round the drain skipped. The skipped round's slot
+// (st.NextRoundAt) is never after the quiescent instant — the drain
+// executed past it — so the round fires at the restored clock and the
+// cadence continues at its original period from there.
+func (b *Balancer) CheckpointResume(st pm2.BalancerCheckpoint) {
+	b.paused = false
+	b.rounds, b.moves = st.Rounds, st.Moves
+	if st.NextRoundAt == 0 {
+		return // the balancer had drained before the capture
+	}
+	at := st.NextRoundAt
+	if now := b.c.Engine().Now(); at < now {
+		at = now
+	}
+	b.nextRoundAt = at
+	b.c.Engine().At(at, b.round)
 }
 
 // Engine returns the policy engine driving this balancer's decisions.
@@ -105,13 +184,15 @@ func (b *Balancer) Rounds() int { return b.rounds }
 func (b *Balancer) Stop() { b.stopped = true }
 
 func (b *Balancer) schedule() {
+	b.nextRoundAt = b.c.Engine().Now() + b.cfg.Period
 	b.c.Engine().After(b.cfg.Period, b.round)
 }
 
 func (b *Balancer) round() {
-	if b.stopped {
+	if b.stopped || b.paused {
 		return
 	}
+	b.nextRoundAt = 0
 	b.rounds++
 	// The balancing round doubles as the failure detector's heartbeat:
 	// each round first ages the leases of nodes that stopped answering

@@ -284,6 +284,14 @@ const (
 	kindOneway uint32 = 0
 	kindCall   uint32 = 1
 	kindReply  uint32 = 2
+	// kindCallDL is a request carrying a virtual-time deadline: the
+	// receiver discards it unanswered when it arrives past the
+	// deadline (a partition-delayed request must not execute after its
+	// initiator has timed out, retried and moved on). Wire layout is
+	// kindCall's plus one u64 deadline word; CallDL only ever emits it
+	// for a finite deadline, so plain Call traffic is byte-identical
+	// with deadlines disabled.
+	kindCallDL uint32 = 3
 )
 
 // Handler processes an inbound one-way message.
@@ -328,10 +336,18 @@ func (c *Call) Reply(build func(*Buffer)) {
 // virtual time.
 type Endpoint struct {
 	nic      *bip.NIC
+	actor    *ActorT
 	handlers map[uint32]Handler
 	calls    map[uint32]CallHandler
 	pending  map[uint32]func(*Buffer)
+	// canceled tombstones requests whose initiator gave up waiting
+	// (Cancel): a late reply to one is silently dropped instead of
+	// panicking as an unknown-request reply.
+	canceled map[uint32]bool
 	nextReq  uint32
+	// expired counts deadline requests this endpoint discarded on
+	// arrival — the receiver-side half of the RPC-timeout discipline.
+	expired uint64
 	// pool recycles outgoing buffers; nil means plain allocation.
 	pool *Pool
 }
@@ -339,9 +355,11 @@ type Endpoint struct {
 // Attach creates node id's endpoint on the network, bound to its CPU actor.
 func Attach(nw *bip.Network, id int, actor *ActorT) *Endpoint {
 	ep := &Endpoint{
+		actor:    actor,
 		handlers: make(map[uint32]Handler),
 		calls:    make(map[uint32]CallHandler),
 		pending:  make(map[uint32]func(*Buffer)),
+		canceled: make(map[uint32]bool),
 	}
 	ep.nic = nw.Attach(id, actor, ep.dispatch)
 	return ep
@@ -440,6 +458,49 @@ func (ep *Endpoint) Call(dst int, ch uint32, build func(*Buffer), done func(*Buf
 	ep.pool.Put(out)
 }
 
+// CallDL is Call with a virtual-time delivery deadline: the receiver
+// discards the request unanswered if it arrives after deadline. The
+// returned request id lets the initiator Cancel its half of the wait
+// when its own timer fires. A deadline of 0 means none — the envelope
+// degrades to a plain Call, byte-identical on the wire.
+func (ep *Endpoint) CallDL(dst int, ch uint32, deadline simtime.Time, build func(*Buffer), done func(*Buffer)) uint32 {
+	if deadline == 0 {
+		ep.Call(dst, ch, build, done)
+		return ep.nextReq
+	}
+	ep.nextReq++
+	id := ep.nextReq
+	ep.pending[id] = done
+	out := ep.pool.Get()
+	out.PackU32(kindCallDL)
+	out.PackU32(ch)
+	out.PackU32(id)
+	out.PackU64(uint64(deadline))
+	if build != nil {
+		build(out)
+	}
+	ep.nic.Send(dst, ch, out.Bytes())
+	ep.pool.Put(out)
+	return id
+}
+
+// Cancel abandons the wait for request id: the pending continuation is
+// dropped and the id tombstoned, so a reply that still arrives (the
+// request executed, but its reply was delayed past the initiator's
+// patience) is discarded instead of faulting dispatch. Canceling an
+// id that is no longer pending (the reply already ran) is a no-op.
+func (ep *Endpoint) Cancel(id uint32) {
+	if _, ok := ep.pending[id]; !ok {
+		return
+	}
+	delete(ep.pending, id)
+	ep.canceled[id] = true
+}
+
+// ExpiredRequests reports how many deadline requests this endpoint
+// discarded on arrival.
+func (ep *Endpoint) ExpiredRequests() uint64 { return ep.expired }
+
 func (ep *Endpoint) dispatch(src int, _ uint32, payload []byte) {
 	msg := FromBytes(payload)
 	switch kind := msg.U32(); kind {
@@ -450,9 +511,20 @@ func (ep *Endpoint) dispatch(src int, _ uint32, payload []byte) {
 			panic(fmt.Sprintf("madeleine: node %d: no handler for channel %d", ep.ID(), ch))
 		}
 		h(src, msg)
-	case kindCall:
+	case kindCall, kindCallDL:
 		ch := msg.U32()
 		reqID := msg.U32()
+		if kind == kindCallDL {
+			deadline := simtime.Time(msg.U64())
+			if ep.actor.Now() > deadline {
+				// The initiator has already timed out this request:
+				// executing it now could double-apply a retried
+				// operation. Store-and-forward delays (partitions) are
+				// exactly the case this guards.
+				ep.expired++
+				return
+			}
+		}
 		h, ok := ep.calls[ch]
 		if !ok {
 			panic(fmt.Sprintf("madeleine: node %d: no call handler for channel %d", ep.ID(), ch))
@@ -462,6 +534,12 @@ func (ep *Endpoint) dispatch(src int, _ uint32, payload []byte) {
 		reqID := msg.U32()
 		done, ok := ep.pending[reqID]
 		if !ok {
+			if ep.canceled[reqID] {
+				// A reply outran its initiator's patience: the wait was
+				// canceled, drop the orphan and retire the tombstone.
+				delete(ep.canceled, reqID)
+				return
+			}
 			panic(fmt.Sprintf("madeleine: node %d: reply for unknown request %d", ep.ID(), reqID))
 		}
 		delete(ep.pending, reqID)

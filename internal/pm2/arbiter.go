@@ -138,7 +138,14 @@ func (n *Node) homeOrigin() int {
 // order — the canonical order every initiator uses, which is the
 // deadlock-freedom argument: the holder of the highest contended shard
 // never waits on a lower one, so it completes and unblocks the rest.
-func (n *Node) withRunLocks(start, count int, then func()) {
+//
+// With a timeout configured, an unreachable shard manager fails the
+// acquisition instead of hanging the negotiation: the shards already
+// held are released and fail runs (the caller re-plans after a
+// backoff). A grant that outruns the timeout is released the moment it
+// arrives — a manager's lock must never be parked with a waiter that
+// walked away.
+func (n *Node) withRunLocks(start, count int, then, fail func()) {
 	if n.c.cfg.Arbiter != ArbiterSharded {
 		then()
 		return
@@ -151,11 +158,19 @@ func (n *Node) withRunLocks(start, count int, then func()) {
 			return
 		}
 		s := shards[i]
-		n.ep.Call(n.c.shardManager(s), chShardLock, func(b *madeleine.Buffer) {
+		mgr := n.c.shardManager(s)
+		n.callRPC(mgr, chShardLock, func(b *madeleine.Buffer) {
 			b.PackU32(uint32(s))
 		}, func(*madeleine.Buffer) {
 			n.heldShards = append(n.heldShards, s)
 			acquire(i + 1)
+		}, func() {
+			n.releaseRunLocks()
+			fail()
+		}, func(*madeleine.Buffer) {
+			n.ep.Send(mgr, chShardUnlock, func(b *madeleine.Buffer) {
+				b.PackU32(uint32(s))
+			})
 		})
 	}
 	acquire(0)

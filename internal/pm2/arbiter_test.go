@@ -128,14 +128,14 @@ func TestShardLocksSerializeOverlappingRuns(t *testing.T) {
 			n.withRunLocks(2*shardSize+10*nid, 5, func() {
 				order = append(order, nid)
 				n.releaseRunLocks()
-			})
+			}, func() { panic("unexpected shard-lock failure") })
 		})
 	}
 	c.At(0, func(n *Node) {
 		n.withRunLocks(5*shardSize, 3, func() {
 			order = append(order, 0)
 			n.releaseRunLocks()
-		})
+		}, func() { panic("unexpected shard-lock failure") })
 	})
 	c.Run(0)
 	if len(order) != 4 {
@@ -168,13 +168,13 @@ func TestShardLockSpanningRuns(t *testing.T) {
 		n.withRunLocks(4*shardSize-2, 4, func() {
 			order = append(order, 1)
 			n.releaseRunLocks()
-		})
+		}, func() { panic("unexpected shard-lock failure") })
 	})
 	c.At(2, func(n *Node) {
 		n.withRunLocks(5*shardSize-2, 4, func() {
 			order = append(order, 2)
 			n.releaseRunLocks()
-		})
+		}, func() { panic("unexpected shard-lock failure") })
 	})
 	c.Run(0)
 	if len(order) != 2 {

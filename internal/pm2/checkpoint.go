@@ -55,6 +55,14 @@ import (
 // parked) — checkpoint at a phase boundary instead. Endpoint call-id
 // counters are not carried: the quiescent instant has no outstanding
 // calls, and the ids never influence timing or traces.
+//
+// An attached load balancer that registered through SetBalancer is no
+// obstacle: it is paused for the drain and its round state rides an
+// optional trailing section that upgrades the image to "pm2ckpt v2"
+// (v1 images stay valid and unchanged). And while a capture refuses an
+// installed fault plan, a *restore* accepts a fresh one whose events
+// all lie after the checkpoint clock — the restart-and-refail
+// experiment (see RestoreCluster).
 
 // Checkpoint is a captured cluster state (see the package comment
 // above). Build one with Cluster.Checkpoint, serialize with Encode,
@@ -83,7 +91,66 @@ type Checkpoint struct {
 	Trace []string
 
 	NodeStates []CheckpointNode
+
+	// Balancer is the attached balancer's round state — nil when no
+	// balancer had registered (SetBalancer) or it was idle at capture.
+	// Its presence is what upgrades the serialization to "pm2ckpt v2";
+	// captures without it stay byte-identical v1.
+	Balancer *BalancerCheckpoint
+	// MissedBeats is each rank's consecutive-heartbeat-miss counter at
+	// capture, carried alongside Balancer (all zeros today: a capture
+	// refuses an installed fault plan, so the counters cannot have
+	// moved — they are serialized so a v2 reader never has to guess).
+	MissedBeats []int
 }
+
+// BalancerCheckpoint is the round state of an attached periodic load
+// balancer: enough to restart the cadence — and the Rounds/Moves
+// accounting — at the same virtual instant on both continuations.
+// Policy-internal memory is deliberately not serialized: every round
+// re-samples all nodes before deciding, so the default (memoryless)
+// threshold scheme decides identically on both sides; a policy with
+// cross-round memory (a rotation cursor, contention history) may place
+// differently after a restore than after an in-place resume.
+type BalancerCheckpoint struct {
+	// Period between rounds and the absolute time the next round was
+	// scheduled for when the capture paused the balancer. The pending
+	// round itself fires as a no-op during the quiescing drain, so the
+	// restored/resumed balancer re-runs it at max(NextRoundAt, ck.Now).
+	Period      simtime.Time
+	NextRoundAt simtime.Time
+	// StaleAfter and KeepAliveUntil echo the balancer's Config so an
+	// attach-from-checkpoint needs no operator re-specification.
+	StaleAfter     simtime.Time
+	KeepAliveUntil simtime.Time
+	// Threshold and MaxMoves are the negotiation-policy tuning knobs
+	// the balancer applied at attach (0 = was left at policy default).
+	Threshold int
+	MaxMoves  int
+	// Rounds and Moves are the accounting counters so far.
+	Rounds int
+	Moves  int
+}
+
+// BalancerCheckpointer is the checkpoint contract a periodic balancer
+// registers through SetBalancer. CheckpointPause must stop the balancer
+// from rescheduling (its already-pending round fires as a no-op) and
+// return its round state, with NextRoundAt zero if no round was pending
+// (the balancer had already drained — nothing to restart). Checkpoint
+// Resume undoes the pause and, when NextRoundAt is set, reschedules the
+// skipped round at max(NextRoundAt, now).
+type BalancerCheckpointer interface {
+	CheckpointPause() BalancerCheckpoint
+	CheckpointResume(BalancerCheckpoint)
+}
+
+// SetBalancer registers an attached balancer for checkpoint
+// cooperation. Without a registration, Checkpoint on a cluster with an
+// active periodic balancer fails the quiesce budget (the balancer keeps
+// scheduling rounds); with it, the balancer is paused, its round state
+// rides the checkpoint's v2 section, and both continuations resume the
+// cadence identically.
+func (c *Cluster) SetBalancer(b BalancerCheckpointer) { c.balancer = b }
 
 // CheckpointNode is one rank's share of a checkpoint.
 type CheckpointNode struct {
@@ -125,6 +192,15 @@ func (c *Cluster) Checkpoint() (*Checkpoint, error) {
 	if c.faults != nil {
 		return nil, fmt.Errorf("pm2: checkpoint does not compose with an installed fault plan (crash barriers are scheduled closures)")
 	}
+	// An active balancer would reschedule itself forever and defeat the
+	// drain below. A registered one (SetBalancer) is paused instead: its
+	// pending round fires as a no-op during the drain and its state is
+	// captured, so the resumed and the restored continuation restart the
+	// cadence at the same virtual instant.
+	if c.balancer != nil && c.pausedBalancer == nil {
+		st := c.balancer.CheckpointPause()
+		c.pausedBalancer = &st
+	}
 	if err := c.quiesce(); err != nil {
 		return nil, err
 	}
@@ -150,6 +226,15 @@ func (c *Cluster) Checkpoint() (*Checkpoint, error) {
 		Trace:           c.log.Lines(),
 	}
 	ck.Now, ck.Seq, ck.Step = c.eng.Clock()
+	if c.pausedBalancer != nil && c.pausedBalancer.NextRoundAt > 0 {
+		// Only a balancer with a round actually pending upgrades the
+		// image to v2; a drained one restores drained, and the capture
+		// bytes stay v1 exactly as before balancers were capturable.
+		bc := *c.pausedBalancer
+		ck.Balancer = &bc
+		ck.MissedBeats = make([]int, c.cfg.Nodes)
+		copy(ck.MissedBeats, c.missedBeats)
+	}
 
 	for _, n := range c.nodes {
 		d := n
@@ -246,6 +331,10 @@ func (c *Cluster) parkSweep() {
 // either) in capture order and the schedulers are kicked. Continue
 // with Run as usual.
 func (c *Cluster) Resume() {
+	if c.balancer != nil && c.pausedBalancer != nil {
+		c.balancer.CheckpointResume(*c.pausedBalancer)
+		c.pausedBalancer = nil
+	}
 	for _, n := range c.nodes {
 		d := n
 		if len(d.parked) > 0 {
@@ -266,13 +355,33 @@ func (c *Cluster) Resume() {
 // a checkpoint into it. cfg must be structurally identical to the
 // configuration the checkpoint was taken under (node count, policy,
 // arbiter, gather, distribution, convoy, pack mode, heartbeat lease);
-// Workers and cost-model choices are free. The returned cluster is
-// running — its next Run continues the checkpointed execution, byte-
-// identical to Resume on the original.
+// Workers and cost-model choices are free, and so is RPCTimeout — like
+// Workers it must simply match between two restores whose continuations
+// are to be compared. The returned cluster is running — its next Run
+// continues the checkpointed execution, byte-identical to Resume on the
+// original.
+//
+// cfg.Faults composes with a restore as long as every event lies
+// strictly after the checkpoint clock: the restart-and-refail
+// experiment. Events at or before ck.Now are rejected — their crash
+// barriers could never fire (the restored clock is already past them),
+// and a partition or slow window that straddles the capture instant
+// describes a network state the checkpoint, taken on a quiescent
+// healthy cluster, cannot contain.
 func RestoreCluster(cfg Config, im *isa.Image, ck *Checkpoint) (*Cluster, error) {
-	if cfg.Faults != nil && !cfg.Faults.Empty() {
-		return nil, fmt.Errorf("pm2: restore does not compose with a fault plan")
+	refail := cfg.Faults
+	if !refail.Empty() {
+		for _, ev := range refail.Events {
+			if ev.At <= ck.Now {
+				return nil, fmt.Errorf("pm2: restore fault plan does not compose: %s is not after the checkpoint clock t=%dus",
+					ev, int64(ck.Now)/int64(simtime.Microsecond))
+			}
+		}
 	}
+	// The plan is installed after the clock restore below, not through
+	// NewChecked: installation schedules one ambient barrier per crash
+	// event, and RestoreClock refuses a non-empty engine.
+	cfg.Faults = nil
 	c, err := NewChecked(cfg, im)
 	if err != nil {
 		return nil, err
@@ -349,6 +458,14 @@ func RestoreCluster(cfg Config, im *isa.Image, ck *Checkpoint) (*Cluster, error)
 		}
 		n.kick()
 	}
+	if !refail.Empty() {
+		if err := c.InstallFaults(refail); err != nil {
+			return nil, err
+		}
+		if len(ck.MissedBeats) == len(c.missedBeats) {
+			copy(c.missedBeats, ck.MissedBeats)
+		}
+	}
 	return c, nil
 }
 
@@ -371,7 +488,14 @@ func cloneStats(s Stats) Stats {
 // DecodeCheckpoint rejects unknown versions, truncation and any byte
 // flip (the digest covers the whole body).
 
-const ckptMagic = "pm2ckpt v1"
+const (
+	ckptMagic = "pm2ckpt v1"
+	// ckptMagicV2 marks an image carrying the optional balancer section
+	// (one "balancer" line and one "missedbeats" line after the node
+	// records). Everything before it is v1-identical, and v1 images —
+	// no balancer at capture — still encode and decode unchanged.
+	ckptMagicV2 = "pm2ckpt v2"
+)
 
 func fnvSum(data []byte) uint64 {
 	h := fnv.New64a()
@@ -392,7 +516,11 @@ func (ck *Checkpoint) Encode() []byte {
 
 func (ck *Checkpoint) body() []byte {
 	var b bytes.Buffer
-	fmt.Fprintf(&b, "%s\n", ckptMagic)
+	magic := ckptMagic
+	if ck.Balancer != nil {
+		magic = ckptMagicV2
+	}
+	fmt.Fprintf(&b, "%s\n", magic)
 	fmt.Fprintf(&b, "config nodes=%d policy=%s arbiter=%s gather=%s dist=%s convoy=%t pack=%d heartbeat-misses=%d\n",
 		ck.Nodes, ck.Policy, ck.Arbiter, ck.Gather, ck.Dist, ck.Convoy, ck.Pack, ck.HeartbeatMisses)
 	fmt.Fprintf(&b, "clock now=%d seq=%d steps=%d\n", int64(ck.Now), ck.Seq, ck.Step)
@@ -420,10 +548,20 @@ func (ck *Checkpoint) body() []byte {
 			fmt.Fprintf(&b, "thread tid=%d image=%s\n", th.TID, hex.EncodeToString(th.Image))
 		}
 	}
+	if bc := ck.Balancer; bc != nil {
+		fmt.Fprintf(&b, "balancer period=%d next=%d staleafter=%d keepalive=%d threshold=%d maxmoves=%d rounds=%d moves=%d\n",
+			int64(bc.Period), int64(bc.NextRoundAt), int64(bc.StaleAfter), int64(bc.KeepAliveUntil),
+			bc.Threshold, bc.MaxMoves, bc.Rounds, bc.Moves)
+		b.WriteString("missedbeats")
+		for _, m := range ck.MissedBeats {
+			fmt.Fprintf(&b, " %d", m)
+		}
+		b.WriteByte('\n')
+	}
 	return b.Bytes()
 }
 
-// DecodeCheckpoint parses and digest-verifies a pm2ckpt v1
+// DecodeCheckpoint parses and digest-verifies a pm2ckpt v1 or v2
 // serialization.
 func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 	idx := bytes.LastIndex(data, []byte("\ndigest "))
@@ -459,8 +597,11 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 		return nil
 	}
 
+	v2 := false
 	if line, err := next(); err != nil {
 		return nil, err
+	} else if line == ckptMagicV2 {
+		v2 = true
 	} else if line != ckptMagic {
 		return nil, fmt.Errorf("pm2: not a %s file (starts %q)", ckptMagic, line)
 	}
@@ -552,6 +693,31 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 			st.Threads = append(st.Threads, th)
 		}
 		ck.NodeStates = append(ck.NodeStates, st)
+	}
+	if v2 {
+		bc := &BalancerCheckpoint{}
+		var period, nextAt, stale, keep int64
+		if err := expect("balancer period=%d next=%d staleafter=%d keepalive=%d threshold=%d maxmoves=%d rounds=%d moves=%d",
+			&period, &nextAt, &stale, &keep, &bc.Threshold, &bc.MaxMoves, &bc.Rounds, &bc.Moves); err != nil {
+			return nil, err
+		}
+		bc.Period, bc.NextRoundAt = simtime.Time(period), simtime.Time(nextAt)
+		bc.StaleAfter, bc.KeepAliveUntil = simtime.Time(stale), simtime.Time(keep)
+		ck.Balancer = bc
+		mbLine, err := next()
+		if err != nil {
+			return nil, err
+		}
+		if mbLine != "missedbeats" && !strings.HasPrefix(mbLine, "missedbeats ") {
+			return nil, fmt.Errorf("pm2: checkpoint line %d: want missedbeats, got %q", pos, mbLine)
+		}
+		for _, f := range strings.Fields(mbLine)[1:] {
+			var m int
+			if _, err := fmt.Sscanf(f, "%d", &m); err != nil {
+				return nil, fmt.Errorf("pm2: checkpoint missedbeats %q: %v", f, err)
+			}
+			ck.MissedBeats = append(ck.MissedBeats, m)
+		}
 	}
 	if pos != len(lines) {
 		return nil, fmt.Errorf("pm2: %d trailing checkpoint lines after node records", len(lines)-pos)

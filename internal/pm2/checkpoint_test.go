@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/asm"
+	"repro/internal/fault"
 	"repro/internal/progs"
 	"repro/internal/simtime"
 )
@@ -115,6 +116,58 @@ func TestCheckpointBlockedSleeper(t *testing.T) {
 	if got := rc.Trace().String(); got != c.Trace().String() || !strings.Contains(got, want) {
 		t.Fatalf("restored sleeper diverged:\n--- resumed\n%s\n--- restored\n%s", c.Trace().String(), got)
 	}
+}
+
+// TestRestoreWithFaultPlan covers the restart-and-refail composition:
+// a restore accepts a fresh fault plan whose events all lie strictly
+// after the checkpoint clock — and the plan is live, driving detection
+// and evacuation on the restored cluster — while events at or before
+// the clock are rejected.
+func TestRestoreWithFaultPlan(t *testing.T) {
+	data, _ := runCheckpointed(t, Config{Nodes: 2}, 2*simtime.Millisecond)
+	ck, err := DecodeCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	crash := func(at simtime.Time) *fault.Plan {
+		return &fault.Plan{Events: []fault.Event{{Kind: fault.Crash, Node: 1, At: at}}}
+	}
+	t.Run("event before the clock", func(t *testing.T) {
+		cfg := Config{Nodes: 2, Faults: crash(ck.Now - simtime.Millisecond)}
+		if _, err := RestoreCluster(cfg, progs.NewImage(), ck); err == nil || !strings.Contains(err.Error(), "checkpoint clock") {
+			t.Fatalf("error = %v, want checkpoint-clock rejection", err)
+		}
+	})
+	t.Run("event at the clock", func(t *testing.T) {
+		cfg := Config{Nodes: 2, Faults: crash(ck.Now)}
+		if _, err := RestoreCluster(cfg, progs.NewImage(), ck); err == nil || !strings.Contains(err.Error(), "checkpoint clock") {
+			t.Fatalf("error = %v, want checkpoint-clock rejection", err)
+		}
+	})
+	t.Run("re-crash after restore", func(t *testing.T) {
+		crashAt := ck.Now + 2*simtime.Millisecond
+		cfg := Config{Nodes: 2, Faults: crash(crashAt)}
+		rc, err := RestoreCluster(cfg, progs.NewImage(), ck)
+		if err != nil {
+			t.Fatalf("restore with future fault plan: %v", err)
+		}
+		// Heartbeat rounds after the restored clock, standing in for an
+		// attached balancer (as tickHeartbeats does for fresh clusters).
+		for i := 1; i <= 32; i++ {
+			rc.Engine().At(ck.Now+simtime.Time(i)*simtime.Millisecond, rc.HeartbeatTick)
+		}
+		rc.Run(0)
+		if !rc.NodeDown(1) {
+			t.Fatal("restored cluster never declared the re-crashed node dead")
+		}
+		if ev := rc.Stats().Evacuations; ev != 1 {
+			t.Fatalf("Evacuations = %d, want 1 after the restored crash", ev)
+		}
+		if err := rc.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
 }
 
 // TestCheckpointRejectsCorruption covers the digest seal: any byte

@@ -85,7 +85,7 @@ func (n *Node) gatherDelta(k, round int, done func(bool)) {
 		}
 		p := i
 		known, version := n.deltaPeers[p].known, n.deltaPeers[p].version
-		n.ep.Call(p, chBitmapDelta, func(b *madeleine.Buffer) {
+		n.gatherCall(p, chBitmapDelta, func(b *madeleine.Buffer) {
 			flag := uint32(0)
 			if known {
 				flag = 1
@@ -93,6 +93,14 @@ func (n *Node) gatherDelta(k, round int, done func(bool)) {
 			b.PackU32(flag).PackU64(version)
 		}, func(reply *madeleine.Buffer) {
 			n.applyDeltaReply(p, reply)
+			outstanding--
+			if outstanding == 0 {
+				n.planAndBuyDelta(k, round, done)
+			}
+		}, func() {
+			// Retries exhausted: plan on the cached view as-is. If the
+			// peer's bitmap moved meanwhile, any purchase planned on the
+			// stale view is declined and retried as usual.
 			outstanding--
 			if outstanding == 0 {
 				n.planAndBuyDelta(k, round, done)
@@ -203,6 +211,10 @@ func (n *Node) planAndBuyDelta(k, round int, done func(bool)) {
 	}
 	n.withRunLocks(plan.Start, plan.N, func() {
 		n.executePurchase(k, round, plan, done)
+	}, func() {
+		// A shard manager timed out: nothing was secured, re-plan after
+		// the usual backoff.
+		n.retryAfterReturns(k, round, nil, done)
 	})
 }
 

@@ -40,12 +40,31 @@ import (
 //     pre-reclaim view of those words is version-declined by the
 //     seller's validation. Reclaim needs no lock to be safe.
 //
-// Known hazards, by design out of scope (documented in DESIGN.md): a
-// negotiation or LRPC in flight against the node at its crash instant
-// hangs its initiator (the reply is dropped, as on real hardware without
-// client-side timeouts), and a thread migrated *to* the node between
-// crash and declaration is lost with it. The failover scenarios keep
-// crashes away from in-flight protocol exchanges.
+// With Config.RPCTimeout set, detection additionally distinguishes
+// *suspected* from *declared dead* (the partial-failure model):
+//
+//   - a node that misses HeartbeatMisses consecutive heartbeats — because
+//     it crashed, or because a live partition cut it off from rank 0's
+//     vantage — is suspected: the placement engine and the gather,
+//     purchase and defrag loops route around it (the widened nodeAlive
+//     predicate below), but nothing is evacuated or reclaimed, because
+//     it may still be alive and owning its threads and slots.
+//   - a suspected node that answers again (the partition healed) rejoins:
+//     suspicion is cleared and every cached cross-node belief about it —
+//     gather hints, delta views, gathered versions, in both directions —
+//     is dropped, so the next negotiation resyncs from ground truth via
+//     the existing full-map first-contact fallback.
+//   - only a suspected node that stays silent through a second full
+//     confirmation window *and* has actually crashed is declared dead
+//     and evacuated. A partitioned-but-alive node is never evacuated:
+//     fail-stop recovery of a node that still runs would double-own its
+//     threads and slots the moment the partition healed.
+//
+// Residual hazard, by design out of scope (documented in DESIGN.md): a
+// thread migrated *to* a crashed node between crash and declaration is
+// lost with it. With RPCTimeout unset the seed's behavior — in-flight
+// protocol exchanges against a failing node hang their initiator — is
+// preserved exactly, goldens included.
 
 // InstallFaults installs a failure plan on a cluster that has not run
 // yet: the wire-level fault policy is attached and one ambient crash
@@ -64,6 +83,8 @@ func (c *Cluster) InstallFaults(plan *fault.Plan) error {
 	}
 	c.faults = fault.NewState(plan)
 	c.down = make([]bool, c.Nodes())
+	c.suspected = make([]bool, c.Nodes())
+	c.suspectedAt = make([]simtime.Time, c.Nodes())
 	c.missedBeats = make([]int, c.Nodes())
 	c.nw.SetFaults(c.faults)
 	for _, ev := range plan.Crashes() {
@@ -93,10 +114,22 @@ func validateFaultPlan(plan *fault.Plan, cfg Config) error {
 func (c *Cluster) FaultState() *fault.State { return c.faults }
 
 // NodeResponsive reports whether node i would answer a heartbeat right
-// now: false once the node has crashed, whether or not the failure has
-// been declared yet. Balancers use it to skip sampling dead nodes.
+// now: false once the node has crashed — whether or not the failure has
+// been declared yet — or while a live partition cuts it off from rank 0,
+// where the balancer (and its heartbeat vantage) lives. Balancers use it
+// to skip sampling unreachable nodes.
 func (c *Cluster) NodeResponsive(i int) bool {
-	return c.faults == nil || !c.faults.Crashed(i, c.eng.Now())
+	if c.faults == nil {
+		return true
+	}
+	now := c.eng.Now()
+	return !c.faults.Crashed(i, now) && !c.faults.Partitioned(0, i, now)
+}
+
+// NodeSuspected reports whether node i is currently suspected: routed
+// around but not evacuated, pending confirmation or rejoin.
+func (c *Cluster) NodeSuspected(i int) bool {
+	return c.suspected != nil && i >= 0 && i < len(c.suspected) && c.suspected[i]
 }
 
 // NodeDown reports whether node i has been declared dead (lease expired,
@@ -106,13 +139,18 @@ func (c *Cluster) NodeDown(i int) bool {
 }
 
 // nodeAlive is the down-skip predicate the gather, purchase and defrag
-// loops consult: true for every rank on a healthy cluster.
-func (c *Cluster) nodeAlive(i int) bool { return c.down == nil || !c.down[i] }
+// loops consult: true for every rank on a healthy cluster, false for
+// declared-dead ranks and — under suspicion mode — for suspected ones,
+// which are routed around but keep everything they own.
+func (c *Cluster) nodeAlive(i int) bool {
+	return (c.down == nil || !c.down[i]) && (c.suspected == nil || !c.suspected[i])
+}
 
-// anyDown reports whether any rank has been declared dead. The tree
-// gather falls back to the batched topology then — a combining tree
-// through a dead interior node would stall forever.
-func (c *Cluster) anyDown() bool { return c.nDown > 0 }
+// anyDown reports whether any rank is declared dead or suspected. The
+// tree gather falls back to the batched topology then — a combining tree
+// through an unreachable interior node would stall (or time out) its
+// whole subtree.
+func (c *Cluster) anyDown() bool { return c.nDown > 0 || c.nSuspected > 0 }
 
 // shardManager returns the live manager rank of shard s: the canonical
 // shard-mod-n owner, rerouted past declared-dead ranks so the sharded
@@ -125,35 +163,165 @@ func (c *Cluster) shardManager(s int) int {
 	return m
 }
 
-// HeartbeatTick runs one failure-detection round: every undeclared
-// crashed node accrues a missed heartbeat, and HeartbeatMisses
-// consecutive misses expire its lease. Ambient contexts only (the
-// balancer round, a test driver) — declaration is a barrier that touches
-// every lane's state. No-op on a healthy cluster.
+// HeartbeatTick runs one failure-detection round. Ambient contexts only
+// (the balancer round, a test driver) — suspicion, rejoin and
+// declaration are barriers that touch every lane's state. No-op on a
+// healthy cluster.
+//
+// With RPCTimeout unset the seed's one-stage detection runs verbatim:
+// every undeclared crashed node accrues a missed heartbeat, and
+// HeartbeatMisses consecutive misses expire its lease. With it set,
+// detection is two-stage: HeartbeatMisses misses *suspect* the node
+// (reversible — a healed partition rejoins it), and only a suspected
+// node that stays unresponsive through a second full window and has
+// actually crashed is declared dead. A partitioned-but-alive node is
+// never evacuated.
 func (c *Cluster) HeartbeatTick() {
 	if c.faults == nil {
 		return
 	}
 	now := c.eng.Now()
+	if c.cfg.RPCTimeout == 0 {
+		for i := range c.nodes {
+			if c.down[i] {
+				continue
+			}
+			if !c.faults.Crashed(i, now) {
+				c.missedBeats[i] = 0
+				continue
+			}
+			c.missedBeats[i]++
+			if c.missedBeats[i] >= c.cfg.HeartbeatMisses {
+				c.declareDead(i, now)
+			}
+		}
+		return
+	}
 	for i := range c.nodes {
 		if c.down[i] {
 			continue
 		}
-		if !c.faults.Crashed(i, now) {
-			c.missedBeats[i] = 0
+		// The heartbeat rides the load-report round, which rank 0's
+		// balancer drives: a node is responsive when it is neither
+		// crashed nor partitioned away from rank 0.
+		responsive := !c.faults.Crashed(i, now) && !c.faults.Partitioned(0, i, now)
+		if responsive {
+			if c.suspected[i] {
+				c.rejoin(i, now)
+			} else {
+				c.missedBeats[i] = 0
+			}
 			continue
 		}
 		c.missedBeats[i]++
-		if c.missedBeats[i] >= c.cfg.HeartbeatMisses {
+		if !c.suspected[i] {
+			if c.missedBeats[i] >= c.cfg.HeartbeatMisses {
+				c.suspect(i, now)
+			}
+			continue
+		}
+		// Confirmation window: a second full lease of silence, and only
+		// an actual crash graduates to declared dead — suspicion caused
+		// by a live partition stays suspicion until the heal rejoins it.
+		if c.missedBeats[i] >= 2*c.cfg.HeartbeatMisses && c.faults.Crashed(i, now) {
 			c.declareDead(i, now)
 		}
 	}
+}
+
+// suspect marks node i suspected: placement and the protocol loops stop
+// routing to it, and every survivor's cached delta view of it is dropped
+// so no purchase is planned on slots only an unreachable peer could
+// sell. Nothing is evacuated or reclaimed — the node may be alive behind
+// a partition, still running its threads. Runs as an ambient barrier.
+func (c *Cluster) suspect(i int, now simtime.Time) {
+	c.suspected[i] = true
+	c.suspectedAt[i] = now
+	c.nSuspected++
+	c.stats.Suspicions++
+	c.pol.SetSuspect(i, true)
+	for j, n := range c.nodes {
+		if j == i || c.down[j] {
+			continue
+		}
+		if n.deltaPeers != nil && n.deltaPeers[i].bm != nil {
+			n.deltaPeers[i] = deltaPeerView{}
+			n.rebuildGlobalOr()
+		}
+	}
+	c.log.Raw(fmt.Sprintf("[suspect] node %d suspected at t=%dus (%d heartbeats missed)",
+		i, now/simtime.Microsecond, c.missedBeats[i]))
+}
+
+// rejoin clears node i's suspicion after it answered a heartbeat again
+// (the partition healed). Every cached cross-node belief involving it is
+// dropped, in both directions: the survivors' gather hints, delta views
+// and gathered versions of i went stale while it was unreachable, and
+// i's own view of the whole cluster went stale behind the partition. The
+// next gather resyncs from ground truth — the delta gather through its
+// full-map first-contact fallback, the hinted gathers by simply not
+// skipping anyone until fresh beliefs form. Runs as an ambient barrier.
+func (c *Cluster) rejoin(i int, now simtime.Time) {
+	c.suspected[i] = false
+	c.nSuspected--
+	c.missedBeats[i] = 0
+	c.stats.Rejoins++
+	c.stats.RejoinLatencies = append(c.stats.RejoinLatencies, now-c.suspectedAt[i])
+	c.pol.SetSuspect(i, false)
+	r := c.nodes[i]
+	for j, n := range c.nodes {
+		if j == i || c.down[j] {
+			continue
+		}
+		if n.hintEmpty != nil {
+			n.hintEmpty[i] = false
+		}
+		if n.emptyTold != nil {
+			n.emptyTold[i] = false
+		}
+		if n.deltaPeers != nil && n.deltaPeers[i].bm != nil {
+			n.deltaPeers[i] = deltaPeerView{}
+			n.rebuildGlobalOr()
+		}
+		if n.gatherVersions != nil {
+			n.gatherVersions[i] = 0
+		}
+	}
+	if r.hintEmpty != nil {
+		for p := range r.hintEmpty {
+			r.hintEmpty[p] = false
+		}
+	}
+	if r.emptyTold != nil {
+		for p := range r.emptyTold {
+			r.emptyTold[p] = false
+		}
+		r.emptyToldAny = false
+	}
+	if r.deltaPeers != nil {
+		r.deltaPeers = make([]deltaPeerView, c.Nodes())
+		r.deltaOr = bitmap.New(layout.SlotCount)
+	}
+	if r.gatherVersions != nil {
+		for p := range r.gatherVersions {
+			r.gatherVersions[p] = 0
+		}
+	}
+	c.log.Raw(fmt.Sprintf("[rejoin] node %d rejoined at t=%dus (suspicion cleared)",
+		i, now/simtime.Microsecond))
 }
 
 // declareDead expires node i's lease: the placement engine stops routing
 // to it, its resident threads are evacuated to the survivors as convoys,
 // and its owned-free slots are reclaimed. Runs as an ambient barrier.
 func (c *Cluster) declareDead(i int, now simtime.Time) {
+	if c.suspected != nil && c.suspected[i] {
+		// Graduating from suspected to declared dead: the permanent
+		// down state supersedes the reversible suspicion bookkeeping.
+		c.suspected[i] = false
+		c.nSuspected--
+		c.pol.SetSuspect(i, false)
+	}
 	c.down[i] = true
 	c.nDown++
 	c.pol.SetDown(i)

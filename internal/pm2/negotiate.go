@@ -65,12 +65,14 @@ func (n *Node) negotiate(k int, done func(bool)) {
 		done(ok)
 	}
 	if n.c.cfg.Arbiter == ArbiterGlobal {
-		n.acquireLock(func() {
+		// With a timeout configured, an unreachable lock manager fails
+		// the negotiation instead of hanging this thread forever.
+		n.acquireLockOr(func() {
 			n.negotiateRound(k, 0, func(ok bool) {
 				n.releaseLock()
 				finish(ok)
 			})
-		})
+		}, func() { finish(false) })
 		return
 	}
 	// Decentralized arbiters: no system-wide section. The node's own
@@ -136,11 +138,14 @@ func (n *Node) gatherSequential(k, round int, done func(bool)) {
 			return
 		}
 		peer := order[i]
-		n.ep.Call(peer, chBitmap, nil, func(reply *madeleine.Buffer) {
+		n.gatherCall(peer, chBitmap, nil, func(reply *madeleine.Buffer) {
 			maps[peer] = n.unpackGathered(peer, reply)
 			// Merging this bitmap into the global OR (step 2c is
 			// incremental).
 			n.mergeCharge(layout.BitmapBytes)
+			gatherNext(i + 1)
+		}, func() {
+			// Retries exhausted: plan without this peer's slots.
 			gatherNext(i + 1)
 		})
 	}
@@ -192,12 +197,18 @@ func (n *Node) gatherBatchedFrom(k, round int, useHints bool, done func(bool)) {
 	outstanding := len(peers)
 	for _, peer := range peers {
 		p := peer
-		n.ep.Call(p, chBitmap, nil, func(reply *madeleine.Buffer) {
+		n.gatherCall(p, chBitmap, nil, func(reply *madeleine.Buffer) {
 			maps[p] = n.unpackGathered(p, reply)
 			// The reply content is ground truth about the peer's
 			// emptiness; the peer recorded who it told (emptyTold).
 			n.noteBelief(p, maps[p].Count() == 0)
 			n.mergeCharge(layout.BitmapBytes)
+			outstanding--
+			if outstanding == 0 {
+				n.planAndBuyOr(k, round, maps, done, planFail)
+			}
+		}, func() {
+			// Retries exhausted: plan without this peer's slots.
 			outstanding--
 			if outstanding == 0 {
 				n.planAndBuyOr(k, round, maps, done, planFail)
@@ -247,7 +258,7 @@ func (n *Node) gatherTreeFrom(k, round int, useHints bool, done func(bool)) {
 	}
 	outstanding := len(live)
 	for _, child := range live {
-		n.ep.Call(child, chGatherTree, func(b *madeleine.Buffer) {
+		n.gatherCallScaled(child, chGatherTree, treeDeadlineScale(child, n.id, n.c.Nodes()), func(b *madeleine.Buffer) {
 			b.PackU32(uint32(n.id)) // tree root
 		}, func(reply *madeleine.Buffer) {
 			if err := global.OrBytes(reply.BytesSection()); err != nil {
@@ -258,8 +269,34 @@ func (n *Node) gatherTreeFrom(k, round int, useHints bool, done func(bool)) {
 			if outstanding == 0 {
 				n.planAndBuyRange(k, round, global, useHints, pruned, done)
 			}
+		}, func() {
+			// Retries exhausted: the whole subtree contributes nothing
+			// to this round's view.
+			outstanding--
+			if outstanding == 0 {
+				n.planAndBuyRange(k, round, global, useHints, pruned, done)
+			}
 		})
 	}
+}
+
+// treeDeadlineScale widens a tree-gather call's deadline by the height
+// of the callee's subtree. An interior relay only replies after every
+// child resolved — in the worst case rpcMaxAttempts timed-out tries
+// plus backoffs against an unreachable grandchild — so the parent's
+// patience must dominate the child's whole retry budget or one
+// unreachable leaf cascades into the loss of every subtree above it.
+// One factor of rpcMaxAttempts+1 per level covers attempts × the
+// child's own (already scaled) deadline with margin for backoffs and
+// merge charges.
+func treeDeadlineScale(child, root, nodes int) int {
+	size := len(subtreeRanks(child, root, nodes))
+	scale := 1
+	for size > 1 {
+		scale *= rpcMaxAttempts + 1
+		size >>= 1
+	}
+	return scale
 }
 
 // onGatherTreeCall serves an interior (or leaf) position of a combining
@@ -294,13 +331,20 @@ func (n *Node) onGatherTreeCall(src int, req *madeleine.Call) {
 	}
 	outstanding := len(children)
 	for _, child := range children {
-		n.ep.Call(child, chGatherTree, func(b *madeleine.Buffer) {
+		n.gatherCallScaled(child, chGatherTree, treeDeadlineScale(child, root, n.c.Nodes()), func(b *madeleine.Buffer) {
 			b.PackU32(uint32(root))
 		}, func(sub *madeleine.Buffer) {
 			if err := merged.OrBytes(sub.BytesSection()); err != nil {
 				panic(fmt.Sprintf("pm2: bad subtree bitmap: %v", err))
 			}
 			n.mergeCharge(layout.BitmapBytes)
+			outstanding--
+			if outstanding == 0 {
+				reply()
+			}
+		}, func() {
+			// Retries exhausted: forward the merge without this subtree,
+			// exactly as the initiator would.
 			outstanding--
 			if outstanding == 0 {
 				reply()
@@ -377,6 +421,10 @@ func (n *Node) planAndBuyOr(k, round int, maps []*bitmap.Bitmap, done func(bool)
 	}
 	n.withRunLocks(plan.Start, plan.N, func() {
 		n.executePurchase(k, round, plan, done)
+	}, func() {
+		// A shard manager timed out: nothing was secured, re-plan after
+		// the usual backoff.
+		n.retryAfterReturns(k, round, nil, done)
 	})
 }
 
@@ -460,7 +508,20 @@ func (n *Node) executePurchase(k, round int, plan core.Purchase, done func(bool)
 		}
 		seller := order[i]
 		shares := byNode[seller]
-		n.ep.Call(seller, chBuy, func(b *madeleine.Buffer) {
+		declined := func() {
+			// The owner allocated some of those slots since the
+			// gather: give already-secured shares straight back to
+			// their sellers, and only once every give-back has been
+			// acknowledged retry with fresh bitmaps — re-gathering
+			// earlier could observe the returned slots at neither
+			// party.
+			var returns []pendingReturn
+			for j := 0; j < i; j++ {
+				returns = append(returns, pendingReturn{seller: order[j], shares: byNode[order[j]]})
+			}
+			n.retryAfterReturns(k, round, returns, done)
+		}
+		n.callRPC(seller, chBuy, func(b *madeleine.Buffer) {
 			b.PackU32(opPurchase)
 			if n.c.cfg.Arbiter == ArbiterOptimistic {
 				// One version per message: every share bought from this
@@ -473,17 +534,14 @@ func (n *Node) executePurchase(k, round int, plan core.Purchase, done func(bool)
 				buyNext(i + 1)
 				return
 			}
-			// The owner allocated some of those slots since the
-			// gather: give already-secured shares straight back to
-			// their sellers, and only once every give-back has been
-			// acknowledged retry with fresh bitmaps — re-gathering
-			// earlier could observe the returned slots at neither
-			// party.
-			var returns []pendingReturn
-			for j := 0; j < i; j++ {
-				returns = append(returns, pendingReturn{seller: order[j], shares: byNode[order[j]]})
+			declined()
+		}, declined, func(reply *madeleine.Buffer) {
+			// A timeout reads as a decline, so an acceptance arriving
+			// after it leaves the shares sold to a buyer that already
+			// re-planned without them: return the orphans at once.
+			if reply.U32() == 1 {
+				n.compGiveBack(seller, shares)
 			}
-			n.retryAfterReturns(k, round, returns, done)
 		})
 	}
 	buyNext(0)
@@ -647,7 +705,7 @@ func (n *Node) planAndBuyRange(k, round int, global *bitmap.Bitmap, useHints, pr
 		outstanding := len(peers)
 		for _, peer := range peers {
 			p := peer
-			n.ep.Call(p, chBuy, func(b *madeleine.Buffer) {
+			n.callRPC(p, chBuy, func(b *madeleine.Buffer) {
 				b.PackU32(opRangeBuy)
 				b.PackU32(uint32(start)).PackU32(uint32(size))
 			}, func(reply *madeleine.Buffer) {
@@ -661,8 +719,32 @@ func (n *Node) planAndBuyRange(k, round int, global *bitmap.Bitmap, useHints, pr
 				if outstanding == 0 {
 					complete()
 				}
+			}, func() {
+				// Timeout reads as zero runs sold; the coverage check in
+				// complete() handles any shortfall.
+				outstanding--
+				if outstanding == 0 {
+					complete()
+				}
+			}, func(reply *madeleine.Buffer) {
+				// The peer did sell after all, to a buyer that already
+				// counted it as zero: return the orphaned runs at once.
+				count := int(reply.U32())
+				var orphans []core.SellerShare
+				for i := 0; i < count; i++ {
+					s := int(reply.U32())
+					c := int(reply.U32())
+					orphans = append(orphans, core.SellerShare{Node: p, Start: s, N: c})
+				}
+				if len(orphans) > 0 {
+					n.compGiveBack(p, orphans)
+				}
 			})
 		}
+	}, func() {
+		// A shard manager timed out: nothing was secured, re-plan after
+		// the usual backoff.
+		n.retryAfterReturns(k, round, nil, done)
 	})
 }
 
@@ -684,13 +766,25 @@ func packShares(b *madeleine.Buffer, shares []core.SellerShare) {
 // than the crash it replaces.
 func (n *Node) returnSlots(seller int, shares []core.SellerShare, done func()) {
 	n.pendingGiveBacks++
-	n.ep.Call(seller, chBuy, func(b *madeleine.Buffer) {
+	n.callRPC(seller, chBuy, func(b *madeleine.Buffer) {
 		b.PackU32(opGiveBack)
 		packShares(b, shares)
 	}, func(reply *madeleine.Buffer) {
 		_ = reply.U32()
 		n.pendingGiveBacks--
 		done()
+	}, func() {
+		// Timeout reads as acknowledged: the give-back either executed
+		// (its late ack is ignored below) or was discarded at arrival,
+		// which parks the slots at neither party — the same bounded loss
+		// as a declined give-back, and strictly better than blocking the
+		// next round forever on an unreachable seller.
+		n.pendingGiveBacks--
+		done()
+	}, func(reply *madeleine.Buffer) {
+		// Late ack after the timeout already advanced the round: the
+		// slots are back with their owner, nothing more to do.
+		_ = reply.U32()
 	})
 }
 

@@ -387,10 +387,8 @@ func (n *Node) Builtin(id uint32, args [4]uint32) vm.BuiltinResult {
 		}
 		waiter := t
 		n.sched.Block(waiter)
-		n.ep.Call(dest, chSpawn, func(b *madeleine.Buffer) {
-			b.PackU32(args[1]).PackU32(args[2])
-		}, func(reply *madeleine.Buffer) {
-			n.sched.Wake(waiter, reply.U32())
+		n.spawnRemote(dest, args[1], args[2], func(tid uint32) {
+			n.sched.Wake(waiter, tid)
 			n.kick()
 		})
 		return vm.BuiltinResult{Ctl: vm.CtlBlock}

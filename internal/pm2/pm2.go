@@ -133,6 +133,17 @@ type Config struct {
 	// (Cluster.HeartbeatTick, driven by the load balancer's period).
 	// Default 2. Only consulted when Faults is set.
 	HeartbeatMisses int
+	// RPCTimeout is the virtual-time deadline for every protocol exchange
+	// that awaits a remote reply — gather requests, purchase and lock
+	// traffic, the remote-spawn LRPC. Zero (the default) means infinite:
+	// no timers, no envelope changes, every trace byte-identical to a
+	// build without the deadline layer. When set, a timed-out wait counts
+	// Stats.RPCTimeouts and retries with deterministic capped backoff or
+	// fails gracefully, and heartbeat failure detection splits into
+	// suspected (routed around, reversible) vs declared dead (evacuated) —
+	// see rpc.go and fault.go. Any negative value selects the cost-model
+	// default (DefaultRPCTimeout, about two bitmap-sized round trips).
+	RPCTimeout simtime.Time
 	// Workers sets the simulation kernel's worker count. The default (0
 	// or 1) is the exact serial executor; >1 runs node lanes on a worker
 	// pool under the conservative time-window scheme, with all traces,
@@ -217,6 +228,18 @@ type Stats struct {
 	// ReclaimedSlots totals the owned-free slots re-dealt from dead
 	// ranks to survivors.
 	ReclaimedSlots int
+	// RPCTimeouts counts request/reply waits abandoned at their deadline
+	// (Config.RPCTimeout): each is one timer expiry on the initiator,
+	// whether the operation then retried, fell back, or failed.
+	RPCTimeouts int
+	// Suspicions and Rejoins count the reversible detection transitions
+	// (Config.RPCTimeout only): a node marked suspected after missing
+	// its lease, and a suspected node cleared after answering again.
+	// RejoinLatencies holds, per rejoin, the virtual time the node spent
+	// suspected — the routed-around window a healed partition costs.
+	Suspicions      int
+	Rejoins         int
+	RejoinLatencies []simtime.Time
 	// CohortSamples holds the per-request SLO records of every spawn
 	// tagged through SpawnCohort, in spawn order: arrival,
 	// time-to-placement and end-to-end completion per named tenant
@@ -265,10 +288,21 @@ type Cluster struct {
 	// cluster: the installed fault plan's runtime state, the declared-
 	// dead flags and per-node missed-heartbeat counters, and the count
 	// of declared deaths (the fast-path gate for the down-skips).
+	// suspected marks nodes routed around but not evacuated — the
+	// reversible first stage of failure detection, only ever set when
+	// Config.RPCTimeout is on (see fault.go).
 	faults      *fault.State
 	down        []bool
+	suspected   []bool
+	suspectedAt []simtime.Time
 	missedBeats []int
 	nDown       int
+	nSuspected  int
+	// balancer is the attached periodic balancer, when it registered
+	// for checkpoint cooperation (SetBalancer); pausedBalancer holds
+	// its captured round state between Checkpoint and Resume.
+	balancer       BalancerCheckpointer
+	pausedBalancer *BalancerCheckpoint
 }
 
 // Validate checks the configuration for structural errors. NewChecked
@@ -339,6 +373,9 @@ func NewChecked(cfg Config, im *isa.Image) (*Cluster, error) {
 	}
 	if cfg.HeartbeatMisses == 0 {
 		cfg.HeartbeatMisses = 2
+	}
+	if cfg.RPCTimeout < 0 {
+		cfg.RPCTimeout = DefaultRPCTimeout(cfg.Model)
 	}
 	im.Seal()
 	c := &Cluster{
@@ -444,6 +481,7 @@ func (c *Cluster) Stats() Stats {
 	s.CohortSamples = append([]CohortSample(nil), c.stats.CohortSamples...)
 	s.EvacuationLatencies = append([]simtime.Time(nil), c.stats.EvacuationLatencies...)
 	s.DetectionLatencies = append([]simtime.Time(nil), c.stats.DetectionLatencies...)
+	s.RejoinLatencies = append([]simtime.Time(nil), c.stats.RejoinLatencies...)
 	return s
 }
 
@@ -474,9 +512,9 @@ func (c *Cluster) spawn(i int, prog string, arg uint32, sample int) {
 	if policy.Reroutes(c.cfg.Placement) {
 		c.ReportLoads()
 		i = c.pol.PlaceSpawn(i, c.eng.Now())
-	} else if c.nDown > 0 {
+	} else if c.nDown+c.nSuspected > 0 {
 		// Non-rerouting policies still must not place work on a rank
-		// that has been declared dead.
+		// that has been declared dead or is currently suspected.
 		i = c.pol.NextLive(i)
 	}
 	c.At(i, func(n *Node) {

@@ -132,11 +132,17 @@ type Engine struct {
 	pol     Policy
 	reports []LoadReport
 	down    []bool
+	suspect []bool
 }
 
 // NewEngine builds an engine over pol for a cluster of nodes ranks.
 func NewEngine(pol Policy, nodes int) *Engine {
-	e := &Engine{pol: pol, reports: make([]LoadReport, nodes), down: make([]bool, nodes)}
+	e := &Engine{
+		pol:     pol,
+		reports: make([]LoadReport, nodes),
+		down:    make([]bool, nodes),
+		suspect: make([]bool, nodes),
+	}
 	for i := range e.reports {
 		e.reports[i] = LoadReport{Node: i, Time: -1} // never reported
 	}
@@ -155,9 +161,19 @@ func (e *Engine) SetDown(node int) {
 	}
 }
 
+// SetSuspect marks node as suspected (true) or clears the suspicion
+// (false). A suspected node behaves like a dead one for every decision —
+// reports dropped, views stale, spawns rerouted — but reversibly: the
+// failure detector clears the flag when a partitioned node rejoins.
+func (e *Engine) SetSuspect(node int, suspected bool) {
+	if node >= 0 && node < len(e.suspect) {
+		e.suspect[node] = suspected
+	}
+}
+
 // Report stores one node's sample and forwards it to the policy.
 func (e *Engine) Report(r LoadReport) {
-	if r.Node < 0 || r.Node >= len(e.reports) || e.down[r.Node] {
+	if r.Node < 0 || r.Node >= len(e.reports) || e.down[r.Node] || e.suspect[r.Node] {
 		return
 	}
 	r.Stale = false
@@ -172,7 +188,7 @@ func (e *Engine) View(now simtime.Time) View {
 	copy(v.Reports, e.reports)
 	for i := range v.Reports {
 		r := &v.Reports[i]
-		if r.Time < 0 || e.down[i] {
+		if r.Time < 0 || e.down[i] || e.suspect[i] {
 			r.Stale = true
 			continue
 		}
@@ -229,15 +245,16 @@ func (e *Engine) PlaceSpawn(pref int, now simtime.Time) int {
 	return e.NextLive(n)
 }
 
-// NextLive returns node if it is alive, otherwise the next live rank
-// scanning upward with wraparound (node itself if all are down).
+// NextLive returns node if it is alive and unsuspected, otherwise the
+// next such rank scanning upward with wraparound (node itself if none
+// qualifies).
 func (e *Engine) NextLive(node int) int {
 	if node < 0 || node >= len(e.down) {
 		return node
 	}
 	for i := 0; i < len(e.down); i++ {
 		cand := (node + i) % len(e.down)
-		if !e.down[cand] {
+		if !e.down[cand] && !e.suspect[cand] {
 			return cand
 		}
 	}

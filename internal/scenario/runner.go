@@ -202,6 +202,7 @@ func ReplayFromCheckpoint(spec Spec, reqs []serve.Request, ck *ipm2.Checkpoint) 
 		Convoy:          ck.Convoy,
 		Pack:            ipm2.PackMode(ck.Pack),
 		HeartbeatMisses: ck.HeartbeatMisses,
+		RPCTimeout:      rpcTimeout(spec, 0),
 	}, Image(), ck)
 	if err != nil {
 		return nil, err
@@ -216,6 +217,22 @@ func ReplayFromCheckpoint(spec Spec, reqs []serve.Request, ck *ipm2.Checkpoint) 
 	}
 	d.scheduleRequests(shifted)
 	return finish(spec, d, cl, rec)
+}
+
+// rpcTimeout resolves the deadline-layer setting for a run: an explicit
+// Spec.RPCTimeoutMicros wins (> 0 a deadline in µs, < 0 the cost-model
+// default), otherwise the generator's own default applies — zero (off)
+// for every generator except partition, so the pre-existing goldens run
+// the machinery-free path byte for byte.
+func rpcTimeout(spec Spec, genDefault simtime.Time) simtime.Time {
+	switch {
+	case spec.RPCTimeoutMicros > 0:
+		return simtime.Time(spec.RPCTimeoutMicros) * simtime.Microsecond
+	case spec.RPCTimeoutMicros < 0:
+		return -1
+	default:
+		return genDefault
+	}
 }
 
 // run is the shared harness body: replay == nil plans via the spec's
@@ -244,11 +261,12 @@ func run(spec Spec, replay []serve.Request) (*Result, error) {
 
 	rec := &recorder{}
 	cl, err := ipm2.NewChecked(ipm2.Config{
-		Nodes:     spec.Nodes,
-		Gather:    gather,
-		Arbiter:   arbiter,
-		Placement: &recordingPolicy{inner: pol, rec: rec},
-		Workers:   spec.Workers,
+		Nodes:      spec.Nodes,
+		Gather:     gather,
+		Arbiter:    arbiter,
+		Placement:  &recordingPolicy{inner: pol, rec: rec},
+		Workers:    spec.Workers,
+		RPCTimeout: rpcTimeout(spec, gen.RPCTimeout),
 	}, Image())
 	if err != nil {
 		return nil, err

@@ -16,6 +16,7 @@ package scenario
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/asm"
 	"repro/internal/fault"
@@ -53,6 +54,12 @@ type Spec struct {
 	// Workers is not part of the trace header — the same golden pins every
 	// setting. Incompatible with the batched/tree gathers.
 	Workers int
+	// RPCTimeoutMicros overrides the partial-failure deadline layer
+	// (pm2.Config.RPCTimeout): > 0 is a deadline in virtual µs, < 0
+	// selects the cost-model default, and 0 defers to the generator's
+	// own setting (off for every generator except partition). Like
+	// Workers it is not part of the trace header.
+	RPCTimeoutMicros int64
 	// MaxSteps overrides the engine step budget (default 10M). The
 	// saturation sweep sets a small budget so past-knee runs cut off
 	// cheaply — virtual steps are deterministic, so the cutoff is too.
@@ -75,13 +82,19 @@ func (s Spec) withDefaults() Spec {
 type Generator struct {
 	// Name identifies the generator in Specs and trace headers.
 	Name string
+	// RPCTimeout is the generator's default deadline setting
+	// (pm2.Config.RPCTimeout semantics: 0 off, -1 cost-model default),
+	// applied when the Spec leaves RPCTimeoutMicros at zero. Only the
+	// partition generator turns it on — every pre-existing golden runs
+	// with the machinery fully off.
+	RPCTimeout simtime.Time
 	// Plan schedules the workload onto the driver's cluster.
 	Plan func(d *Driver)
 }
 
 // Generators lists every workload generator, in canonical order.
 func Generators() []Generator {
-	return []Generator{burstGen, hotspotGen, churnGen, deepChainGen, negoStressGen, contendGen, serveGen, failoverGen}
+	return []Generator{burstGen, hotspotGen, churnGen, deepChainGen, negoStressGen, contendGen, serveGen, failoverGen, partitionGen}
 }
 
 // LookupGenerator resolves a generator by name.
@@ -354,6 +367,58 @@ var failoverGen = Generator{
 		victim := r.Range(1, d.Nodes()-1) // rank 0 hosts the lock manager and cannot crash
 		d.InjectFault(fmt.Sprintf("crash:%d@3000", victim))
 		d.Expect(fmt.Sprintf("[failover] node %d declared dead", victim))
+	},
+}
+
+// partitionGen is the partial-failure workload: one live node is cut off
+// from every other rank for a 6 ms window mid-run. With the deadline
+// layer on (the generator defaults RPCTimeout to the cost-model value),
+// a negotiation started during the window abandons its gather requests
+// against the unreachable rank after bounded retries instead of hanging,
+// the heartbeat rounds suspect the victim — routed around, never
+// evacuated, because it is alive — and the healed partition rejoins it
+// with every stale cross-node belief dropped. A post-heal spawn wave,
+// some of it preferring the rejoined victim, pins that a rejoined node
+// serves placements again. Store-and-forward healing means nothing is
+// lost: every worker finishes, on the victim included.
+var partitionGen = Generator{
+	Name:       "partition",
+	RPCTimeout: -1, // cost-model default: the partial-failure machinery on
+	Plan: func(d *Driver) {
+		r := d.Rand()
+		for i := 0; i < 2*d.Nodes(); i++ {
+			at := simtime.Time(r.Range(0, 400)) * simtime.Microsecond
+			d.SpawnAt(at, i%d.Nodes(), "worker", uint32(r.Range(18_000, 40_000)))
+			d.Expect(" finished on node ")
+		}
+		victim := r.Range(1, d.Nodes()-1) // rank 0 hosts the heartbeat vantage
+		evs := make([]string, 0, d.Nodes()-1)
+		for p := 0; p < d.Nodes(); p++ {
+			if p != victim {
+				evs = append(evs, fmt.Sprintf("partition:%d-%d@3000..9000", victim, p))
+			}
+		}
+		d.InjectFault(strings.Join(evs, ";"))
+		// 2 ms balancer rounds, 2-miss lease: misses at 4 and 6 ms suspect
+		// the victim, the 10 ms round (first after the 9 ms heal) rejoins it.
+		d.Expect(fmt.Sprintf("[suspect] node %d suspected", victim))
+		d.Expect(fmt.Sprintf("[rejoin] node %d rejoined", victim))
+		// A multi-slot allocation inside the window: its gather must time
+		// out against the victim and the negotiation still succeed on the
+		// reachable ranks' slots (2–3 slots, so runs avoiding the victim's
+		// interleaved words exist under round-robin).
+		d.SpawnAt(4*simtime.Millisecond, 0, "negostress", uint32(r.Range(130_000, 180_000)))
+		d.Expect(" freed on node ")
+		// Post-heal wave, half of it preferring the rejoined victim.
+		for i := 0; i < d.Nodes(); i++ {
+			at := simtime.Time(10_400+r.Range(0, 400)) * simtime.Microsecond
+			pref := victim
+			if i%2 == 1 {
+				pref = i % d.Nodes()
+			}
+			d.SpawnAt(at, pref, "worker", uint32(r.Range(8_000, 16_000)))
+			d.Expect(" finished on node ")
+		}
 	},
 }
 

@@ -61,18 +61,29 @@
 // violating the single-ownership invariant. Stats reports Evacuations,
 // EvacuatedThreads and ReclaimedSlots.
 //
+// Fault plans also schedule live partitions ("partition:1-2@3000..9000",
+// store-and-forward healing) and slow links ("slow:1x4@3000..9000").
+// With Config.RPCTimeoutMicros set, every protocol exchange awaiting a
+// remote reply gets a virtual-time deadline with deterministic retry
+// and graceful fallback, and detection becomes suspicion-based: a
+// partitioned-but-alive node is routed around but never evacuated, and
+// rejoins cleanly when the partition heals.
+//
 // Orthogonally, CheckpointBytes serializes a quiescent cluster to the
-// digest-sealed "pm2ckpt v1" format and System.Restore boots a new
-// cluster from it whose continuation is byte-identical to resuming the
-// original — the pm2load -checkpoint/-restore flags from the command
-// line.
+// digest-sealed "pm2ckpt" format (v1, or v2 when a paused balancer's
+// round state rides along) and System.Restore boots a new cluster from
+// it whose continuation is byte-identical to resuming the original —
+// the pm2load -checkpoint/-restore flags from the command line. A
+// restore composes with a fresh fault plan whose events lie after the
+// checkpoint clock: the restart-and-refail experiment.
 //
 // # Scenarios
 //
 // internal/scenario runs deterministic workload generators (burst,
-// hotspot, churn, deepchain, negostress, contend, serve, failover)
-// under each policy and emits comparable stats plus a canonical event
-// trace; golden-trace tests pin the exact decision sequence. From the
+// hotspot, churn, deepchain, negostress, contend, serve, failover,
+// partition) under each policy and emits comparable stats plus a
+// canonical event trace; golden-trace tests pin the exact decision
+// sequence. From the
 // command line:
 //
 //	pm2bench -fig scenarios           # the policy × scenario matrix
@@ -167,6 +178,19 @@ type Config struct {
 	// detection requires an attached balancer (or explicit
 	// HeartbeatTick calls on the internal cluster).
 	HeartbeatMisses int
+	// RPCTimeoutMicros arms the partial-failure deadline layer: every
+	// protocol exchange awaiting a remote reply — gather requests,
+	// purchase and lock traffic, the remote-spawn call — is abandoned
+	// after this many microseconds of virtual time, counted in
+	// Stats.RPCTimeouts, and retried with deterministic capped backoff
+	// or failed gracefully. It also splits heartbeat failure detection
+	// into two stages: a silent node is first *suspected* (routed
+	// around, reversibly — a healed partition rejoins it) and only
+	// declared dead, evacuated and reclaimed after a confirmation
+	// window. 0 (the default) disables the layer entirely — no timers,
+	// traces byte-identical; negative derives the deadline from the
+	// cost model (about two bitmap-sized round trips).
+	RPCTimeoutMicros int64
 }
 
 func (c Config) toInternal() ipm2.Config {
@@ -192,6 +216,11 @@ func (c Config) toInternal() ipm2.Config {
 	cfg.PreBuySlots = c.PreBuySlots
 	cfg.Convoy = c.Convoy
 	cfg.HeartbeatMisses = c.HeartbeatMisses
+	if c.RPCTimeoutMicros > 0 {
+		cfg.RPCTimeout = simtime.Time(c.RPCTimeoutMicros) * simtime.Microsecond
+	} else if c.RPCTimeoutMicros < 0 {
+		cfg.RPCTimeout = -1 // cost-model default, resolved by NewChecked
+	}
 	if c.Faults != "" {
 		plan, err := fault.Parse(c.Faults)
 		if err != nil {
@@ -394,8 +423,8 @@ func (c *Cluster) AttachBalancer(periodMicros int64) (stop func()) {
 
 // CheckpointBytes drives the cluster to a quiescent instant — every
 // runnable thread parked, every in-flight message landed — and returns
-// its complete state serialized in the digest-sealed "pm2ckpt v1" text
-// format. The cluster is left parked: call Resume to continue it in
+// its complete state serialized in the digest-sealed "pm2ckpt" text
+// format (v2 when an attached balancer's round state rides along). The cluster is left parked: call Resume to continue it in
 // place, or feed the bytes to System.Restore (here or in another
 // process) for a continuation byte-identical to resuming the original.
 // Refused, with an error: clusters with a fault plan installed, the
@@ -448,6 +477,12 @@ func (s *System) Restore(data []byte) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A pm2ckpt v2 image carries the round state of the balancer the
+	// capture paused; reattach it so the restored continuation keeps
+	// the cadence (and the Rounds/Moves accounting) the original had.
+	if ck.Balancer != nil {
+		loadbal.AttachFromCheckpoint(inner, loadbal.Config{}, *ck.Balancer)
+	}
 	return &Cluster{inner: inner}, nil
 }
 
@@ -486,6 +521,15 @@ type Stats struct {
 	Evacuations      int
 	EvacuatedThreads int
 	ReclaimedSlots   int
+	// RPCTimeouts counts protocol waits abandoned at their deadline
+	// (Config.RPCTimeoutMicros), whether the operation then retried,
+	// fell back or failed.
+	RPCTimeouts int
+	// Suspicions and Rejoins count the reversible detection transitions
+	// under the partial-failure model: nodes routed around after missing
+	// their lease, and suspected nodes cleared after answering again.
+	Suspicions int
+	Rejoins    int
 	// Network traffic.
 	NetworkMessages uint64
 	NetworkBytes    uint64
@@ -504,6 +548,9 @@ func (c *Cluster) Stats() Stats {
 		Evacuations:      st.Evacuations,
 		EvacuatedThreads: st.EvacuatedThreads,
 		ReclaimedSlots:   st.ReclaimedSlots,
+		RPCTimeouts:      st.RPCTimeouts,
+		Suspicions:       st.Suspicions,
+		Rejoins:          st.Rejoins,
 		NetworkMessages:  st.Net.Messages,
 		NetworkBytes:     st.Net.Bytes,
 	}
